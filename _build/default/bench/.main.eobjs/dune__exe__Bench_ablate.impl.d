@@ -1,0 +1,1 @@
+bench/bench_ablate.ml: Array Bench_common Case_study Engine Format List Printf Rng Solver String Synthesis Template Unix

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Case_study Engine Format Nn Sys

@@ -1,0 +1,1 @@
+bench/bench_ext.ml: Affine Bench_common Benchmark_systems Case_study Discrete Engine Error_dynamics Expr Falsify Format Formula Hashtbl Interval List Lyapunov Nn Printf Rng Rnn Solver String Template

@@ -1,0 +1,1 @@
+bench/bench_fig4.ml: Array Bench_common Float Format List Path Printf Rng Training

@@ -1,0 +1,1 @@
+bench/bench_fig5.ml: Array Bench_common Case_study Engine Expr Format Levelset List Ode Rng Template

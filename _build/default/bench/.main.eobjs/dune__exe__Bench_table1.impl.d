@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Bench_common Case_study Engine Format List Rng String

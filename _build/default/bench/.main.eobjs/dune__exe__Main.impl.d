@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablate Bench_ext Bench_fig4 Bench_fig5 Bench_micro Bench_table1 Format List Sys

@@ -1,0 +1,28 @@
+(* Shared helpers for the benchmark harness. *)
+
+let pf = Format.printf
+
+let hr title =
+  pf "@.=== %s =============================================================@."
+    title
+
+let controller_for width =
+  if width = 2 then Case_study.reference_controller
+  else Case_study.controller_of_width width
+
+let reason_string = function
+  | Engine.Lp_failed s -> "LP failed: " ^ s
+  | Engine.Cex_budget_exhausted -> "CEX budget exhausted"
+  | Engine.Level_range_empty -> "level range empty"
+  | Engine.Level_budget_exhausted -> "level budget exhausted"
+  | Engine.Solver_inconclusive s -> "solver inconclusive: " ^ s
+
+(* Load the CMA-ES-trained controller shipped with the repo, looking both
+   from the source tree and from _build. *)
+let pretrained_controller () =
+  let candidates = [ "data/trained_nh10.nn"; "../data/trained_nh10.nn"; "../../data/trained_nh10.nn" ] in
+  let rec find = function
+    | [] -> None
+    | p :: rest -> if Sys.file_exists p then Some (Nn.load p) else find rest
+  in
+  find candidates

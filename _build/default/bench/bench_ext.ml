@@ -1,0 +1,153 @@
+(* Benchmarks for the extensions beyond the paper's evaluation: the
+   discrete-time engine (incl. the RNN future-work case), Lyapunov mode,
+   the falsification baseline, and the affine-arithmetic enclosure
+   comparison (ablation A4). *)
+
+let pf = Format.printf
+
+let describe_discrete name (report : Discrete.report) =
+  match report.Discrete.outcome with
+  | Discrete.Proved cert ->
+    pf "%-28s | proved  | level %.4f | %d iters | %5.1f s@." name cert.Discrete.level
+      report.Discrete.candidate_iterations report.Discrete.total_time
+  | Discrete.Failed _ ->
+    pf "%-28s | failed  | %10s | %d iters | %5.1f s@." name "-"
+      report.Discrete.candidate_iterations report.Discrete.total_time
+
+let discrete_bench () =
+  Bench_common.hr "Extension: discrete-time verification (incl. stateful controllers)";
+  let ff = Discrete.of_network ~dt:0.1 Case_study.reference_controller in
+  describe_discrete "feedforward, dt=0.1" (Discrete.verify ~rng:(Rng.create 5) ff);
+  let ff2 = Discrete.of_network ~dt:0.05 Case_study.reference_controller in
+  describe_discrete "feedforward, dt=0.05" (Discrete.verify ~rng:(Rng.create 5) ff2);
+  (* The future-work case: a leaky recurrent controller over the augmented
+     3-D state.  Needs the tight-delta configuration (see DESIGN.md) and a
+     few minutes of branch-and-prune. *)
+  let rnn =
+    Rnn.of_weights
+      ~w_input:[| [| 0.48; 0.64 |] |]
+      ~w_recurrent:[| [| 0.2 |] |]
+      ~b_hidden:[| 0.0 |]
+      ~w_output:[| [| 1.25 |] |]
+      ~b_output:[| 0.0 |]
+      ~output_activation:Nn.Linear ~leak:0.2 ()
+  in
+  let sys = Discrete.of_rnn ~dt:0.1 rnn in
+  let config =
+    {
+      (Discrete.default_config ~dim:3) with
+      Discrete.smt =
+        { Solver.default_options with Solver.delta = 1e-5; max_branches = 2_000_000 };
+    }
+  in
+  describe_discrete "leaky RNN (lambda=0.2), 3-D" (Discrete.verify ~config ~rng:(Rng.create 5) sys)
+
+let lyapunov_bench () =
+  Bench_common.hr "Extension: simulation-guided Lyapunov analysis (ref. [11])";
+  let system = Case_study.system_of_network Case_study.reference_controller in
+  let report = Lyapunov.verify ~rng:(Rng.create 9) system in
+  (match report.Lyapunov.outcome with
+  | Lyapunov.Proved cert ->
+    pf "reference controller: STABLE, W = %s@."
+      (Expr.to_string (Template.w_expr cert.Lyapunov.template cert.Lyapunov.coeffs))
+  | Lyapunov.Failed _ -> pf "reference controller: inconclusive@.");
+  pf "  %d iteration(s), LP %.3f s, SMT %.3f s@." report.Lyapunov.iterations
+    report.Lyapunov.lp_time report.Lyapunov.smt_time
+
+let falsify_bench () =
+  Bench_common.hr "Extension: falsification baseline (robustness minimization)";
+  let config = Engine.default_config in
+  pf "%-26s | %10s | %9s | %s@." "controller" "outcome" "rollouts" "robustness";
+  let run name net seed =
+    let system = Case_study.system_of_network net in
+    match
+      Falsify.falsify ~rng:(Rng.create seed) ~field:system.Engine.numeric_field
+        ~x0_rect:config.Engine.x0_rect ~safe_rect:config.Engine.safe_rect ()
+    with
+    | Falsify.Falsified { robustness; _ } ->
+      pf "%-26s | %10s | %9s | %.4f@." name "falsified" "-" robustness
+    | Falsify.Not_falsified { best_robustness; evaluations; _ } ->
+      pf "%-26s | %10s | %9d | %.4f (best)@." name "resisted" evaluations best_robustness
+  in
+  run "verified reference" Case_study.reference_controller 3;
+  let destabilizing =
+    Nn.of_layers ~input_dim:2
+      [
+        {
+          Nn.weights = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |];
+          biases = [| 0.0; 0.0 |];
+          activation = Nn.Tansig;
+        };
+        { Nn.weights = [| [| -0.5; -0.5 |] |]; biases = [| 0.0 |]; activation = Nn.Linear };
+      ]
+  in
+  run "destabilizing (injected)" destabilizing 3
+
+let affine_bench () =
+  Bench_common.hr "A4: enclosure tightness — affine forms vs plain intervals";
+  pf "%-34s | %12s | %12s | %s@." "expression" "interval" "affine" "ratio";
+  let compare_widths name expr box =
+    let iw = Interval.width (Expr.ieval box expr) in
+    let ctx = Affine.context () in
+    let forms = Hashtbl.create 4 in
+    let lookup v =
+      match Hashtbl.find_opt forms v with
+      | Some f -> f
+      | None ->
+        let f = Affine.of_interval ctx (box v) in
+        Hashtbl.add forms v f;
+        f
+    in
+    let aw = Interval.width (Affine.to_interval (Affine.eval_expr ctx lookup expr)) in
+    pf "%-34s | %12.5f | %12.5f | %.2fx@." name iw aw (iw /. aw)
+  in
+  let u = Error_dynamics.symbolic_controller Case_study.reference_controller in
+  let box v =
+    if String.equal v Error_dynamics.var_derr then Interval.make (-1.0) 1.0
+    else Interval.make (-0.2) 0.2
+  in
+  compare_widths "controller output u" u box;
+  (* The Lie-derivative-style expression (the condition-5 body): heavy
+     variable reuse, where correlations pay off. *)
+  let system = Case_study.system_of_network Case_study.reference_controller in
+  let template = Template.make Template.Quadratic system.Engine.vars in
+  let cert = { Engine.template; coeffs = [| 0.6; 1.0; 1.0 |]; level = 0.0 } in
+  let f5 = Engine.condition5_formula system Engine.default_config cert in
+  (match Formula.to_dnf f5 with
+  | conj :: _ ->
+    let lie_atom =
+      List.fold_left
+        (fun best a ->
+          if Expr.size a.Formula.expr > Expr.size best.Formula.expr then a else best)
+        (List.hd conj) conj
+    in
+    compare_widths "decrease condition body" lie_atom.Formula.expr box
+  | [] -> ());
+  let diff = Expr.( - ) u u in
+  compare_widths "u - u (pure dependency test)" diff box
+
+let benchmark_systems_bench () =
+  Bench_common.hr "Extension: benchmark system suite (engine generality)";
+  pf "%-24s | %-12s | %s@." "system" "expectation" "outcome";
+  List.iter
+    (fun b ->
+      let r = Benchmark_systems.run b in
+      let outcome =
+        match r.Engine.outcome with
+        | Engine.Proved c -> Printf.sprintf "proved, level %.4f (%.2f s)" c.Engine.level r.Engine.stats.Engine.total_time
+        | Engine.Failed _ -> Printf.sprintf "no certificate (%.2f s)" r.Engine.stats.Engine.total_time
+      in
+      let expect =
+        match b.Benchmark_systems.expectation with
+        | Benchmark_systems.Should_prove -> "should prove"
+        | Benchmark_systems.Should_fail -> "should fail"
+      in
+      pf "%-24s | %-12s | %s@." b.Benchmark_systems.name expect outcome)
+    Benchmark_systems.all
+
+let run () =
+  discrete_bench ();
+  benchmark_systems_bench ();
+  lyapunov_bench ();
+  falsify_bench ();
+  affine_bench ()

@@ -1,0 +1,43 @@
+(* Figure 4 of the paper: evolution of the NN controller during CMA-ES
+   policy search on the piecewise-linear training path.  Prints the target
+   path and the vehicle's actual path at iterations 0, 5, 25 and at the end
+   of training (the paper's four panels), plus the cost history. *)
+
+let print_polyline name pts =
+  Format.printf "@.# %s (%d points): x y@." name (Array.length pts);
+  Array.iteri
+    (fun i (x, y) -> if i mod 2 = 0 then Format.printf "%.3f %.3f@." x y)
+    pts
+
+let run ~seed ~population ~iterations =
+  Bench_common.hr "Figure 4: controller evolution during CMA-ES policy search";
+  let path = Path.paper_training_path in
+  let rng = Rng.create seed in
+  let result =
+    Training.train ~hidden:10 ~population ~iterations ~snapshot_at:[ 0; 5; 25 ] ~rng path
+  in
+  print_polyline "target path" (Path.waypoints path);
+  List.iter
+    (fun s ->
+      print_polyline
+        (Printf.sprintf "actual path at iteration %d (cost %.1f)" s.Training.iteration
+           s.Training.best_cost)
+        s.Training.actual_path)
+    result.Training.snapshots;
+  Format.printf "@.# cost history: iteration best_cost@.";
+  List.iter (fun (i, c) -> Format.printf "%d %.1f@." i c) result.Training.history;
+  Format.printf "@.final cost: %.1f@." result.Training.final_cost;
+  (* Shape check: tracking error at the last snapshot should be far below
+     the random-initialization snapshot. *)
+  let end_dist snapshot =
+    let xe, ye = Path.end_point path in
+    let n = Array.length snapshot.Training.actual_path in
+    let x, y = snapshot.Training.actual_path.(n - 1) in
+    Float.hypot (x -. xe) (y -. ye)
+  in
+  match (result.Training.snapshots, List.rev result.Training.snapshots) with
+  | first :: _, last :: _ ->
+    Format.printf
+      "end-point distance: iteration %d -> %.1f; iteration %d -> %.1f@."
+      first.Training.iteration (end_dist first) last.Training.iteration (end_dist last)
+  | _ -> ()

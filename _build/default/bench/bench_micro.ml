@@ -1,0 +1,124 @@
+(* Bechamel micro-benchmarks of the substrate operations that dominate the
+   pipeline: NN forward passes, interval evaluation of exported networks,
+   one HC4 revision, one LP solve, one RK4 rollout. *)
+
+open Bechamel
+open Toolkit
+
+let nn_forward_test width =
+  let net = Bench_common.controller_for width in
+  let input = [| 1.3; -0.4 |] in
+  Test.make
+    ~name:(Printf.sprintf "nn_forward_%d" width)
+    (Staged.stage (fun () -> ignore (Nn.eval1 net input)))
+
+let interval_eval_test width =
+  let net = Bench_common.controller_for width in
+  let expr = Error_dynamics.symbolic_controller net in
+  let box v =
+    if String.equal v Error_dynamics.var_derr then Interval.make (-5.0) 5.0
+    else Interval.make (-1.5) 1.5
+  in
+  Test.make
+    ~name:(Printf.sprintf "interval_eval_nn_%d" width)
+    (Staged.stage (fun () -> ignore (Expr.ieval box expr)))
+
+let hc4_revise_test width =
+  let net = Bench_common.controller_for width in
+  let system = Case_study.system_of_network net in
+  let config = Engine.default_config in
+  let template = Template.make Template.Quadratic system.Engine.vars in
+  let cert = { Engine.template; coeffs = [| 0.6; 1.0; 1.0 |]; level = 0.0 } in
+  let formula = Engine.condition5_formula system config cert in
+  (* Pick the Lie-derivative atom (the biggest expression), not one of the
+     small box-membership atoms. *)
+  let atom =
+    match Formula.to_dnf formula with
+    | conj :: _ ->
+      List.fold_left
+        (fun best a ->
+          if Expr.size a.Formula.expr > Expr.size best.Formula.expr then a else best)
+        (List.hd conj) conj
+    | [] -> assert false
+  in
+  let index_of v = if String.equal v Error_dynamics.var_derr then 0 else 1 in
+  let compiled = Hc4.compile ~index_of atom in
+  Test.make
+    ~name:(Printf.sprintf "hc4_revise_%d" width)
+    (Staged.stage (fun () ->
+         let domains = [| Interval.make (-5.0) 5.0; Interval.make (-1.5) 1.5 |] in
+         try ignore (Hc4.revise domains compiled) with Hc4.Empty_box -> ()))
+
+let lp_solve_test () =
+  (* A fixed mid-size synthesis-shaped LP. *)
+  let rng = Rng.create 3 in
+  let rows =
+    List.init 200 (fun _ ->
+        let d = Rng.uniform rng (-5.0) 5.0 and th = Rng.uniform rng (-1.5) 1.5 in
+        let r = (d *. d) +. (th *. th) in
+        {
+          Lp.coeffs = [| d *. d; d *. th; th *. th; -.r |];
+          relation = Lp.Ge;
+          rhs = 0.0;
+        })
+  in
+  let problem =
+    {
+      Lp.objective = [| 0.0; 0.0; 0.0; -1.0 |];
+      constraints = rows;
+      bounds = [| (-1.0, 1.0); (-1.0, 1.0); (-1.0, 1.0); (-1.0, 1.0) |];
+    }
+  in
+  Test.make ~name:"lp_solve_200_rows" (Staged.stage (fun () -> ignore (Lp.minimize problem)))
+
+let rk4_trace_test () =
+  let net = Case_study.reference_controller in
+  let field = Error_dynamics.field_of_network Error_dynamics.default_config net in
+  Test.make ~name:"rk4_trace_100_steps"
+    (Staged.stage (fun () ->
+         ignore (Ode.simulate field ~t0:0.0 ~x0:[| 3.0; 0.5 |] ~dt:0.05 ~steps:100)))
+
+let run () =
+  Bench_common.hr "Micro-benchmarks (Bechamel, monotonic clock)";
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [
+        nn_forward_test 10;
+        nn_forward_test 100;
+        nn_forward_test 1000;
+        interval_eval_test 10;
+        interval_eval_test 100;
+        hc4_revise_test 10;
+        hc4_revise_test 100;
+        lp_solve_test ();
+        rk4_trace_test ();
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Format.printf "%-28s | %14s@." "benchmark" "time per run";
+  Format.printf "%s@." (String.make 46 '-');
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Format.printf "%-28s | %14s@." name pretty)
+    rows

@@ -1,0 +1,52 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (see DESIGN.md §4 for the experiment index):
+
+     table1   Table 1   timing vs hidden-layer width
+     fig4     Figure 4  CMA-ES training evolution
+     fig5     Figure 5  phase portrait + barrier level set
+     ablate   A1-A3     design-choice ablations
+     ext      —         extensions: discrete time, Lyapunov, falsifier, A4
+     micro    —         Bechamel micro-benchmarks of the substrates
+
+   Usage: main.exe [table1|fig4|fig5|ablate|ext|micro|all] [--seeds N]
+   Default (no argument): all, with --seeds 3. *)
+
+let parse_args () =
+  let which = ref "all" and seeds = ref 3 in
+  let rec go = function
+    | [] -> ()
+    | "--seeds" :: n :: rest ->
+      seeds := int_of_string n;
+      go rest
+    | arg :: rest ->
+      which := arg;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!which, !seeds)
+
+let () =
+  let which, seeds = parse_args () in
+  let table1 () = Bench_table1.run ~seeds in
+  let fig4 () = Bench_fig4.run ~seed:42 ~population:15 ~iterations:50 in
+  let fig5 () = Bench_fig5.run ~seed:7 in
+  let ablate () = Bench_ablate.run () in
+  let ext () = Bench_ext.run () in
+  let micro () = Bench_micro.run () in
+  match which with
+  | "table1" -> table1 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "ablate" -> ablate ()
+  | "ext" -> ext ()
+  | "micro" -> micro ()
+  | "all" ->
+    table1 ();
+    fig4 ();
+    fig5 ();
+    ablate ();
+    ext ();
+    micro ()
+  | other ->
+    Format.eprintf "unknown bench %s (expected table1|fig4|fig5|ablate|ext|micro|all)@." other;
+    exit 1

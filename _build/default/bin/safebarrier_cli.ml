@@ -1,0 +1,328 @@
+(* Command-line interface for the safebarrier toolkit.
+
+   Subcommands:
+     verify    run the full barrier-certificate pipeline on a controller
+     train     CMA-ES policy search for a path-following controller
+     sweep     Table-1 style scaling sweep over hidden-layer widths
+     portrait  Figure-5 style phase-portrait data *)
+
+open Cmdliner
+
+let reason_string = function
+  | Engine.Lp_failed s -> "LP failed: " ^ s
+  | Engine.Cex_budget_exhausted -> "counterexample budget exhausted"
+  | Engine.Level_range_empty -> "no level separates X0 from U"
+  | Engine.Level_budget_exhausted -> "level-set search budget exhausted"
+  | Engine.Solver_inconclusive s -> "SMT solver inconclusive on " ^ s
+
+let load_controller network width =
+  match network with
+  | Some path -> Nn.load path
+  | None ->
+    if width = 2 then Case_study.reference_controller
+    else Case_study.controller_of_width width
+
+let print_report report =
+  let st = report.Engine.stats in
+  (match report.Engine.outcome with
+  | Engine.Proved cert ->
+    Format.printf "RESULT: SAFE (barrier certificate found)@.";
+    Format.printf "  W(x)  = %s@."
+      (Expr.to_string (Template.w_expr cert.Engine.template cert.Engine.coeffs));
+    Format.printf "  level = %.6f   (barrier B(x) = W(x) - level)@." cert.Engine.level
+  | Engine.Failed reason -> Format.printf "RESULT: INCONCLUSIVE — %s@." (reason_string reason));
+  Format.printf
+    "  iterations: %d candidate, %d level   counterexamples: %d@."
+    st.Engine.candidate_iterations st.Engine.level_iterations
+    (List.length report.Engine.counterexamples);
+  Format.printf
+    "  timing: LP %.3fs (%d calls)  SMT(5) %.3fs (%d calls, %d branches)  SMT(6,7) %.3fs  sim %.3fs  total %.3fs@."
+    st.Engine.lp_time st.Engine.lp_calls st.Engine.smt5_time st.Engine.smt5_calls
+    st.Engine.smt5_branches st.Engine.smt67_time st.Engine.sim_time st.Engine.total_time
+
+(* --- verify ---------------------------------------------------------- *)
+
+let width_arg =
+  let doc = "Hidden-layer width of the built-in (widened reference) controller." in
+  Arg.(value & opt int 10 & info [ "width"; "w" ] ~docv:"N" ~doc)
+
+let network_arg =
+  let doc = "Load the controller from a network file instead of the built-in one." in
+  Arg.(value & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (seed simulations, sampling)." in
+  Arg.(value & opt int 7 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let lie_arg =
+  let doc = "Use exact Lie-derivative LP rows instead of finite differences." in
+  Arg.(value & flag & info [ "lie" ] ~doc)
+
+let linear_template_arg =
+  let doc = "Add linear terms to the quadratic generator template." in
+  Arg.(value & flag & info [ "linear-terms" ] ~doc)
+
+let gamma_arg =
+  let doc = "Slack of the decrease condition (paper: 1e-6)." in
+  Arg.(value & opt float 1e-6 & info [ "gamma" ] ~docv:"G" ~doc)
+
+let verify_cmd =
+  let run width network seed lie linear_terms gamma =
+    let net = load_controller network width in
+    let system = Case_study.system_of_network net in
+    let base = Engine.default_config in
+    let config =
+      {
+        base with
+        Engine.gamma;
+        synthesis =
+          {
+            base.Engine.synthesis with
+            Synthesis.mode =
+              (if lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
+          };
+        template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
+      }
+    in
+    let report = Engine.verify ~config ~rng:(Rng.create seed) system in
+    print_report report
+  in
+  let doc = "Verify safety of an NN-controlled Dubins car via a barrier certificate." in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg)
+
+(* --- train ----------------------------------------------------------- *)
+
+let train_cmd =
+  let hidden =
+    Arg.(value & opt int 10 & info [ "hidden" ] ~docv:"N" ~doc:"Hidden-layer width.")
+  in
+  let population =
+    Arg.(value & opt int 24 & info [ "population" ] ~docv:"N" ~doc:"CMA-ES population size.")
+  in
+  let iterations =
+    Arg.(value & opt int 200 & info [ "iterations" ] ~docv:"N" ~doc:"CMA-ES iterations per phase.")
+  in
+  let out =
+    Arg.(value & opt string "controller.nn" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let robustify =
+    Arg.(
+      value & flag
+      & info [ "robustify" ]
+          ~doc:
+            "Add a second training phase with perturbed starts covering the domain of interest \
+             (recommended before verification).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run hidden population iterations out robustify seed =
+    let rng = Rng.create seed in
+    let path = Path.paper_training_path in
+    Format.printf "phase 1: tracking the training path...@.";
+    let r1 = Training.train ~hidden ~population ~iterations ~sigma:0.6 ~rng path in
+    Format.printf "  cost %.1f@." r1.Training.final_cost;
+    let final =
+      if robustify then begin
+        Format.printf "phase 2: robustifying from perturbed starts...@.";
+        let perturbed =
+          [ (4.0, 0.0); (-4.0, 0.0); (4.0, 1.3); (-4.0, -1.3); (-4.0, 1.3); (4.0, -1.3);
+            (0.0, 1.4); (0.0, -1.4) ]
+        in
+        let r2 =
+          Training.train ~hidden ~population ~iterations ~sigma:0.2 ~perturbed
+            ~perturbed_steps:200 ~initial:r1.Training.network ~rng path
+        in
+        Format.printf "  cost %.1f@." r2.Training.final_cost;
+        r2.Training.network
+      end
+      else r1.Training.network
+    in
+    Nn.save final out;
+    Format.printf "saved controller to %s@." out
+  in
+  let doc = "Train an NN path-following controller by CMA-ES policy search." in
+  Cmd.v
+    (Cmd.info "train" ~doc)
+    Term.(const run $ hidden $ population $ iterations $ out $ robustify $ seed)
+
+(* --- sweep ----------------------------------------------------------- *)
+
+let sweep_cmd =
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per width (paper: 30).")
+  in
+  let run seeds =
+    Format.printf "%6s | %9s | %8s | %9s | %8s@." "Nh" "avg iters" "LP(s)" "Query(s)" "Total(s)";
+    List.iter
+      (fun width ->
+        let totals = ref (0.0, 0.0, 0.0, 0.0) in
+        for i = 1 to seeds do
+          let system = Case_study.system_of_network (Case_study.controller_of_width width) in
+          let report = Engine.verify ~rng:(Rng.create (1000 + i)) system in
+          let st = report.Engine.stats in
+          let a, b, c, d = !totals in
+          totals :=
+            ( a +. float_of_int st.Engine.candidate_iterations,
+              b +. (st.Engine.lp_time /. float_of_int (max 1 st.Engine.lp_calls)),
+              c +. (st.Engine.smt5_time /. float_of_int (max 1 st.Engine.smt5_calls)),
+              d +. st.Engine.total_time )
+        done;
+        let n = float_of_int seeds in
+        let a, b, c, d = !totals in
+        Format.printf "%6d | %9.1f | %8.3f | %9.3f | %8.3f@." width (a /. n) (b /. n) (c /. n)
+          (d /. n))
+      [ 10; 20; 40; 50; 70; 80; 90; 100; 300; 500; 700; 1000 ]
+  in
+  let doc = "Scaling sweep over hidden-layer widths (Table 1)." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ seeds)
+
+(* --- portrait -------------------------------------------------------- *)
+
+let portrait_cmd =
+  let run network width seed =
+    let net = load_controller network width in
+    let system = Case_study.system_of_network net in
+    let config = Engine.default_config in
+    let report = Engine.verify ~config ~rng:(Rng.create seed) system in
+    (match report.Engine.outcome with
+    | Engine.Proved cert ->
+      let p = Template.p_matrix cert.Engine.template cert.Engine.coeffs in
+      Format.printf "# ellipse W(x) = %.6f@." cert.Engine.level;
+      Array.iter
+        (fun (x, y) -> Format.printf "%.5f %.5f@." x y)
+        (Levelset.boundary_points ~p ~level:cert.Engine.level ~n:90)
+    | Engine.Failed reason -> Format.printf "# verification failed: %s@." (reason_string reason));
+    List.iteri
+      (fun k tr ->
+        if k < 10 then begin
+          Format.printf "@.# trajectory %d@." k;
+          Array.iter (fun s -> Format.printf "%.5f %.5f@." s.(0) s.(1)) tr.Ode.states
+        end)
+      report.Engine.traces
+  in
+  let doc = "Phase-portrait data: trajectories and barrier level set (Figure 5)." in
+  Cmd.v (Cmd.info "portrait" ~doc) Term.(const run $ network_arg $ width_arg $ seed_arg)
+
+(* --- falsify ----------------------------------------------------------- *)
+
+let falsify_cmd =
+  let budget =
+    Arg.(value & opt int 300 & info [ "budget" ] ~docv:"N" ~doc:"Simulation budget.")
+  in
+  let run network width seed budget =
+    let net = load_controller network width in
+    let system = Case_study.system_of_network net in
+    let config = Engine.default_config in
+    let options = { Falsify.default_options with Falsify.budget } in
+    match
+      Falsify.falsify ~options ~rng:(Rng.create seed) ~field:system.Engine.numeric_field
+        ~x0_rect:config.Engine.x0_rect ~safe_rect:config.Engine.safe_rect ()
+    with
+    | Falsify.Falsified { x0; robustness; trace } ->
+      Format.printf "UNSAFE: from (%.4f, %.4f) the trajectory leaves the safe set@." x0.(0)
+        x0.(1);
+      Format.printf "  robustness %.4f after %d samples@." robustness (Ode.trace_length trace)
+    | Falsify.Not_falsified { best_robustness; evaluations; best_x0 } ->
+      Format.printf
+        "no violation found in %d rollouts (closest approach %.4f from (%.4f, %.4f))@."
+        evaluations best_robustness best_x0.(0) best_x0.(1)
+  in
+  let doc = "Search for an unsafe trajectory (robustness-minimizing falsification)." in
+  Cmd.v (Cmd.info "falsify" ~doc) Term.(const run $ network_arg $ width_arg $ seed_arg $ budget)
+
+(* --- lyapunov ---------------------------------------------------------- *)
+
+let lyapunov_cmd =
+  let run network width seed =
+    let net = load_controller network width in
+    let system = Case_study.system_of_network net in
+    let report = Lyapunov.verify ~rng:(Rng.create seed) system in
+    (match report.Lyapunov.outcome with
+    | Lyapunov.Proved cert ->
+      Format.printf "STABLE: Lyapunov-like generator W(x) = %s@."
+        (Expr.to_string (Template.w_expr cert.Lyapunov.template cert.Lyapunov.coeffs))
+    | Lyapunov.Failed reason ->
+      let msg =
+        match reason with
+        | Lyapunov.Lp_failed s -> "LP failed: " ^ s
+        | Lyapunov.Cex_budget_exhausted -> "counterexample budget exhausted"
+        | Lyapunov.Solver_inconclusive s -> "solver inconclusive on " ^ s
+      in
+      Format.printf "INCONCLUSIVE: %s@." msg);
+    Format.printf "  %d iteration(s), LP %.3fs, SMT %.3fs, total %.3fs@."
+      report.Lyapunov.iterations report.Lyapunov.lp_time report.Lyapunov.smt_time
+      report.Lyapunov.total_time
+  in
+  let doc = "Prove practical stability via simulation-guided Lyapunov analysis." in
+  Cmd.v (Cmd.info "lyapunov" ~doc) Term.(const run $ network_arg $ width_arg $ seed_arg)
+
+(* --- smt2 -------------------------------------------------------------- *)
+
+let smt2_cmd =
+  let dir =
+    Arg.(value & opt string "queries" & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run network width seed dir =
+    let net = load_controller network width in
+    let system = Case_study.system_of_network net in
+    let report = Engine.verify ~rng:(Rng.create seed) system in
+    match report.Engine.outcome with
+    | Engine.Failed reason ->
+      Format.printf "verification failed (%s); no certificate to export@."
+        (reason_string reason)
+    | Engine.Proved cert ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let files = Engine.dump_smt2 system cert ~dir in
+      Format.printf "wrote %d dReal-compatible queries (expected answer: unsat):@."
+        (List.length files);
+      List.iter (Format.printf "  %s@.") files
+  in
+  let doc = "Verify, then export the certificate's SMT queries as .smt2 files." in
+  Cmd.v (Cmd.info "smt2" ~doc) Term.(const run $ network_arg $ width_arg $ seed_arg $ dir)
+
+(* --- plan -------------------------------------------------------------- *)
+
+let plan_cmd =
+  let pose_conv kind =
+    Arg.(
+      value
+      & opt (t3 float float float) (if kind = `Start then (0.0, 0.0, 0.0) else (10.0, 10.0, 0.0))
+      & info
+          [ (match kind with `Start -> "from" | `Goal -> "to") ]
+          ~docv:"X,Y,THETA"
+          ~doc:(match kind with `Start -> "Start pose." | `Goal -> "Goal pose."))
+  in
+  let radius =
+    Arg.(value & opt float 2.0 & info [ "radius"; "r" ] ~docv:"R" ~doc:"Minimum turn radius.")
+  in
+  let run (sx, sy, st) (gx, gy, gt) radius =
+    let start = { Dubins_car.x = sx; y = sy; theta = st } in
+    let goal = { Dubins_car.x = gx; y = gy; theta = gt } in
+    let plan = Dubins_path.shortest ~radius start goal in
+    Format.printf "# %s path, length %.4f@." (Dubins_path.word_name plan.Dubins_path.word)
+      plan.Dubins_path.length;
+    Array.iter
+      (fun p -> Format.printf "%.4f %.4f %.4f@." p.Dubins_car.x p.Dubins_car.y p.Dubins_car.theta)
+      (Dubins_path.sample ~ds:(radius /. 10.0) plan)
+  in
+  let doc = "Plan a shortest Dubins path between two poses (prints sampled poses)." in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ pose_conv `Start $ pose_conv `Goal $ radius)
+
+let () =
+  let doc = "Barrier-certificate safety verification for NN-controlled CPS (DAC'18 reproduction)." in
+  let info = Cmd.info "safebarrier" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            verify_cmd;
+            train_cmd;
+            sweep_cmd;
+            portrait_cmd;
+            falsify_cmd;
+            lyapunov_cmd;
+            smt2_cmd;
+            plan_cmd;
+          ]))

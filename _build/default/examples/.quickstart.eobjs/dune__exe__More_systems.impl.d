@@ -1,0 +1,1 @@
+examples/more_systems.ml: Benchmark_systems Engine Expr Format List String Template

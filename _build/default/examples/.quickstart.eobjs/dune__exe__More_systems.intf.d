@@ -1,0 +1,1 @@
+examples/more_systems.mli:

@@ -1,0 +1,1 @@
+examples/phase_portrait.ml: Array Case_study Engine Format Levelset List Ode Rng Template

@@ -1,0 +1,1 @@
+examples/plan_and_follow.ml: Array Case_study Dubins_car Dubins_path Engine Float Format Ode Path Rng

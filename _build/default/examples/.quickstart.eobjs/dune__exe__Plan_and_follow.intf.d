@@ -1,0 +1,1 @@
+examples/plan_and_follow.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Case_study Engine Expr Float Format Nn Rng Template

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Case_study Engine Error_dynamics Expr Format List Rng String

@@ -1,0 +1,1 @@
+examples/stateful_controllers.ml: Array Case_study Discrete Format List Nn Ode Rng Rnn Solver

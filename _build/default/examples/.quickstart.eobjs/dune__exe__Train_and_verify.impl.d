@@ -1,0 +1,1 @@
+examples/train_and_verify.ml: Array Case_study Dubins_car Engine Expr Float Format List Path Rng Template Training

@@ -1,0 +1,1 @@
+examples/verify_vs_falsify.ml: Array Case_study Engine Falsify Format Nn Rng

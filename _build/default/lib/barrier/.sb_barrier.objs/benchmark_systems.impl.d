@@ -1,0 +1,1 @@
+lib/barrier/benchmark_systems.ml: Array Engine Expr Rng

@@ -1,0 +1,1 @@
+lib/barrier/benchmark_systems.mli: Engine

@@ -1,0 +1,1 @@
+lib/barrier/case_study.ml: Array Engine Error_dynamics Mat Nn Rng Vec

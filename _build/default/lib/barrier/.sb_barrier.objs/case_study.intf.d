@@ -1,0 +1,1 @@
+lib/barrier/case_study.mli: Engine Error_dynamics Expr Nn

@@ -1,0 +1,1 @@
+lib/barrier/discrete.ml: Array Error_dynamics Expr Float Formula Level_search Levelset List Lu Nn Ode Printf Rng Rnn Solver Synthesis Template Timing Vec

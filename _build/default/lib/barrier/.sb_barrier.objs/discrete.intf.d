@@ -1,0 +1,1 @@
+lib/barrier/discrete.mli: Error_dynamics Expr Formula Nn Ode Rng Rnn Solver Synthesis Template Vec

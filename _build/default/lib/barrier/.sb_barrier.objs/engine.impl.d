@@ -1,0 +1,1 @@
+lib/barrier/engine.ml: Array Expr Filename Float Formula Fun Level_search Levelset List Ode Printf Rng Solver Synthesis Template Timing Vec

@@ -1,0 +1,1 @@
+lib/barrier/engine.mli: Expr Formula Ode Rng Solver Synthesis Template

@@ -1,0 +1,1 @@
+lib/barrier/level_search.ml: Array Expr Float Formula Levelset List Lu Result Solver Template Timing Vec

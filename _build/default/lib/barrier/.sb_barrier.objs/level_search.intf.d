@@ -1,0 +1,1 @@
+lib/barrier/level_search.mli: Formula Mat Result Solver Template Vec

@@ -1,0 +1,1 @@
+lib/barrier/levelset.ml: Array Cholesky Eig Float Fun List Lu Mat Vec

@@ -1,0 +1,1 @@
+lib/barrier/levelset.mli: Mat

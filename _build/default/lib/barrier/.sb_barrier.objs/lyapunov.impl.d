@@ -1,0 +1,1 @@
+lib/barrier/lyapunov.ml: Array Engine Expr Float Formula List Ode Printf Rng Solver Synthesis Template Timing Vec

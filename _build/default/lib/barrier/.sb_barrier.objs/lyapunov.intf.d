@@ -1,0 +1,1 @@
+lib/barrier/lyapunov.mli: Engine Formula Rng Solver Synthesis Template

@@ -1,0 +1,1 @@
+lib/barrier/synthesis.ml: Array Float List Lp Ode Template Vec

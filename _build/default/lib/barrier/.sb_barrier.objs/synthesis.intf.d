@@ -1,0 +1,1 @@
+lib/barrier/synthesis.mli: Ode Template

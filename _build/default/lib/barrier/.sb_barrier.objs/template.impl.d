@@ -1,0 +1,1 @@
+lib/barrier/template.ml: Array Expr List Mat

@@ -1,0 +1,1 @@
+lib/barrier/template.mli: Expr Mat

@@ -1,0 +1,121 @@
+type expectation = Should_prove | Should_fail
+
+type benchmark = {
+  name : string;
+  description : string;
+  system : Engine.system;
+  config : Engine.config;
+  expectation : expectation;
+}
+
+(* Build an Engine.system from closed-form dynamics given once symbolically;
+   the numeric field evaluates the same expressions (so the "deployed
+   implementation equals the verified model" assumption holds by
+   construction). *)
+let system_of_exprs vars exprs =
+  let compiled = Array.map (fun e -> e) exprs in
+  let numeric_field _t x =
+    let env = Array.to_list (Array.mapi (fun i v -> (v, x.(i))) vars) in
+    Array.map (fun e -> Expr.eval_env env e) compiled
+  in
+  { Engine.vars; numeric_field; symbolic_field = exprs }
+
+let config_of ~x0 ~safe =
+  {
+    Engine.default_config with
+    Engine.x0_rect = x0;
+    safe_rect = safe;
+    n_seed = 30;
+    sim_dt = 0.05;
+    sim_steps = 400;
+  }
+
+let theta = Expr.var "theta"
+
+let omega = Expr.var "omega"
+
+let pendulum_field ~torque =
+  [|
+    omega;
+    Expr.( + )
+      (Expr.( - ) (Expr.neg (Expr.sin theta)) (Expr.( * ) (Expr.const 0.5) omega))
+      torque;
+  |]
+
+let damped_pendulum =
+  let torque =
+    Expr.( - )
+      (Expr.neg (Expr.( * ) (Expr.const 0.8) (Expr.tanh theta)))
+      (Expr.( * ) (Expr.const 0.4) (Expr.tanh omega))
+  in
+  {
+    name = "damped-pendulum";
+    description = "pendulum with tanh torque feedback, stays near the hanging point";
+    system = system_of_exprs [| "theta"; "omega" |] (pendulum_field ~torque);
+    config = config_of ~x0:[| (-0.3, 0.3); (-0.3, 0.3) |] ~safe:[| (-2.5, 2.5); (-3.0, 3.0) |];
+    expectation = Should_prove;
+  }
+
+let undamped_pendulum =
+  (* Remove both the damping and the torque: conserved energy, orbits. *)
+  let field = [| omega; Expr.neg (Expr.sin theta) |] in
+  {
+    name = "undamped-pendulum";
+    description = "frictionless pendulum: energy conserved, no decreasing W exists";
+    system = system_of_exprs [| "theta"; "omega" |] field;
+    config = config_of ~x0:[| (-0.3, 0.3); (-0.3, 0.3) |] ~safe:[| (-2.5, 2.5); (-3.0, 3.0) |];
+    expectation = Should_fail;
+  }
+
+let x = Expr.var "x"
+
+let y = Expr.var "y"
+
+let linear_stable =
+  let field =
+    [|
+      Expr.( + ) (Expr.neg x) (Expr.( * ) (Expr.const 0.5) y);
+      Expr.( - ) (Expr.( * ) (Expr.const (-0.3)) x) (Expr.( * ) (Expr.const 2.0) y);
+    |]
+  in
+  {
+    name = "linear-stable";
+    description = "Hurwitz linear system, the engine's easiest case";
+    system = system_of_exprs [| "x"; "y" |] field;
+    config = config_of ~x0:[| (-0.5, 0.5); (-0.5, 0.5) |] ~safe:[| (-3.0, 3.0); (-3.0, 3.0) |];
+    expectation = Should_prove;
+  }
+
+let linear_saddle =
+  let field = [| x; Expr.neg y |] in
+  {
+    name = "linear-saddle";
+    description = "saddle point: trajectories escape along x";
+    system = system_of_exprs [| "x"; "y" |] field;
+    config = config_of ~x0:[| (-0.5, 0.5); (-0.5, 0.5) |] ~safe:[| (-3.0, 3.0); (-3.0, 3.0) |];
+    expectation = Should_fail;
+  }
+
+let van_der_pol_reversed =
+  let field =
+    [|
+      Expr.neg y;
+      Expr.( + ) x
+        (Expr.( * )
+           (Expr.( - ) (Expr.( * ) x x) (Expr.const 1.0))
+           y);
+    |]
+  in
+  {
+    name = "van-der-pol-reversed";
+    description = "time-reversed Van der Pol: stable origin inside the reversed limit cycle";
+    system = system_of_exprs [| "x"; "y" |] field;
+    config = config_of ~x0:[| (-0.25, 0.25); (-0.25, 0.25) |] ~safe:[| (-0.9, 0.9); (-0.9, 0.9) |];
+    expectation = Should_prove;
+  }
+
+let all =
+  [ damped_pendulum; undamped_pendulum; linear_stable; linear_saddle; van_der_pol_reversed ]
+
+let run ?(rng_seed = 7) bench =
+  Engine.verify ~config:bench.config ~rng:(Rng.create rng_seed) bench.system

@@ -1,0 +1,49 @@
+(** A small library of additional closed-loop systems for the barrier
+    engine, beyond the paper's Dubins case study.  Each benchmark bundles
+    the system (numeric + symbolic), the verification sets, and the
+    expected outcome — used by tests as engine regressions and by
+    downstream users as templates for their own plants.
+
+    All controllers here are smooth saturating laws (tanh), matching the
+    class the paper's method targets. *)
+
+type expectation =
+  | Should_prove  (** the closed loop admits a quadratic barrier *)
+  | Should_fail  (** unsafe or not certifiable with this template *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  system : Engine.system;
+  config : Engine.config;
+  expectation : expectation;
+}
+
+val damped_pendulum : benchmark
+(** Pendulum with a tanh torque controller:
+    [θ̇ = ω, ω̇ = −sin θ − 0.5·ω + u], [u = −0.8·tanh(θ) − 0.4·tanh(ω)];
+    X0 around the hanging equilibrium, unsafe beyond |θ| = 2.5. *)
+
+val undamped_pendulum : benchmark
+(** Same plant with zero torque: energy is conserved, trajectories orbit,
+    and no strictly decreasing W exists — the engine must fail. *)
+
+val linear_stable : benchmark
+(** [ẋ = −x + 0.5·y, ẏ = −0.3·x − 2·y]: a textbook Hurwitz system;
+    barrier synthesis must succeed in one iteration. *)
+
+val linear_saddle : benchmark
+(** [ẋ = x, ẏ = −y]: a saddle — trajectories escape along x and the
+    verifier must refuse. *)
+
+val van_der_pol_reversed : benchmark
+(** Time-reversed Van der Pol oscillator
+    [ẋ = −y, ẏ = x + (x² − 1)·y]: the origin is asymptotically stable with
+    basin bounded by the (unstable, reversed) limit cycle; sets are chosen
+    well inside the basin (the decrease margin shrinks to zero as the safe
+    rectangle approaches the basin boundary). *)
+
+val all : benchmark list
+
+val run : ?rng_seed:int -> benchmark -> Engine.report
+(** Verify one benchmark with its bundled configuration. *)

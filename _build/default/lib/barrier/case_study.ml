@@ -1,0 +1,90 @@
+let vars = [| Error_dynamics.var_derr; Error_dynamics.var_theta_err |]
+
+let system_of_network ?(dynamics = Error_dynamics.default_config) net =
+  let u_expr = Error_dynamics.symbolic_controller net in
+  {
+    Engine.vars;
+    numeric_field = Error_dynamics.field_of_network dynamics net;
+    symbolic_field = Error_dynamics.symbolic_field dynamics ~u:u_expr;
+  }
+
+let system_of_controller ?(dynamics = Error_dynamics.default_config) ~controller u_expr =
+  {
+    Engine.vars;
+    numeric_field = Error_dynamics.field dynamics ~controller;
+    symbolic_field = Error_dynamics.symbolic_field dynamics ~u:u_expr;
+  }
+
+(* u = 0.6·tanh(0.8·derr) + 0.8·tanh(1.0·θerr): linearization
+   θ̈err + 0.8·θ̇err + 0.48·θerr = 0 about the origin (V = 1), so the closed
+   loop is locally exponentially stable, and saturation keeps |u| < 1.4
+   globally.  Output layer is Linear so the sum is exact. *)
+let reference_controller =
+  let hidden =
+    {
+      Nn.weights = [| [| 0.8; 0.0 |]; [| 0.0; 1.0 |] |];
+      biases = [| 0.0; 0.0 |];
+      activation = Nn.Tansig;
+    }
+  in
+  let output =
+    { Nn.weights = [| [| 0.6; 0.8 |] |]; biases = [| 0.0 |]; activation = Nn.Linear }
+  in
+  Nn.of_layers ~input_dim:2 [ hidden; output ]
+
+let widen_controller net ~factor =
+  if factor < 1 then invalid_arg "Case_study.widen_controller: factor must be >= 1";
+  match net.Nn.layers with
+  | [ hidden; output ] ->
+    let nh = Mat.rows hidden.Nn.weights in
+    let wide_hidden =
+      {
+        hidden with
+        Nn.weights =
+          Mat.init (nh * factor) (Mat.cols hidden.Nn.weights) (fun i j ->
+              hidden.Nn.weights.(i / factor).(j));
+        biases = Vec.init (nh * factor) (fun i -> hidden.Nn.biases.(i / factor));
+      }
+    in
+    let wide_output =
+      {
+        output with
+        Nn.weights =
+          Mat.init (Mat.rows output.Nn.weights) (nh * factor) (fun i j ->
+              output.Nn.weights.(i).(j / factor) /. float_of_int factor);
+      }
+    in
+    Nn.of_layers ~input_dim:net.Nn.input_dim [ wide_hidden; wide_output ]
+  | _ -> invalid_arg "Case_study.widen_controller: single-hidden-layer networks only"
+
+let controller_of_width ?(rng_seed = 1) width =
+  let base_width = 2 in
+  if width < base_width || width mod base_width <> 0 then
+    invalid_arg "Case_study.controller_of_width: width must be a positive multiple of 2";
+  let net = widen_controller reference_controller ~factor:(width / base_width) in
+  (* Deterministically permute hidden neurons so the expression tree is not
+     trivially ordered (harmless to the function: sums commute). *)
+  match net.Nn.layers with
+  | [ hidden; output ] ->
+    let rng = Rng.create rng_seed in
+    let perm = Array.init width (fun i -> i) in
+    Rng.shuffle rng perm;
+    let hidden' =
+      {
+        hidden with
+        Nn.weights =
+          Mat.init width (Mat.cols hidden.Nn.weights) (fun i j ->
+              hidden.Nn.weights.(perm.(i)).(j));
+        biases = Vec.init width (fun i -> hidden.Nn.biases.(perm.(i)));
+      }
+    in
+    let output' =
+      {
+        output with
+        Nn.weights =
+          Mat.init (Mat.rows output.Nn.weights) width (fun i j ->
+              output.Nn.weights.(i).(perm.(j)));
+      }
+    in
+    Nn.of_layers ~input_dim:net.Nn.input_dim [ hidden'; output' ]
+  | _ -> assert false

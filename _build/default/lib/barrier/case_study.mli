@@ -1,0 +1,36 @@
+(** The paper's case study, assembled: NN-controlled Dubins-car error
+    dynamics as an {!Engine.system}, plus controllers for tests and the
+    Table-1 scaling sweep. *)
+
+val system_of_network : ?dynamics:Error_dynamics.config -> Nn.t -> Engine.system
+(** Closed-loop system [ẋ = f_p(x, h(x))] over [derr, θ_err] with the
+    paper-form symbolic dynamics. *)
+
+val system_of_controller :
+  ?dynamics:Error_dynamics.config ->
+  controller:(float -> float -> float) ->
+  Expr.t ->
+  Engine.system
+(** Same, for a hand-written controller given both numerically and
+    symbolically. *)
+
+val reference_controller : Nn.t
+(** A fixed, hand-crafted stabilizing controller — two tansig hidden
+    neurons computing [u = a·tanh(b·derr) + c·tanh(d·θ_err)] — used for
+    deterministic tests and as the base of the scaling sweep.  It
+    stabilizes the error dynamics for [V = 1]. *)
+
+val widen_controller : Nn.t -> factor:int -> Nn.t
+(** Function-preserving widening: each hidden neuron is replicated [factor]
+    times with its outgoing weights divided by [factor].  The closed-loop
+    behaviour is bit-for-bit unchanged up to floating-point association,
+    while the verification problem grows with the network — this is how the
+    Table-1 sweep scales the controller to 1000 neurons without retraining
+    (the paper trains each width; the verification workload, which is what
+    Table 1 measures, is preserved).  Requires a single-hidden-layer
+    network whose output weights divide exactly. *)
+
+val controller_of_width : ?rng_seed:int -> int -> Nn.t
+(** Controller with the given hidden width for the scaling sweep: the
+    reference controller widened to [width] (width must be a positive
+    multiple of 2), with deterministically shuffled hidden-neuron order. *)

@@ -1,0 +1,403 @@
+type system = {
+  vars : string array;
+  map_numeric : Vec.t -> Vec.t;
+  delta_symbolic : Expr.t array;
+}
+
+type config = {
+  x0_rect : (float * float) array;
+  safe_rect : (float * float) array;
+  unsafe_rect : (float * float) array;
+  gamma : float;
+  n_seed : int;
+  n_probes : int;
+  horizon : int;
+  synthesis : Synthesis.options;
+  template_kind : Template.kind;
+  max_candidate_iters : int;
+  max_level_iters : int;
+  smt : Solver.options;
+}
+
+let default_config ~dim =
+  if dim < 2 then invalid_arg "Discrete.default_config: need at least two state variables";
+  let eps = 0.05 in
+  let half_pi = Float.pi /. 2.0 in
+  (* The hidden-state slice of X0 must have positive width: with a point
+     slice {0}, D \ X0 contains states arbitrarily close to the
+     equilibrium where the one-step decrease falls below gamma, making
+     condition (5) false for every W.  Any superset of the true initial
+     set is sound for a barrier, so we take [-0.2, 0.2]. *)
+  let x0_rect =
+    Array.init dim (fun i ->
+        if i = 0 then (-1.0, 1.0)
+        else if i = 1 then (-.Float.pi /. 16.0, Float.pi /. 16.0)
+        else (-0.2, 0.2))
+  in
+  let safe_rect =
+    Array.init dim (fun i ->
+        if i = 0 then (-5.0, 5.0)
+        else if i = 1 then (-.(half_pi -. eps), half_pi -. eps)
+        else (-1.0, 1.0))
+  in
+  (* The unsafe set constrains the plant errors only: a controller's
+     internal state cannot itself be "unsafe", and it stays in [-1, 1] by
+     the tanh/leak invariant, so the barrier level set need not avoid
+     |h| >= 1. *)
+  let unsafe_rect =
+    Array.init dim (fun i ->
+        if i = 0 then (-5.0, 5.0)
+        else if i = 1 then (-.(half_pi -. eps), half_pi -. eps)
+        else (neg_infinity, infinity))
+  in
+  {
+    x0_rect;
+    safe_rect;
+    unsafe_rect;
+    gamma = 1e-6;
+    n_seed = 30;
+    n_probes = 150;
+    horizon = 150;
+    (* Multi-step (subsampled) decrease rows are implied by the one-step
+       condition, so they are sound LP constraints; exactness at
+       counterexamples comes from the injected two-point orbits. *)
+    synthesis =
+      { Synthesis.default_options with Synthesis.mode = Synthesis.Finite_difference; subsample = 4 };
+    template_kind = Template.Quadratic;
+    max_candidate_iters = 20;
+    max_level_iters = 30;
+    smt = Solver.default_options;
+  }
+
+type certificate = { template : Template.t; coeffs : float array; level : float }
+
+type failure_reason =
+  | Lp_failed of string
+  | Cex_budget_exhausted
+  | Level_range_empty
+  | Level_budget_exhausted
+  | Solver_inconclusive of string
+
+type outcome = Proved of certificate | Failed of failure_reason
+
+type report = {
+  outcome : outcome;
+  candidate_iterations : int;
+  level_iterations : int;
+  counterexamples : float array list;
+  lp_time : float;
+  smt_time : float;
+  total_time : float;
+}
+
+let rect_bounds vars rect =
+  Array.to_list (Array.mapi (fun i v -> (v, fst rect.(i), snd rect.(i))) vars)
+
+let condition5_formula system config template coeffs =
+  (* W(F(x)) - W(x) in the per-monomial factored form (tight interval
+     evaluation; see Template.basis_delta_exprs). *)
+  let deltas = Template.basis_delta_exprs template ~delta:system.delta_symbolic in
+  let w_step =
+    Expr.sum
+      (Array.to_list (Array.mapi (fun k d -> Expr.( * ) (Expr.const coeffs.(k)) d) deltas))
+  in
+  Formula.and_
+    [
+      Formula.outside_rect (rect_bounds system.vars config.x0_rect);
+      Formula.ge w_step (Expr.const (-.config.gamma));
+    ]
+
+let in_rect rect x =
+  let ok = ref true in
+  Array.iteri (fun i (lo, hi) -> if x.(i) < lo || x.(i) > hi then ok := false) rect;
+  !ok
+
+let iterate system config x0 =
+  let rec go k x acc =
+    if k > config.horizon || Vec.norm2 x < 1e-6 || not (in_rect config.safe_rect x) then
+      List.rev acc
+    else go (k + 1) (system.map_numeric x) ((float_of_int k, x) :: acc)
+  in
+  let samples = go 0 x0 [] in
+  match samples with
+  | [] -> { Ode.times = [| 0.0 |]; states = [| x0 |] }
+  | _ ->
+    {
+      Ode.times = Array.of_list (List.map fst samples);
+      states = Array.of_list (List.map snd samples);
+    }
+
+(* The decrease rows need exact discrete semantics: force finite-difference
+   mode with no subsampling (a decrease row is then exactly
+   W(x_{k+1}) - W(x_k) <= -m rho, the discrete condition). *)
+let force_discrete_options options x0_rect safe_rect =
+  {
+    options with
+    Synthesis.mode = Synthesis.Finite_difference;
+    exclude_rect =
+      (match options.Synthesis.exclude_rect with
+      | Some _ as e -> e
+      | None -> Some x0_rect);
+    separation_rects =
+      (match options.Synthesis.separation_rects with
+      | Some _ as s -> s
+      | None -> Some (x0_rect, safe_rect));
+  }
+
+let sample_initial_states ~rng config n =
+  let dim = Array.length config.safe_rect in
+  let rec draw acc k guard =
+    if k = 0 || guard > 100 * n then List.rev acc
+    else begin
+      let x =
+        Array.init dim (fun i ->
+            let lo, hi = config.safe_rect.(i) in
+            Rng.uniform rng lo hi)
+      in
+      if in_rect config.x0_rect x then draw acc k (guard + 1)
+      else draw (x :: acc) (k - 1) (guard + 1)
+    end
+  in
+  draw [] n 0
+
+let verify ?config ~rng system =
+  let config =
+    match config with Some c -> c | None -> default_config ~dim:(Array.length system.vars)
+  in
+  let t_start = Timing.now () in
+  let synthesis_options = force_discrete_options config.synthesis config.x0_rect config.unsafe_rect in
+  let template = Template.make config.template_kind system.vars in
+  let seeds = sample_initial_states ~rng config config.n_seed in
+  let traces = ref (List.map (iterate system config) seeds) in
+  let shape_cuts = ref [] in
+  (* One-step probe orbits scattered over D: long orbits cluster around the
+     attractor, leaving the LP blind to off-manifold states (e.g. hidden
+     states inconsistent with the plant errors) exactly where the SMT check
+     then fails.  Probes give the LP one-step decrease information
+     everywhere. *)
+  let probes = sample_initial_states ~rng config config.n_probes in
+  let cut_traces =
+    ref
+      (List.map
+         (fun x ->
+           { Ode.times = [| 0.0; 1.0 |]; states = [| x; system.map_numeric x |] })
+         probes)
+  in
+  let cexs = ref [] in
+  let lp_time = ref 0.0 and smt_time = ref 0.0 in
+  let candidate_iterations = ref 0 in
+  let field _t x = system.map_numeric x in
+  let rec attempt iter =
+    if iter > config.max_candidate_iters then Error Cex_budget_exhausted
+    else begin
+      incr candidate_iterations;
+      let outcome, dt =
+        Timing.time (fun () ->
+            (* CEX points are injected as exact two-point orbits rather than
+               Lie cuts (the FD row of x_star and F(x_star) is the exact discrete
+               decrease constraint at x_star). *)
+            Synthesis.synthesize ~options:synthesis_options ~exact_traces:!cut_traces
+              ~shape_cuts:!shape_cuts ~template ~field !traces)
+      in
+      lp_time := !lp_time +. dt;
+      match outcome with
+      | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
+      | Synthesis.Margin_too_small m ->
+        Error (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+      | Synthesis.Candidate { coeffs; _ } -> (
+        let formula = condition5_formula system config template coeffs in
+        let bounds = rect_bounds system.vars config.safe_rect in
+        let w = Template.w_eval template coeffs in
+        (* A delta-sat witness can be spurious when the certificate's true
+           margin at the witness is below the solver's delta; check the
+           exact condition at the point and, if it does not actually
+           violate, re-solve with a tighter delta (dReal's recommended
+           usage).  Only genuinely violating witnesses become cuts. *)
+        let genuinely_violates x =
+          w (system.map_numeric x) -. w x >= -.config.gamma
+        in
+        let rec decide options refinements =
+          let (verdict, _), dt =
+            Timing.time (fun () -> Solver.solve ~options ~bounds formula)
+          in
+          smt_time := !smt_time +. dt;
+          match verdict with
+          | Solver.Unsat -> `Unsat
+          | Solver.Unknown -> `Unknown
+          | Solver.Delta_sat witness ->
+            let x_star =
+              Array.map
+                (fun v -> match List.assoc_opt v witness with Some x -> x | None -> 0.0)
+                system.vars
+            in
+            if genuinely_violates x_star then `Cex x_star
+            else if refinements >= 4 then `Near_cex x_star
+            else
+              decide { options with Solver.delta = options.Solver.delta /. 100.0 }
+                (refinements + 1)
+        in
+        let continue_with x_star =
+          cexs := x_star :: !cexs;
+          let cut_trace =
+            {
+              Ode.times = [| 0.0; 1.0 |];
+              states = [| x_star; system.map_numeric x_star |];
+            }
+          in
+          cut_traces := cut_trace :: !cut_traces;
+          traces := iterate system config x_star :: !traces;
+          attempt (iter + 1)
+        in
+        let repeated x =
+          match !cexs with prev :: _ -> Vec.dist2 prev x < 1e-9 | [] -> false
+        in
+        match decide config.smt 0 with
+        | `Unsat -> Ok coeffs
+        | `Unknown -> Error (Solver_inconclusive "condition (5)")
+        | `Near_cex x_star ->
+          if repeated x_star then
+            Error (Solver_inconclusive "condition (5): margin at solver resolution")
+          else continue_with x_star
+        | `Cex x_star ->
+          if repeated x_star then
+            Error (Solver_inconclusive "condition (5): counterexample cut ineffective")
+          else continue_with x_star)
+    end
+  in
+  let level_iterations = ref 0 in
+  (* Shape-refinement outer loop: when level-set selection fails because
+     the candidate's sublevel ellipsoids cannot separate X0 from U, cut the
+     LP at the exact blocking geometry — the worst X0 vertex paired with
+     the tangency point on the tightest unsafe face — and resynthesize. *)
+  let blocking_cut coeffs =
+    let p = Template.p_matrix template coeffs in
+    let w x = Template.w_eval template coeffs x in
+    let worst_vertex =
+      List.fold_left
+        (fun best v -> match best with Some b when w b >= w v -> best | _ -> Some v)
+        None
+        (Levelset.rect_vertices config.x0_rect)
+    in
+    match (worst_vertex, Lu.inverse p) with
+    | None, _ -> None
+    | Some vertex, p_inv ->
+      let best_face = ref None in
+      Array.iteri
+        (fun i (lo, hi) ->
+          List.iter
+            (fun b ->
+              if Float.is_finite b && Float.abs b > 0.0 then begin
+                let q = b *. b /. p_inv.(i).(i) in
+                match !best_face with
+                | Some (q', _, _) when q' <= q -> ()
+                | _ -> !best_face |> ignore; best_face := Some (q, i, b)
+              end)
+            [ hi; lo ])
+        config.unsafe_rect;
+      (match !best_face with
+      | None -> None
+      | Some (_, dim, value) ->
+        let tangency = Levelset.face_tangency ~p ~dim ~value in
+        Some (tangency, vertex))
+    | exception Lu.Singular -> None
+  in
+  let rec outer round =
+    if round > config.max_level_iters then Failed Level_budget_exhausted
+    else begin
+      match attempt 1 with
+      | Error reason -> Failed reason
+      | Ok coeffs -> (
+        let spec =
+          {
+            Level_search.vars = system.vars;
+            x0_rect = config.x0_rect;
+            safe_rect = config.safe_rect;
+            unsafe_rect = config.unsafe_rect;
+            smt = config.smt;
+            max_iters = config.max_level_iters;
+          }
+        in
+        let result = Level_search.search spec template coeffs in
+        smt_time := !smt_time +. result.Level_search.smt_time;
+        level_iterations := !level_iterations + result.Level_search.iterations;
+        match result.Level_search.level with
+        | Ok level -> Proved { template; coeffs; level }
+        | Error Level_search.Range_empty -> (
+          match blocking_cut coeffs with
+          | Some cut ->
+            shape_cuts := cut :: !shape_cuts;
+            outer (round + 1)
+          | None -> Failed Level_range_empty)
+        | Error Level_search.Budget_exhausted -> Failed Level_budget_exhausted
+        | Error (Level_search.Inconclusive what) -> Failed (Solver_inconclusive what))
+    end
+  in
+  let outcome = outer 1 in
+  {
+    outcome;
+    candidate_iterations = !candidate_iterations;
+    level_iterations = !level_iterations;
+    counterexamples = !cexs;
+    lp_time = !lp_time;
+    smt_time = !smt_time;
+    total_time = Timing.now () -. t_start;
+  }
+
+(* --- Case-study closed loops ------------------------------------------ *)
+
+let plant_step ?(dynamics = Error_dynamics.default_config) ~dt derr theta_err u =
+  let ddot =
+    (-.dynamics.Error_dynamics.v
+     *. Float.sin (dynamics.Error_dynamics.theta_r -. theta_err)
+     *. Float.cos dynamics.Error_dynamics.theta_r)
+    +. (dynamics.Error_dynamics.v
+        *. Float.cos (dynamics.Error_dynamics.theta_r -. theta_err)
+        *. Float.sin dynamics.Error_dynamics.theta_r)
+  in
+  (derr +. (dt *. ddot), theta_err -. (dt *. u))
+
+(* Symbolic per-step increments of the Euler-discretized plant:
+   delta_derr = dt * ddot(theta_err), delta_theta = -dt * u. *)
+let plant_delta_exprs ?(dynamics = Error_dynamics.default_config) ~dt u =
+  let ddot = (Error_dynamics.symbolic_field dynamics ~u).(0) in
+  let open Expr in
+  (const dt * ddot, neg (const dt * u))
+
+let of_network ?(dynamics = Error_dynamics.default_config) ~dt net =
+  if Nn.output_dim net <> 1 || net.Nn.input_dim <> 2 then
+    invalid_arg "Discrete.of_network: controller must be 2-in 1-out";
+  let vars = [| Error_dynamics.var_derr; Error_dynamics.var_theta_err |] in
+  let map_numeric x =
+    let u = Nn.eval1 net [| x.(0); x.(1) |] in
+    let d', th' = plant_step ~dynamics ~dt x.(0) x.(1) u in
+    [| d'; th' |]
+  in
+  let u_expr = Error_dynamics.symbolic_controller net in
+  let d_delta, th_delta = plant_delta_exprs ~dynamics ~dt u_expr in
+  { vars; map_numeric; delta_symbolic = [| d_delta; th_delta |] }
+
+let hidden_var i = Printf.sprintf "h%d" i
+
+let of_rnn ?(dynamics = Error_dynamics.default_config) ~dt rnn =
+  if Rnn.inputs rnn <> 2 || Rnn.outputs rnn <> 1 then
+    invalid_arg "Discrete.of_rnn: controller must be 2-in 1-out";
+  let k = Rnn.hidden rnn in
+  let vars =
+    Array.append
+      [| Error_dynamics.var_derr; Error_dynamics.var_theta_err |]
+      (Array.init k hidden_var)
+  in
+  let map_numeric x =
+    let state = Array.sub x 2 k in
+    let state', out = Rnn.step rnn ~state ~input:[| x.(0); x.(1) |] in
+    let d', th' = plant_step ~dynamics ~dt x.(0) x.(1) out.(0) in
+    Array.append [| d'; th' |] state'
+  in
+  let sym_state = Array.init k (fun i -> Expr.var (hidden_var i)) in
+  let sym_input =
+    [| Expr.var Error_dynamics.var_derr; Expr.var Error_dynamics.var_theta_err |]
+  in
+  let state', out = Rnn.step_exprs rnn ~state:sym_state ~input:sym_input in
+  let d_delta, th_delta = plant_delta_exprs ~dynamics ~dt out.(0) in
+  let state_delta = Array.mapi (fun i s' -> Expr.( - ) s' sym_state.(i)) state' in
+  { vars; map_numeric; delta_symbolic = Array.append [| d_delta; th_delta |] state_delta }

@@ -1,0 +1,377 @@
+type system = {
+  vars : string array;
+  numeric_field : Ode.field;
+  symbolic_field : Expr.t array;
+}
+
+type config = {
+  x0_rect : (float * float) array;
+  safe_rect : (float * float) array;
+  gamma : float;
+  n_seed : int;
+  sim_dt : float;
+  sim_steps : int;
+  synthesis : Synthesis.options;
+  template_kind : Template.kind;
+  max_candidate_iters : int;
+  max_level_iters : int;
+  smt : Solver.options;
+}
+
+let default_config =
+  let eps = 0.05 in
+  let half_pi = Float.pi /. 2.0 in
+  {
+    x0_rect = [| (-1.0, 1.0); (-.Float.pi /. 16.0, Float.pi /. 16.0) |];
+    safe_rect = [| (-5.0, 5.0); (-.(half_pi -. eps), half_pi -. eps) |];
+    gamma = 1e-6;
+    n_seed = 20;
+    sim_dt = 0.05;
+    sim_steps = 400;
+    (* Subsample trace points so the dense-simplex LP stays a few thousand
+       rows even with long traces and CEX refinements. *)
+    synthesis = { Synthesis.default_options with Synthesis.subsample = 10 };
+    (* x0_rect samples are excluded from the LP by [verify] below. *)
+    template_kind = Template.Quadratic;
+    max_candidate_iters = 20;
+    max_level_iters = 30;
+    smt = Solver.default_options;
+  }
+
+type certificate = { template : Template.t; coeffs : float array; level : float }
+
+let barrier_expr cert =
+  Expr.( - ) (Template.w_expr cert.template cert.coeffs) (Expr.const cert.level)
+
+type stats = {
+  candidate_iterations : int;
+  level_iterations : int;
+  lp_time : float;
+  lp_calls : int;
+  smt5_time : float;
+  smt5_calls : int;
+  smt5_branches : int;
+  smt67_time : float;
+  sim_time : float;
+  total_time : float;
+  lp_rows : int;
+}
+
+type failure_reason =
+  | Lp_failed of string
+  | Cex_budget_exhausted
+  | Level_range_empty
+  | Level_budget_exhausted
+  | Solver_inconclusive of string
+
+type outcome = Proved of certificate | Failed of failure_reason
+
+type report = {
+  outcome : outcome;
+  stats : stats;
+  traces : Ode.trace list;
+  counterexamples : float array list;
+}
+
+let rect_bounds vars rect =
+  Array.to_list (Array.mapi (fun i v -> (v, fst rect.(i), snd rect.(i))) vars)
+
+(* The Lie derivative ∇W·f as a symbolic expression. *)
+let lie_derivative_expr system cert =
+  let grads = Template.grad_exprs cert.template cert.coeffs in
+  Expr.sum
+    (Array.to_list (Array.mapi (fun i g -> Expr.( * ) g system.symbolic_field.(i)) grads))
+
+let condition5_formula system config cert =
+  let lie = lie_derivative_expr system cert in
+  Formula.and_
+    [
+      Formula.outside_rect (rect_bounds system.vars config.x0_rect);
+      Formula.ge lie (Expr.const (-.config.gamma));
+    ]
+
+let condition6_formula cert =
+  Formula.gt (Template.w_expr cert.template cert.coeffs) (Expr.const cert.level)
+
+let condition7_formula config cert =
+  ignore config;
+  Formula.le (Template.w_expr cert.template cert.coeffs) (Expr.const cert.level)
+
+let in_rect rect x =
+  let ok = ref true in
+  Array.iteri
+    (fun i (lo, hi) -> if x.(i) < lo || x.(i) > hi then ok := false)
+    rect;
+  !ok
+
+let sample_initial_states ~rng config n =
+  let dim = Array.length config.safe_rect in
+  let rec draw acc k guard =
+    if k = 0 || guard > 100 * n then List.rev acc
+    else begin
+      let x = Array.init dim (fun i ->
+          let lo, hi = config.safe_rect.(i) in
+          Rng.uniform rng lo hi)
+      in
+      if in_rect config.x0_rect x then draw acc k (guard + 1)
+      else draw (x :: acc) (k - 1) (guard + 1)
+    end
+  in
+  draw [] n 0
+
+(* Simulate one trace; stop once the state converges to the equilibrium or
+   leaves the safe rectangle.  Samples outside the safe rectangle are
+   dropped: condition (5) is only checked inside it, so constraining W
+   there would needlessly over-constrain (or kill) the LP. *)
+let simulate_trace config system x0 =
+  let stop _t x = Vec.norm2 x < 1e-4 || not (in_rect config.safe_rect x) in
+  let tr =
+    Ode.simulate_until ~stop system.numeric_field ~t0:0.0 ~x0
+      ~dt:config.sim_dt
+      ~t_end:(config.sim_dt *. float_of_int config.sim_steps)
+  in
+  let keep =
+    Array.to_list (Array.mapi (fun i x -> (tr.Ode.times.(i), x)) tr.Ode.states)
+    |> List.filter (fun (_, x) -> in_rect config.safe_rect x)
+  in
+  match keep with
+  | [] -> { Ode.times = [| 0.0 |]; states = [| x0 |] }
+  | _ ->
+    {
+      Ode.times = Array.of_list (List.map fst keep);
+      states = Array.of_list (List.map snd keep);
+    }
+
+(* Mutable accumulators for the pipeline's timing breakdown. *)
+type accounting = {
+  mutable lp_time : float;
+  mutable lp_calls : int;
+  mutable lp_rows : int;
+  mutable smt5_time : float;
+  mutable smt5_calls : int;
+  mutable smt5_branches : int;
+  mutable smt67_time : float;
+  mutable sim_time : float;
+  mutable candidate_iterations : int;
+  mutable level_iterations : int;
+}
+
+let fresh_accounting () =
+  {
+    lp_time = 0.0;
+    lp_calls = 0;
+    lp_rows = 0;
+    smt5_time = 0.0;
+    smt5_calls = 0;
+    smt5_branches = 0;
+    smt67_time = 0.0;
+    sim_time = 0.0;
+    candidate_iterations = 0;
+    level_iterations = 0;
+  }
+
+let witness_to_state vars witness =
+  Array.map
+    (fun v ->
+      match List.assoc_opt v witness with
+      | Some x -> x
+      | None -> 0.0)
+    vars
+
+(* Phase 1 (Fig. 1 upper loop): LP candidate + condition (5) with CEX
+   refinement.  Returns the accepted coefficients or a failure. *)
+let find_generator config system acc template traces_ref cexs_ref =
+  let rec attempt iter =
+    if iter > config.max_candidate_iters then Error Cex_budget_exhausted
+    else begin
+      acc.candidate_iterations <- acc.candidate_iterations + 1;
+      let outcome, lp_dt =
+        Timing.time (fun () ->
+            Synthesis.synthesize ~options:config.synthesis ~cex_points:!cexs_ref
+              ~template ~field:system.numeric_field !traces_ref)
+      in
+      acc.lp_time <- acc.lp_time +. lp_dt;
+      acc.lp_calls <- acc.lp_calls + 1;
+      acc.lp_rows <-
+        Synthesis.count_rows ~options:config.synthesis ~template !traces_ref;
+      match outcome with
+      | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
+      | Synthesis.Margin_too_small m ->
+        Error (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+      | Synthesis.Candidate { coeffs; _ } ->
+        let cert = { template; coeffs; level = 0.0 } in
+        let formula = condition5_formula system config cert in
+        let bounds = rect_bounds system.vars config.safe_rect in
+        (* A delta-sat witness is spurious when the certificate's true
+           margin at the point is below the solver's delta; check the
+           exact Lie derivative at the witness and refine delta rather
+           than adding a useless cut (dReal's recommended usage). *)
+        let genuinely_violates x =
+          let f = system.numeric_field 0.0 x in
+          let basis = Template.basis_lie template x f in
+          let lie = ref 0.0 in
+          Array.iteri (fun k b -> lie := !lie +. (coeffs.(k) *. b)) basis;
+          !lie >= -.config.gamma
+        in
+        let rec decide options refinements =
+          let (verdict, st), smt_dt =
+            Timing.time (fun () -> Solver.solve ~options ~bounds formula)
+          in
+          acc.smt5_time <- acc.smt5_time +. smt_dt;
+          acc.smt5_calls <- acc.smt5_calls + 1;
+          acc.smt5_branches <- acc.smt5_branches + st.Solver.branches;
+          match verdict with
+          | Solver.Unsat -> `Unsat
+          | Solver.Unknown -> `Unknown
+          | Solver.Delta_sat witness ->
+            let x_star = witness_to_state system.vars witness in
+            if genuinely_violates x_star then `Cex x_star
+            else if refinements >= 4 then
+              (* Not refutable at the finest delta but not a genuine
+                 violation either: the candidate's margin at x_star is
+                 within solver resolution of -gamma.  Use it as a
+                 tightening cut (CEGIS on near-violations), unless the
+                 same point keeps recurring. *)
+              `Near_cex x_star
+            else
+              decide
+                { options with Solver.delta = options.Solver.delta /. 100.0 }
+                (refinements + 1)
+        in
+        let continue_with x_star =
+          cexs_ref := x_star :: !cexs_ref;
+          let trace, sim_dt = Timing.time (fun () -> simulate_trace config system x_star) in
+          acc.sim_time <- acc.sim_time +. sim_dt;
+          traces_ref := trace :: !traces_ref;
+          attempt (iter + 1)
+        in
+        let repeated x =
+          match !cexs_ref with
+          | prev :: _ -> Vec.dist2 prev x < 1e-9
+          | [] -> false
+        in
+        (match decide config.smt 0 with
+        | `Unsat -> Ok coeffs
+        | `Unknown -> Error (Solver_inconclusive "condition (5)")
+        | `Near_cex x_star ->
+          if repeated x_star then
+            Error (Solver_inconclusive "condition (5): margin at solver resolution")
+          else continue_with x_star
+        | `Cex x_star ->
+          if repeated x_star then
+            Error (Solver_inconclusive "condition (5): counterexample cut ineffective")
+          else continue_with x_star)
+    end
+  in
+  attempt 1
+
+(* Phase 2 (Fig. 1 lower loop) is shared with the discrete-time engine. *)
+let find_level config system acc template coeffs =
+  let spec =
+    {
+      Level_search.vars = system.vars;
+      x0_rect = config.x0_rect;
+      safe_rect = config.safe_rect;
+      unsafe_rect = config.safe_rect;
+      smt = config.smt;
+      max_iters = config.max_level_iters;
+    }
+  in
+  let result = Level_search.search spec template coeffs in
+  acc.smt67_time <- acc.smt67_time +. result.Level_search.smt_time;
+  acc.level_iterations <- acc.level_iterations + result.Level_search.iterations;
+  match result.Level_search.level with
+  | Ok level -> Ok level
+  | Error Level_search.Range_empty -> Error Level_range_empty
+  | Error Level_search.Budget_exhausted -> Error Level_budget_exhausted
+  | Error (Level_search.Inconclusive what) -> Error (Solver_inconclusive what)
+
+let verify ?(config = default_config) ~rng system =
+  (* The LP constrains W only where condition (5) is checked: D \ X0. *)
+  let config =
+    let synthesis =
+      {
+        config.synthesis with
+        Synthesis.exclude_rect =
+          (match config.synthesis.Synthesis.exclude_rect with
+          | Some _ as e -> e
+          | None -> Some config.x0_rect);
+        separation_rects =
+          (match config.synthesis.Synthesis.separation_rects with
+          | Some _ as s -> s
+          | None -> Some (config.x0_rect, config.safe_rect));
+      }
+    in
+    { config with synthesis }
+  in
+  let t_start = Timing.now () in
+  let acc = fresh_accounting () in
+  let template = Template.make config.template_kind system.vars in
+  let seeds = sample_initial_states ~rng config config.n_seed in
+  let traces, seed_sim_dt =
+    Timing.time (fun () -> List.map (simulate_trace config system) seeds)
+  in
+  acc.sim_time <- acc.sim_time +. seed_sim_dt;
+  let traces_ref = ref traces and cexs_ref = ref [] in
+  let outcome =
+    match find_generator config system acc template traces_ref cexs_ref with
+    | Error reason -> Failed reason
+    | Ok coeffs -> (
+      match find_level config system acc template coeffs with
+      | Error reason -> Failed reason
+      | Ok level -> Proved { template; coeffs; level })
+  in
+  let total_time = Timing.now () -. t_start in
+  {
+    outcome;
+    stats =
+      {
+        candidate_iterations = acc.candidate_iterations;
+        level_iterations = acc.level_iterations;
+        lp_time = acc.lp_time;
+        lp_calls = acc.lp_calls;
+        smt5_time = acc.smt5_time;
+        smt5_calls = acc.smt5_calls;
+        smt5_branches = acc.smt5_branches;
+        smt67_time = acc.smt67_time;
+        sim_time = acc.sim_time;
+        total_time;
+        lp_rows = acc.lp_rows;
+      };
+    traces = !traces_ref;
+    counterexamples = !cexs_ref;
+  }
+
+let dump_smt2 ?(config = default_config) system cert ~dir =
+  let vars = Template.vars cert.template in
+  let write name bounds formula =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Formula.to_smtlib_script ~bounds formula));
+    path
+  in
+  let p5 =
+    write "condition5.smt2"
+      (rect_bounds system.vars config.safe_rect)
+      (condition5_formula system config cert)
+  in
+  let p6 = write "condition6.smt2" (rect_bounds vars config.x0_rect) (condition6_formula cert) in
+  let p = Template.p_matrix cert.template cert.coeffs in
+  let center = Level_search.ellipsoid_center cert.template cert.coeffs p in
+  let w_center = Template.w_eval cert.template cert.coeffs center in
+  let bbox =
+    Levelset.ellipsoid_bounding_box ~p ~level:(Float.max (cert.level -. w_center) 0.0 +. 1e-9)
+  in
+  let query_rect =
+    Array.mapi
+      (fun i (lo_i, hi_i) -> (center.(i) +. (1.01 *. lo_i) -. 1e-6, center.(i) +. (1.01 *. hi_i) +. 1e-6))
+      bbox
+  in
+  let formula7 =
+    Formula.and_
+      [ condition7_formula config cert; Formula.outside_rect (rect_bounds vars config.safe_rect) ]
+  in
+  let p7 = write "condition7.smt2" (rect_bounds vars query_rect) formula7 in
+  [ p5; p6; p7 ]

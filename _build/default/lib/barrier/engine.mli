@@ -1,0 +1,100 @@
+(** The full verification procedure of the paper's Figure 1.
+
+    Pipeline: seed simulations → LP candidate → SMT check of the decrease
+    condition (5) with counterexample refinement → analytic level-set
+    range → SMT checks of the containment/separation conditions (6), (7)
+    with binary-search refinement → certificate.
+
+    The engine is generic over the system: any autonomous vector field given
+    both numerically (for simulation) and symbolically (for SMT).  The
+    Dubins case study instantiates it via {!Case_study}. *)
+
+type system = {
+  vars : string array;  (** state variable names, fixing coordinate order *)
+  numeric_field : Ode.field;
+  symbolic_field : Expr.t array;  (** [f], one expression per variable *)
+}
+
+type config = {
+  x0_rect : (float * float) array;  (** initial set, per variable *)
+  safe_rect : (float * float) array;
+      (** complement of the unsafe set [U]; the domain of interest is
+          [D = safe_rect \ x0_rect] *)
+  gamma : float;  (** slack of condition (5), paper value 1e-6 *)
+  n_seed : int;  (** number of seed simulations, default 20 *)
+  sim_dt : float;
+  sim_steps : int;
+  synthesis : Synthesis.options;
+  template_kind : Template.kind;
+  max_candidate_iters : int;  (** outer CEX-refinement loop bound *)
+  max_level_iters : int;  (** binary-search bound for ℓ *)
+  smt : Solver.options;
+}
+
+val default_config : config
+(** The paper's case-study sets: [X0 = [−1,1] × [−π/16, π/16]],
+    [safe_rect = [−5,5] × [−(π/2−ε), π/2−ε]] with [ε = 0.05],
+    [γ = 1e−6]. *)
+
+type certificate = {
+  template : Template.t;
+  coeffs : float array;
+  level : float;  (** the barrier is [B(x) = W(x) − level] *)
+}
+
+val barrier_expr : certificate -> Expr.t
+(** [B(x) = W(x) − ℓ] as an expression. *)
+
+type stats = {
+  candidate_iterations : int;  (** LP + condition-(5) rounds *)
+  level_iterations : int;  (** level binary-search rounds *)
+  lp_time : float;  (** total seconds in LP solves *)
+  lp_calls : int;
+  smt5_time : float;  (** total seconds deciding condition (5) *)
+  smt5_calls : int;
+  smt5_branches : int;  (** branch-and-prune boxes over all (5) queries *)
+  smt67_time : float;  (** total seconds deciding conditions (6)/(7) *)
+  sim_time : float;  (** trace generation *)
+  total_time : float;
+  lp_rows : int;  (** rows in the last LP *)
+}
+
+type failure_reason =
+  | Lp_failed of string  (** infeasible LP or vanishing margin *)
+  | Cex_budget_exhausted  (** condition (5) kept producing counterexamples *)
+  | Level_range_empty  (** X0 cannot be separated from U by any level *)
+  | Level_budget_exhausted
+  | Solver_inconclusive of string  (** an SMT query returned Unknown *)
+
+type outcome = Proved of certificate | Failed of failure_reason
+
+type report = {
+  outcome : outcome;
+  stats : stats;
+  traces : Ode.trace list;  (** all traces used (seeds + CEX refinements) *)
+  counterexamples : float array list;  (** CEX states from condition (5) *)
+}
+
+val condition5_formula : system -> config -> certificate -> Formula.t
+(** [∃x ∈ D \ X0 : ∇W·f(x) ≥ −γ] — UNSAT certifies the decrease
+    condition.  Exposed for tests and ablations. *)
+
+val condition6_formula : certificate -> Formula.t
+(** [∃x ∈ X0 : W(x) − ℓ > 0] (bounds supplied separately). *)
+
+val condition7_formula : config -> certificate -> Formula.t
+(** [∃x : W(x) ≤ ℓ ∧ x ∈ U]. *)
+
+val sample_initial_states : rng:Rng.t -> config -> int -> float array list
+(** Uniform samples from [safe_rect \ x0_rect] (the paper samples seeds
+    from the domain of interest [D]). *)
+
+val verify : ?config:config -> rng:Rng.t -> system -> report
+(** Run the full procedure. *)
+
+val dump_smt2 : ?config:config -> system -> certificate -> dir:string -> string list
+(** Write the three verification queries for the given certificate as
+    SMT-LIB 2 scripts ([condition5.smt2], [condition6.smt2],
+    [condition7.smt2]) in [dir], for cross-checking with an external
+    δ-SAT solver such as dReal (the paper's backend).  The expected
+    answer to every query is [unsat].  Returns the written paths. *)

@@ -1,0 +1,113 @@
+type spec = {
+  vars : string array;
+  x0_rect : (float * float) array;
+  safe_rect : (float * float) array;
+  unsafe_rect : (float * float) array;
+  smt : Solver.options;
+  max_iters : int;
+}
+
+type failure = Range_empty | Budget_exhausted | Inconclusive of string
+
+type result = {
+  level : (float, failure) Result.t;
+  iterations : int;
+  smt_time : float;
+}
+
+let rect_bounds vars rect =
+  Array.to_list (Array.mapi (fun i v -> (v, fst rect.(i), snd rect.(i))) vars)
+
+let condition6 template coeffs level =
+  Formula.gt (Template.w_expr template coeffs) (Expr.const level)
+
+(* Only finitely-bounded dimensions of the unsafe rectangle generate
+   membership atoms. *)
+let outside_unsafe spec =
+  let dims =
+    Array.to_list spec.vars
+    |> List.mapi (fun i v -> (v, fst spec.unsafe_rect.(i), snd spec.unsafe_rect.(i)))
+    |> List.filter (fun (_, lo, hi) -> Float.is_finite lo || Float.is_finite hi)
+    |> List.map (fun (v, lo, hi) ->
+           (v, (if Float.is_finite lo then lo else -1e12), if Float.is_finite hi then hi else 1e12))
+  in
+  Formula.outside_rect dims
+
+let condition7 spec template coeffs level =
+  Formula.and_
+    [
+      Formula.le (Template.w_expr template coeffs) (Expr.const level);
+      outside_unsafe spec;
+    ]
+
+(* Ellipsoid center: -P⁻¹b/2 for W = x'Px + b'x (zero for pure
+   quadratics). *)
+let ellipsoid_center template coeffs p =
+  match Template.kind template with
+  | Template.Quadratic -> Vec.zeros (Array.length (Template.vars template))
+  | Template.Quadratic_linear ->
+    let n = Array.length (Template.vars template) in
+    let n_quad = Template.dimension template - n in
+    let b = Array.sub coeffs n_quad n in
+    Vec.scale (-0.5) (Lu.solve p b)
+
+let search spec template coeffs =
+  let iterations = ref 0 and smt_time = ref 0.0 in
+  let p = Template.p_matrix template coeffs in
+  let w_of_point x = Template.w_eval template coeffs x in
+  let finish level = { level; iterations = !iterations; smt_time = !smt_time } in
+  match
+    let center = ellipsoid_center template coeffs p in
+    (center, Levelset.analytic_range_centered ~p ~center ~w_of_point ~x0_rect:spec.x0_rect
+               ~safe_rect:spec.unsafe_rect)
+  with
+  | exception Levelset.Not_definite -> finish (Error Range_empty)
+  | exception Invalid_argument _ -> finish (Error Range_empty)
+  | exception Lu.Singular -> finish (Error Range_empty)
+  | center, { Levelset.l_min; l_max } ->
+    if l_min >= l_max then finish (Error Range_empty)
+    else begin
+      let w_center = w_of_point center in
+      let solve formula bounds =
+        let (verdict, _), dt =
+          Timing.time (fun () -> Solver.solve ~options:spec.smt ~bounds formula)
+        in
+        smt_time := !smt_time +. dt;
+        verdict
+      in
+      let rec refine lo hi iter =
+        if iter > spec.max_iters then Error Budget_exhausted
+        else begin
+          incr iterations;
+          let level = 0.5 *. (lo +. hi) in
+          match
+            solve (condition6 template coeffs level) (rect_bounds spec.vars spec.x0_rect)
+          with
+          | Solver.Unknown -> Error (Inconclusive "condition (6)")
+          | Solver.Delta_sat _ ->
+            if hi -. level < 1e-12 then Error Budget_exhausted else refine level hi (iter + 1)
+          | Solver.Unsat -> (
+            (* Solutions of W <= level live in the ellipsoid's bounding box
+               around its center; inflate slightly for soundness of the
+               query domain. *)
+            let bbox =
+              Levelset.ellipsoid_bounding_box ~p
+                ~level:(Float.max (level -. w_center) 0.0 +. 1e-9)
+            in
+            let query_rect =
+              Array.mapi
+                (fun i (lo_i, hi_i) ->
+                  (center.(i) +. (1.01 *. lo_i) -. 1e-6, center.(i) +. (1.01 *. hi_i) +. 1e-6))
+                bbox
+            in
+            match
+              solve (condition7 spec template coeffs level) (rect_bounds spec.vars query_rect)
+            with
+            | Solver.Unknown -> Error (Inconclusive "condition (7)")
+            | Solver.Delta_sat _ ->
+              if level -. lo < 1e-12 then Error Budget_exhausted else refine lo level (iter + 1)
+            | Solver.Unsat -> Ok level)
+        end
+      in
+      finish (refine l_min l_max 1)
+    end

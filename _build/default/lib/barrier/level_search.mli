@@ -1,0 +1,44 @@
+(** Level-set selection with SMT-checked binary search — the lower loop of
+    the paper's Figure 1, shared between the continuous-time engine
+    ({!Engine}) and the discrete-time engine ({!Discrete}).
+
+    Given a quadratic(-plus-linear) generator [W], find ℓ with
+    [X0 ⊂ {W ≤ ℓ}] (condition 6) and [{W ≤ ℓ} ∩ U = ∅] (condition 7),
+    seeding a binary search from the analytic ellipsoid bounds. *)
+
+type spec = {
+  vars : string array;
+  x0_rect : (float * float) array;
+  safe_rect : (float * float) array;  (** the query domain [D] *)
+  unsafe_rect : (float * float) array;
+      (** [U] is the complement of this rectangle; dimensions with infinite
+          bounds (e.g. controller internal state, which cannot itself be
+          "unsafe") contribute no unsafe faces.  For the planar case this
+          equals [safe_rect]. *)
+  smt : Solver.options;
+  max_iters : int;
+}
+
+type failure =
+  | Range_empty  (** no level can separate X0 from U for this W *)
+  | Budget_exhausted
+  | Inconclusive of string  (** an SMT query returned Unknown *)
+
+type result = {
+  level : (float, failure) Result.t;
+  iterations : int;
+  smt_time : float;  (** seconds spent in conditions (6)/(7) *)
+}
+
+val condition6 : Template.t -> float array -> float -> Formula.t
+(** [∃x: W(x) > ℓ] (to be solved over the X0 bounds). *)
+
+val condition7 : spec -> Template.t -> float array -> float -> Formula.t
+(** [∃x: W(x) ≤ ℓ ∧ x ∉ unsafe_rect] (finite dimensions only). *)
+
+val ellipsoid_center : Template.t -> float array -> Mat.t -> Vec.t
+(** Center of the sublevel ellipsoids: [-P⁻¹b/2] for
+    [W = xᵀPx + bᵀx] (the origin for pure quadratics). *)
+
+val search : spec -> Template.t -> float array -> result
+(** Run the analytic range computation and the SMT-checked refinement. *)

@@ -1,0 +1,108 @@
+type range = { l_min : float; l_max : float }
+
+let rect_vertices rect =
+  let n = Array.length rect in
+  let rec go i acc =
+    if i = n then List.map (fun xs -> Array.of_list (List.rev xs)) acc
+    else begin
+      let lo, hi = rect.(i) in
+      go (i + 1) (List.concat_map (fun xs -> [ lo :: xs; hi :: xs ]) acc)
+    end
+  in
+  go 0 [ [] ]
+
+let complement_halfspaces rect =
+  let n = Array.length rect in
+  List.concat
+    (List.init n (fun i ->
+         let lo, hi = rect.(i) in
+         let e_pos = Array.init n (fun j -> if j = i then 1.0 else 0.0) in
+         let e_neg = Array.init n (fun j -> if j = i then -1.0 else 0.0) in
+         (* Infinite bounds contribute no face: that dimension is not
+            constrained by the unsafe set. *)
+         (if Float.is_finite hi then [ (e_pos, hi) ] else [])
+         @ (if Float.is_finite lo then [ (e_neg, -.lo) ] else [])))
+
+exception Not_definite
+
+let inverse_spd p =
+  if not (Cholesky.is_positive_definite p) then raise Not_definite;
+  Lu.inverse p
+
+let analytic_range ~p ~x0_rect ~safe_rect =
+  let p_inv = inverse_spd p in
+  let l_min =
+    List.fold_left
+      (fun acc v -> Float.max acc (Mat.quadratic_form p v))
+      0.0 (rect_vertices x0_rect)
+  in
+  let l_max =
+    List.fold_left
+      (fun acc (a, b) ->
+        if b <= 0.0 then
+          invalid_arg "Levelset.analytic_range: unsafe half-space touches the origin side";
+        let q = Vec.dot a (Mat.mul_vec p_inv a) in
+        Float.min acc (b *. b /. q))
+      infinity
+      (complement_halfspaces safe_rect)
+  in
+  { l_min; l_max }
+
+let analytic_range_centered ~p ~center ~w_of_point ~x0_rect ~safe_rect =
+  let p_inv = inverse_spd p in
+  let w_center = w_of_point center in
+  let l_min =
+    List.fold_left
+      (fun acc v -> Float.max acc (w_of_point v))
+      w_center (rect_vertices x0_rect)
+  in
+  let l_max =
+    List.fold_left
+      (fun acc (a, b) ->
+        let margin = b -. Vec.dot a center in
+        if margin <= 0.0 then
+          invalid_arg "Levelset.analytic_range_centered: ellipsoid center outside the safe set";
+        let q = Vec.dot a (Mat.mul_vec p_inv a) in
+        Float.min acc (w_center +. (margin *. margin /. q)))
+      infinity
+      (complement_halfspaces safe_rect)
+  in
+  { l_min; l_max }
+
+let ellipsoid_bounding_box ~p ~level =
+  let p_inv = inverse_spd p in
+  Array.init (Mat.rows p) (fun i ->
+      let r = sqrt (Float.max 0.0 (level *. p_inv.(i).(i))) in
+      (-.r, r))
+
+let boundary_points ~p ~level ~n =
+  if Mat.rows p <> 2 then invalid_arg "Levelset.boundary_points: 2-D forms only";
+  (* Parametrize the ellipse through the eigen-axes: x = sqrt(l/λ_k) along
+     each principal direction. *)
+  let eigenvalues, basis = Eig.symmetric p in
+  if eigenvalues.(0) <= 0.0 then raise Not_definite;
+  Array.init n (fun k ->
+      let t = 2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+      let c1 = sqrt (level /. eigenvalues.(0)) *. Float.cos t in
+      let c2 = sqrt (level /. eigenvalues.(1)) *. Float.sin t in
+      let x = (basis.(0).(0) *. c1) +. (basis.(0).(1) *. c2) in
+      let y = (basis.(1).(0) *. c1) +. (basis.(1).(1) *. c2) in
+      (x, y))
+
+let face_tangency ~p ~dim ~value =
+  let n = Mat.rows p in
+  if dim < 0 || dim >= n then invalid_arg "Levelset.face_tangency: bad dimension";
+  (* Minimize x'Px subject to x_dim = value: for the free coordinates y,
+     P_yy y = -P_y,dim * value. *)
+  let free = List.filter (fun j -> j <> dim) (List.init n Fun.id) |> Array.of_list in
+  let m = Array.length free in
+  let x = Array.make n 0.0 in
+  x.(dim) <- value;
+  if m > 0 then begin
+    let p_yy = Mat.init m m (fun i j -> p.(free.(i)).(free.(j))) in
+    let rhs = Array.init m (fun i -> -.p.(free.(i)).(dim) *. value) in
+    match Lu.solve p_yy rhs with
+    | y -> Array.iteri (fun i j -> x.(j) <- y.(i)) free
+    | exception Lu.Singular -> ()
+  end;
+  x

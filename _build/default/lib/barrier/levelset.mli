@@ -1,0 +1,64 @@
+(** Level-set selection for quadratic generator functions (paper §3).
+
+    For a pure quadratic [W(x) = xᵀPx] with [P ≻ 0], the sublevel set
+    [L = {W ≤ ℓ}] is an ellipsoid, and a valid barrier level must satisfy
+
+    - every vertex of the initial rectangle [X0] lies in [L]
+      (lower bound [ℓ_min]), and
+    - [L] is disjoint from every half-space [aᵀx ≥ b] composing the unsafe
+      set [U]; since [max { aᵀx : xᵀPx ≤ ℓ } = √(ℓ · aᵀP⁻¹a)], this gives
+      the upper bound [ℓ_max = min_b b² / (aᵀP⁻¹a)] (for [b > 0]).
+
+    These analytic bounds seed the SMT-checked binary search of the
+    engine. *)
+
+type range = { l_min : float; l_max : float }
+(** Valid levels are (analytically) the open interval (l_min, l_max); empty
+    when [l_min >= l_max]. *)
+
+val rect_vertices : (float * float) array -> float array list
+(** All corner points of an axis-aligned rectangle (per-variable
+    bounds). *)
+
+val complement_halfspaces : (float * float) array -> (float array * float) list
+(** The unsafe set as half-spaces: the complement of a rectangle
+    [Π [lo_i, hi_i]] is [∪_i {x_i ≥ hi_i} ∪ {−x_i ≥ −lo_i}]; each entry is
+    [(a, b)] representing [aᵀx ≥ b].  Dimensions with an infinite bound
+    contribute no face on that side (they are unconstrained by the unsafe
+    set — e.g. a controller's internal state). *)
+
+exception Not_definite
+(** Raised when the quadratic form is not positive definite (sublevel sets
+    are then unbounded and no ellipsoidal barrier exists). *)
+
+val analytic_range :
+  p:Mat.t -> x0_rect:(float * float) array -> safe_rect:(float * float) array -> range
+(** Bounds for [X0 ⊂ L] and [L ∩ U = ∅] where [U] is the complement of
+    [safe_rect].  Raises {!Not_definite} when [P] is not SPD, and
+    [Invalid_argument] when a safe-rectangle face touches the origin side
+    ([b ≤ 0]). *)
+
+val analytic_range_centered :
+  p:Mat.t ->
+  center:float array ->
+  w_of_point:(float array -> float) ->
+  x0_rect:(float * float) array ->
+  safe_rect:(float * float) array ->
+  range
+(** Generalization of {!analytic_range} to quadratics with linear terms:
+    [W(x) = (x−x_c)ᵀP(x−x_c) + W(x_c)].  [w_of_point] evaluates the full
+    [W]; separation from the half-space [aᵀx ≥ b] requires
+    [ℓ < W(x_c) + (b − aᵀx_c)² / (aᵀP⁻¹a)] (and [aᵀx_c < b]). *)
+
+val ellipsoid_bounding_box : p:Mat.t -> level:float -> (float * float) array
+(** Axis-aligned enclosure of [{xᵀPx ≤ ℓ}]: [|x_i| ≤ √(ℓ·(P⁻¹)_ii)]. *)
+
+val boundary_points : p:Mat.t -> level:float -> n:int -> (float * float) array
+(** [n] points on the boundary ellipse of a 2-D form, for plotting
+    (Figure 5).  Raises [Invalid_argument] for dimensions other than 2. *)
+
+val face_tangency : p:Mat.t -> dim:int -> value:float -> float array
+(** Minimizer of the quadratic form [xᵀPx] over the hyperplane
+    [x_dim = value] — the point where the growing sublevel ellipsoid first
+    touches that unsafe face.  Used by the shape-refinement loop to cut the
+    LP exactly where level-set separation fails. *)

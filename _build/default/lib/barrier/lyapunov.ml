@@ -1,0 +1,191 @@
+type config = {
+  domain_rect : (float * float) array;
+  ball_radius : float;
+  gamma : float;
+  n_seed : int;
+  sim_dt : float;
+  sim_steps : int;
+  synthesis : Synthesis.options;
+  template_kind : Template.kind;
+  max_candidate_iters : int;
+  smt : Solver.options;
+}
+
+let default_config =
+  let eps = 0.05 in
+  let half_pi = Float.pi /. 2.0 in
+  {
+    domain_rect = [| (-5.0, 5.0); (-.(half_pi -. eps), half_pi -. eps) |];
+    ball_radius = 0.5;
+    gamma = 1e-6;
+    n_seed = 20;
+    sim_dt = 0.05;
+    sim_steps = 400;
+    synthesis = { Synthesis.default_options with Synthesis.subsample = 10 };
+    template_kind = Template.Quadratic;
+    max_candidate_iters = 20;
+    smt = Solver.default_options;
+  }
+
+type certificate = { template : Template.t; coeffs : float array }
+
+type failure_reason =
+  | Lp_failed of string
+  | Cex_budget_exhausted
+  | Solver_inconclusive of string
+
+type outcome = Proved of certificate | Failed of failure_reason
+
+type report = {
+  outcome : outcome;
+  iterations : int;
+  counterexamples : float array list;
+  lp_time : float;
+  smt_time : float;
+  total_time : float;
+}
+
+let bounds_of vars rect =
+  Array.to_list (Array.mapi (fun i v -> (v, fst rect.(i), snd rect.(i))) vars)
+
+(* ‖x‖² ≥ r² as a formula over the system variables. *)
+let outside_ball vars radius =
+  let norm2 =
+    Expr.sum (Array.to_list (Array.map (fun v -> Expr.pow (Expr.var v) 2) vars))
+  in
+  Formula.ge norm2 (Expr.const (radius *. radius))
+
+let lie_expr system (cert : certificate) =
+  let grads = Template.grad_exprs cert.template cert.coeffs in
+  Expr.sum
+    (Array.to_list
+       (Array.mapi (fun i g -> Expr.( * ) g system.Engine.symbolic_field.(i)) grads))
+
+let positivity_formula system config cert =
+  Formula.and_
+    [
+      outside_ball system.Engine.vars config.ball_radius;
+      Formula.le (Template.w_expr cert.template cert.coeffs) (Expr.const 0.0);
+    ]
+
+let decrease_formula system config cert =
+  Formula.and_
+    [
+      outside_ball system.Engine.vars config.ball_radius;
+      Formula.ge (lie_expr system cert) (Expr.const (-.config.gamma));
+    ]
+
+let in_rect rect x =
+  let ok = ref true in
+  Array.iteri (fun i (lo, hi) -> if x.(i) < lo || x.(i) > hi then ok := false) rect;
+  !ok
+
+let simulate_trace config system x0 =
+  let stop _t x =
+    Vec.norm2 x < 0.5 *. config.ball_radius || not (in_rect config.domain_rect x)
+  in
+  let tr =
+    Ode.simulate_until ~stop system.Engine.numeric_field ~t0:0.0 ~x0 ~dt:config.sim_dt
+      ~t_end:(config.sim_dt *. float_of_int config.sim_steps)
+  in
+  let keep =
+    Array.to_list (Array.mapi (fun i x -> (tr.Ode.times.(i), x)) tr.Ode.states)
+    |> List.filter (fun (_, x) -> in_rect config.domain_rect x)
+  in
+  match keep with
+  | [] -> { Ode.times = [| 0.0 |]; states = [| x0 |] }
+  | _ ->
+    {
+      Ode.times = Array.of_list (List.map fst keep);
+      states = Array.of_list (List.map snd keep);
+    }
+
+let verify ?(config = default_config) ~rng system =
+  let t_start = Timing.now () in
+  let template = Template.make config.template_kind system.Engine.vars in
+  (* Synthesis must only constrain W outside the ball; over-approximate the
+     ball by its inscribed rectangle for the exclusion filter (smaller than
+     the ball, so no needed constraint is lost — only some near-ball
+     samples stay, which is harmless since rho >= min_rho filters the
+     worst). *)
+  let r = config.ball_radius /. Float.sqrt 2.0 in
+  let synthesis_options =
+    {
+      config.synthesis with
+      Synthesis.exclude_rect =
+        Some (Array.map (fun _ -> (-.r, r)) config.domain_rect);
+      min_rho = Float.max config.synthesis.Synthesis.min_rho (0.25 *. config.ball_radius ** 2.0);
+      separation_rects = None;
+    }
+  in
+  let seeds =
+    let dim = Array.length config.domain_rect in
+    List.init config.n_seed (fun _ ->
+        Array.init dim (fun i ->
+            let lo, hi = config.domain_rect.(i) in
+            Rng.uniform rng lo hi))
+  in
+  let traces = ref (List.map (simulate_trace config system) seeds) in
+  let cexs = ref [] in
+  let lp_time = ref 0.0 and smt_time = ref 0.0 in
+  let iterations = ref 0 in
+  let rec attempt iter =
+    if iter > config.max_candidate_iters then Failed Cex_budget_exhausted
+    else begin
+      incr iterations;
+      let outcome, dt =
+        Timing.time (fun () ->
+            Synthesis.synthesize ~options:synthesis_options ~cex_points:!cexs ~template
+              ~field:system.Engine.numeric_field !traces)
+      in
+      lp_time := !lp_time +. dt;
+      match outcome with
+      | Synthesis.Lp_infeasible -> Failed (Lp_failed "LP infeasible")
+      | Synthesis.Margin_too_small m ->
+        Failed (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+      | Synthesis.Candidate { coeffs; _ } ->
+        let cert = { template; coeffs } in
+        let bounds = bounds_of system.Engine.vars config.domain_rect in
+        let check formula =
+          let (verdict, _), dt =
+            Timing.time (fun () -> Solver.solve ~options:config.smt ~bounds formula)
+          in
+          smt_time := !smt_time +. dt;
+          verdict
+        in
+        (match check (decrease_formula system config cert) with
+        | Solver.Unknown -> Failed (Solver_inconclusive "decrease")
+        | Solver.Delta_sat witness ->
+          let x_star =
+            Array.map
+              (fun v -> match List.assoc_opt v witness with Some x -> x | None -> 0.0)
+              system.Engine.vars
+          in
+          cexs := x_star :: !cexs;
+          traces := simulate_trace config system x_star :: !traces;
+          attempt (iter + 1)
+        | Solver.Unsat -> (
+          match check (positivity_formula system config cert) with
+          | Solver.Unsat -> Proved cert
+          | Solver.Unknown -> Failed (Solver_inconclusive "positivity")
+          | Solver.Delta_sat witness ->
+            (* W not positive at the witness: add it as a seed state so the
+               positivity rows of the next LP cover that region. *)
+            let x_star =
+              Array.map
+                (fun v -> match List.assoc_opt v witness with Some x -> x | None -> 0.0)
+                system.Engine.vars
+            in
+            traces := simulate_trace config system x_star :: !traces;
+            attempt (iter + 1)))
+    end
+  in
+  let outcome = attempt 1 in
+  {
+    outcome;
+    iterations = !iterations;
+    counterexamples = !cexs;
+    lp_time = !lp_time;
+    smt_time = !smt_time;
+    total_time = Timing.now () -. t_start;
+  }

@@ -1,0 +1,59 @@
+(** Simulation-guided Lyapunov analysis (Kapinski et al., HSCC 2014 — the
+    paper's reference [11] and the direct ancestor of its barrier
+    procedure).
+
+    Instead of separating an initial set from an unsafe set, this mode
+    certifies *practical stability*: a positive-definite generator [W]
+    whose Lie derivative is strictly negative everywhere in a domain
+    outside a small ball around the equilibrium.  Every trajectory in the
+    domain then descends the [W]-landscape into the ball.
+
+    The machinery is shared with the barrier engine: trace-driven LP
+    synthesis with CEGIS counterexample cuts, and δ-SAT checks of
+
+    - positivity:  [∀x ∈ D, ‖x‖ ≥ r:  W(x) > 0]
+    - decrease:    [∀x ∈ D, ‖x‖ ≥ r:  ∇W·f(x) < −γ] *)
+
+type config = {
+  domain_rect : (float * float) array;  (** the analysis domain [D] *)
+  ball_radius : float;  (** radius [r] of the excluded equilibrium ball *)
+  gamma : float;  (** strictness slack, default 1e-6 *)
+  n_seed : int;
+  sim_dt : float;
+  sim_steps : int;
+  synthesis : Synthesis.options;
+  template_kind : Template.kind;
+  max_candidate_iters : int;
+  smt : Solver.options;
+}
+
+val default_config : config
+(** Dubins-case-study domain: [[-5,5] × [-(π/2-ε), π/2-ε]], ball radius
+    0.5. *)
+
+type certificate = { template : Template.t; coeffs : float array }
+
+type failure_reason =
+  | Lp_failed of string
+  | Cex_budget_exhausted
+  | Solver_inconclusive of string
+
+type outcome = Proved of certificate | Failed of failure_reason
+
+type report = {
+  outcome : outcome;
+  iterations : int;
+  counterexamples : float array list;
+  lp_time : float;
+  smt_time : float;
+  total_time : float;
+}
+
+val positivity_formula : Engine.system -> config -> certificate -> Formula.t
+(** [∃x ∈ D: ‖x‖ ≥ r ∧ W(x) ≤ 0] — UNSAT certifies positivity. *)
+
+val decrease_formula : Engine.system -> config -> certificate -> Formula.t
+(** [∃x ∈ D: ‖x‖ ≥ r ∧ ∇W·f(x) ≥ −γ] — UNSAT certifies decrease. *)
+
+val verify : ?config:config -> rng:Rng.t -> Engine.system -> report
+(** Run the Lyapunov variant of the pipeline. *)

@@ -1,0 +1,228 @@
+type mode = Finite_difference | Lie_derivative
+
+type options = {
+  mode : mode;
+  subsample : int;
+  min_rho : float;
+  coeff_bound : float;
+  min_margin : float;
+  exclude_rect : (float * float) array option;
+  separation_rects : ((float * float) array * (float * float) array) option;
+}
+
+let default_options =
+  {
+    mode = Finite_difference;
+    subsample = 1;
+    min_rho = 1e-6;
+    coeff_bound = 1.0;
+    min_margin = 1e-5;
+    exclude_rect = None;
+    separation_rects = None;
+  }
+
+let excluded options x =
+  match options.exclude_rect with
+  | None -> false
+  | Some rect ->
+    let inside = ref true in
+    Array.iteri (fun i (lo, hi) -> if x.(i) < lo || x.(i) > hi then inside := false) rect;
+    !inside
+
+type candidate = { coeffs : float array; margin : float }
+
+type outcome = Candidate of candidate | Lp_infeasible | Margin_too_small of float
+
+let rho x = Vec.dot x x
+
+(* Iterate the retained (subsampled) indices of a trace. *)
+let retained_indices options tr =
+  let n = Ode.trace_length tr in
+  let step = max 1 options.subsample in
+  let rec collect acc i = if i >= n then List.rev acc else collect (i :: acc) (i + step) in
+  collect [] 0
+
+let rows_of_trace options ~template ~field tr =
+  let p = Template.dimension template in
+  let idxs = Array.of_list (retained_indices options tr) in
+  let rows = ref [] in
+  let add_row coeffs relation rhs = rows := { Lp.coeffs; relation; rhs } :: !rows in
+  Array.iteri
+    (fun pos i ->
+      let x = tr.Ode.states.(i) in
+      let r = rho x in
+      if r >= options.min_rho && not (excluded options x) then begin
+        let phi = Template.eval_basis template x in
+        (* Positivity: Σ c_k φ_k(x) − m ρ(x) ≥ 0, variables (c…, m). *)
+        let row = Array.make (p + 1) 0.0 in
+        Array.blit phi 0 row 0 p;
+        row.(p) <- -.r;
+        add_row row Lp.Ge 0.0;
+        (* Decrease row. *)
+        match options.mode with
+        | Finite_difference ->
+          if pos + 1 < Array.length idxs then begin
+            let j = idxs.(pos + 1) in
+            let x' = tr.Ode.states.(j) in
+            let dt = tr.Ode.times.(j) -. tr.Ode.times.(i) in
+            if dt > 0.0 then begin
+              let phi' = Template.eval_basis template x' in
+              let row = Array.make (p + 1) 0.0 in
+              for k = 0 to p - 1 do
+                row.(k) <- phi'.(k) -. phi.(k)
+              done;
+              row.(p) <- r *. dt;
+              add_row row Lp.Le 0.0
+            end
+          end
+        | Lie_derivative ->
+          (* d/dt W(x(t)) = Σ c_k ∇φ_k(x)·f(x): exact monomial gradients. *)
+          let f = field tr.Ode.times.(i) x in
+          let lie = Template.basis_lie template x f in
+          let row = Array.make (p + 1) 0.0 in
+          Array.blit lie 0 row 0 p;
+          row.(p) <- r;
+          add_row row Lp.Le 0.0
+      end)
+    idxs;
+  !rows
+
+let cex_row ~template ~field p x =
+  let f = field 0.0 x in
+  let lie = Template.basis_lie template x f in
+  let row = Array.make (p + 1) 0.0 in
+  Array.blit lie 0 row 0 p;
+  row.(p) <- rho x;
+  { Lp.coeffs = row; relation = Lp.Le; rhs = 0.0 }
+
+(* Shape rows: W(face sample) >= (1 + alpha) * W(x0 vertex) for every pair
+   — hard multiplicative separation (tying it to the decrease margin m
+   would make it vacuous, since m is orders of magnitude below the W
+   scale).  Still only a sampled sufficient direction; conditions (6)/(7)
+   are SMT-checked afterward. *)
+let separation_alpha = 0.1
+
+let separation_rows options ~template =
+  match options.separation_rects with
+  | None -> []
+  | Some (x0_rect, safe_rect) ->
+    let p = Template.dimension template in
+    let n = Array.length x0_rect in
+    (* All corners of X0. *)
+    let rec corners i acc =
+      if i = n then List.map (fun xs -> Array.of_list (List.rev xs)) acc
+      else begin
+        let lo, hi = x0_rect.(i) in
+        corners (i + 1) (List.concat_map (fun xs -> [ lo :: xs; hi :: xs ]) acc)
+      end
+    in
+    let vertices = corners 0 [ [] ] in
+    (* Sample each finitely-bounded boundary face on a 3-point grid per
+       free dimension; dimensions with infinite bounds (unconstrained by
+       the unsafe set) contribute no face and are gridded over the X0
+       range instead. *)
+    let grid_range j =
+      let lo, hi = safe_rect.(j) in
+      if Float.is_finite lo && Float.is_finite hi then (lo, hi)
+      else begin
+        (* Unconstrained dimension: grid over an inflated X0 range (the
+           sublevel set's tangency points can sit well outside X0). *)
+        let x0_lo, x0_hi = x0_rect.(j) in
+        (5.0 *. x0_lo, 5.0 *. x0_hi)
+      end
+    in
+    let grid_points j =
+      let lo, hi = grid_range j in
+      [ lo; 0.5 *. (lo +. hi) -. (0.25 *. (hi -. lo)); 0.5 *. (lo +. hi);
+        0.5 *. (lo +. hi) +. (0.25 *. (hi -. lo)); hi ]
+    in
+    let face_points =
+      List.concat
+        (List.init n (fun i ->
+             let lo_i, hi_i = safe_rect.(i) in
+             let face_vals =
+               (if Float.is_finite lo_i then [ lo_i ] else [])
+               @ (if Float.is_finite hi_i then [ hi_i ] else [])
+             in
+             List.concat_map
+               (fun face_val ->
+                 let rec grid j acc =
+                   if j = n then List.map (fun xs -> Array.of_list (List.rev xs)) acc
+                   else if j = i then grid (j + 1) (List.map (fun xs -> face_val :: xs) acc)
+                   else
+                     grid (j + 1)
+                       (List.concat_map
+                          (fun xs -> List.map (fun g -> g :: xs) (grid_points j))
+                          acc)
+                 in
+                 grid 0 [ [] ])
+               face_vals))
+    in
+    List.concat_map
+      (fun v ->
+        let phi_v = Template.eval_basis template v in
+        List.map
+          (fun f ->
+            let phi_f = Template.eval_basis template f in
+            let row = Array.make (p + 1) 0.0 in
+            for k = 0 to p - 1 do
+              row.(k) <- phi_f.(k) -. ((1.0 +. separation_alpha) *. phi_v.(k))
+            done;
+            { Lp.coeffs = row; relation = Lp.Ge; rhs = 0.0 })
+          face_points)
+      vertices
+
+let build_problem options ~cex_points ~exact_traces ~template ~field traces =
+  let p = Template.dimension template in
+  let trace_rows = List.concat_map (rows_of_trace options ~template ~field) traces in
+  let exact_rows =
+    let exact_options = { options with subsample = 1 } in
+    List.concat_map (rows_of_trace exact_options ~template ~field) exact_traces
+  in
+  let cut_rows =
+    List.filter_map
+      (fun x -> if rho x >= options.min_rho then Some (cex_row ~template ~field p x) else None)
+      cex_points
+  in
+  let rows = separation_rows options ~template @ cut_rows @ exact_rows @ trace_rows in
+  let objective = Array.make (p + 1) 0.0 in
+  objective.(p) <- -1.0;
+  (* maximize m *)
+  let bounds =
+    Array.init (p + 1) (fun k ->
+        if k < p then (-.options.coeff_bound, options.coeff_bound) else (-1.0, 1.0))
+  in
+  { Lp.objective; constraints = rows; bounds }
+
+let shape_cut_row ~template p (face_point, vertex) =
+  let phi_f = Template.eval_basis template face_point in
+  let phi_v = Template.eval_basis template vertex in
+  let row = Array.make (p + 1) 0.0 in
+  for k = 0 to p - 1 do
+    row.(k) <- phi_f.(k) -. ((1.0 +. separation_alpha) *. phi_v.(k))
+  done;
+  { Lp.coeffs = row; relation = Lp.Ge; rhs = 0.0 }
+
+let synthesize ?(options = default_options) ?(cex_points = []) ?(exact_traces = [])
+    ?(shape_cuts = []) ~template ~field traces =
+  let problem = build_problem options ~cex_points ~exact_traces ~template ~field traces in
+  let p = Template.dimension template in
+  let problem =
+    {
+      problem with
+      Lp.constraints =
+        List.map (shape_cut_row ~template p) shape_cuts @ problem.Lp.constraints;
+    }
+  in
+  match Lp.minimize problem with
+  | Lp.Infeasible -> Lp_infeasible
+  | Lp.Unbounded -> Lp_infeasible (* cannot happen: all variables bounded *)
+  | Lp.Optimal { x; _ } ->
+    let p = Template.dimension template in
+    let margin = x.(p) in
+    if margin <= options.min_margin then Margin_too_small margin
+    else Candidate { coeffs = Array.sub x 0 p; margin }
+
+let count_rows ?(options = default_options) ~template traces =
+  let field _ x = Vec.zeros (Vec.dim x) in
+  List.length (List.concat_map (rows_of_trace options ~template ~field) traces)

@@ -1,0 +1,75 @@
+(** Candidate-generator synthesis by linear programming (paper §3).
+
+    Every sampled state [x_k] of every simulation trace yields linear rows
+    in the template coefficients [c] and an auxiliary margin variable [m]:
+
+    - positivity:  [W(x_k) ≥ m · ρ(x_k)]
+    - decrease:    [ΔW ≤ −m · ρ(x_k)]   (finite difference along the trace)
+      or           [∇W·f(x_k) ≤ −m · ρ(x_k)]   (Lie derivative)
+
+    with [ρ(x) = ‖x‖²] so that the required decrease vanishes at the
+    equilibrium.  The LP maximizes [m] under [‖c‖_∞ ≤ 1]; a strictly
+    positive optimum yields the candidate [W]. *)
+
+type mode = Finite_difference | Lie_derivative
+
+type options = {
+  mode : mode;
+  subsample : int;  (** keep every n-th trace sample, default 1 *)
+  min_rho : float;  (** skip samples with [‖x‖² <] this, default 1e-6 *)
+  coeff_bound : float;  (** [‖c‖_∞] bound, default 1.0 *)
+  min_margin : float;  (** reject candidates with [m ≤] this, default 1e-5 *)
+  exclude_rect : (float * float) array option;
+      (** drop samples inside this rectangle (the initial set [X0]): the
+          decrease condition (5) is only verified on [D \ X0], so
+          constraining [W] inside [X0] would reject controllers whose
+          equilibrium is slightly offset from the origin (typical for
+          trained networks); default [None] *)
+  separation_rects : ((float * float) array * (float * float) array) option;
+      (** [(x0_rect, safe_rect)]: add linear *shape rows* steering the LP
+          toward level-set feasibility — for every X0 vertex [v] and
+          sampled safe-boundary point [f], require
+          [W(f) ≥ 1.1·W(v)].  Without them the LP is blind to the level-set
+          geometry and can return a W whose sublevel ellipsoids cannot
+          separate X0 from U (observed with augmented RNN state spaces).
+          The rows are a heuristic sufficient *direction*, not a proof —
+          conditions (6)/(7) are still SMT-checked; default [None] *)
+}
+
+val default_options : options
+
+type candidate = { coeffs : float array; margin : float }
+
+type outcome = Candidate of candidate | Lp_infeasible | Margin_too_small of float
+
+val synthesize :
+  ?options:options ->
+  ?cex_points:float array list ->
+  ?exact_traces:Ode.trace list ->
+  ?shape_cuts:(float array * float array) list ->
+  template:Template.t ->
+  field:Ode.field ->
+  Ode.trace list ->
+  outcome
+(** Solve the LP over all rows generated from the traces.  [field] is used
+    in [Lie_derivative] mode and for [cex_points].
+
+    [cex_points] are counterexample states from failed condition-(5)
+    checks; each contributes an *exact* Lie-derivative cut
+    ∇W(x_star)·f(x_star) ≤ −m·ρ(x_star) regardless of [mode] —
+    finite-difference trace rows average the decrease over a sampling
+    window and can miss an instantaneous violation at x_star, which would
+    stall the CEGIS loop.
+
+    [exact_traces] are processed with [subsample = 1] regardless of
+    [options] — the discrete-time engine uses them for its two-point
+    counterexample orbits, whose decrease rows must not be dropped by
+    subsampling.
+
+    [shape_cuts] are [(face_point, x0_vertex)] pairs from failed level-set
+    selections; each adds the hard separation row
+    [W(face_point) ≥ 1.1 · W(x0_vertex)] (the shape-refinement CEGIS
+    loop). *)
+
+val count_rows : ?options:options -> template:Template.t -> Ode.trace list -> int
+(** Number of LP rows the traces would generate (diagnostics). *)

@@ -1,0 +1,108 @@
+type kind = Quadratic | Quadratic_linear
+
+type t = {
+  kind : kind;
+  vars : string array;
+  basis : Expr.t array;
+  (* For each quadratic basis entry, the (i, j) variable pair it multiplies;
+     linear entries are tagged with their variable index. *)
+  quad_pairs : (int * int) array;
+}
+
+let make kind vars =
+  if Array.length vars = 0 then invalid_arg "Template.make: no variables";
+  let n = Array.length vars in
+  let quad_pairs = ref [] and quad_exprs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      quad_pairs := (i, j) :: !quad_pairs;
+      quad_exprs := Expr.( * ) (Expr.var vars.(i)) (Expr.var vars.(j)) :: !quad_exprs
+    done
+  done;
+  let quad_pairs = Array.of_list (List.rev !quad_pairs) in
+  let quad_exprs = List.rev !quad_exprs in
+  let basis =
+    match kind with
+    | Quadratic -> Array.of_list quad_exprs
+    | Quadratic_linear ->
+      Array.of_list (quad_exprs @ List.map Expr.var (Array.to_list vars))
+  in
+  { kind; vars; basis; quad_pairs }
+
+let kind t = t.kind
+
+let vars t = Array.copy t.vars
+
+let basis t = Array.copy t.basis
+
+let dimension t = Array.length t.basis
+
+let eval_basis t point =
+  if Array.length point <> Array.length t.vars then
+    invalid_arg "Template.eval_basis: point arity mismatch";
+  let n_quad = Array.length t.quad_pairs in
+  Array.init (dimension t) (fun k ->
+      if k < n_quad then begin
+        let i, j = t.quad_pairs.(k) in
+        point.(i) *. point.(j)
+      end
+      else point.(k - n_quad))
+
+let check_coeffs t coeffs =
+  if Array.length coeffs <> dimension t then
+    invalid_arg "Template: coefficient count mismatch"
+
+let w_expr t coeffs =
+  check_coeffs t coeffs;
+  Expr.sum
+    (Array.to_list (Array.mapi (fun i phi -> Expr.( * ) (Expr.const coeffs.(i)) phi) t.basis))
+
+let w_eval t coeffs point =
+  let phis = eval_basis t point in
+  let acc = ref 0.0 in
+  Array.iteri (fun i phi -> acc := !acc +. (coeffs.(i) *. phi)) phis;
+  !acc
+
+let basis_delta_exprs t ~delta =
+  let n = Array.length t.vars in
+  if Array.length delta <> n then invalid_arg "Template.basis_delta_exprs: arity mismatch";
+  let n_quad = Array.length t.quad_pairs in
+  let x i = Expr.var t.vars.(i) in
+  Array.init (dimension t) (fun k ->
+      if k < n_quad then begin
+        let i, j = t.quad_pairs.(k) in
+        Expr.( + )
+          (Expr.( + ) (Expr.( * ) (x i) delta.(j)) (Expr.( * ) delta.(i) (x j)))
+          (Expr.( * ) delta.(i) delta.(j))
+      end
+      else delta.(k - n_quad))
+
+let basis_lie t point direction =
+  if Array.length point <> Array.length t.vars || Array.length direction <> Array.length t.vars
+  then invalid_arg "Template.basis_lie: arity mismatch";
+  let n_quad = Array.length t.quad_pairs in
+  Array.init (dimension t) (fun k ->
+      if k < n_quad then begin
+        (* d/dt (x_i x_j) = f_i x_j + x_i f_j *)
+        let i, j = t.quad_pairs.(k) in
+        (direction.(i) *. point.(j)) +. (point.(i) *. direction.(j))
+      end
+      else direction.(k - n_quad))
+
+let grad_exprs t coeffs =
+  let w = w_expr t coeffs in
+  Array.map (fun v -> Expr.diff v w) t.vars
+
+let p_matrix t coeffs =
+  check_coeffs t coeffs;
+  let n = Array.length t.vars in
+  let p = Mat.zeros n n in
+  Array.iteri
+    (fun k (i, j) ->
+      if i = j then p.(i).(i) <- coeffs.(k)
+      else begin
+        p.(i).(j) <- p.(i).(j) +. (0.5 *. coeffs.(k));
+        p.(j).(i) <- p.(j).(i) +. (0.5 *. coeffs.(k))
+      end)
+    t.quad_pairs;
+  p

@@ -1,0 +1,58 @@
+(** Generator-function templates.
+
+    A template fixes a finite basis of monomials [φ_1 … φ_p] over the state
+    variables; the LP determines coefficients [c] so that
+    [W(x) = Σ c_i φ_i(x)] is a generator function.  The paper's case study
+    uses the pure quadratic template in two variables, whose sublevel sets
+    are ellipsoids (which the level-set geometry exploits). *)
+
+type kind = Quadratic  (** all [x_i x_j], i ≤ j *) | Quadratic_linear  (** quadratic plus linear terms *)
+
+type t
+
+val make : kind -> string array -> t
+(** Template over the given state variables (at least one). *)
+
+val kind : t -> kind
+
+val vars : t -> string array
+
+val basis : t -> Expr.t array
+(** The monomial expressions, in a fixed documented order: for variables
+    [x, y]: quadratic part [x²; x·y; y²] (row-major upper triangle), then —
+    for [Quadratic_linear] — the linear part [x; y]. *)
+
+val dimension : t -> int
+(** Number of basis functions / coefficients. *)
+
+val eval_basis : t -> float array -> float array
+(** Basis values at a point given in variable order. *)
+
+val w_expr : t -> float array -> Expr.t
+(** [W(x)] as an expression; coefficient count must match
+    {!dimension}. *)
+
+val w_eval : t -> float array -> float array -> float
+(** Numeric [W] at a point (variable order). *)
+
+val basis_delta_exprs : t -> delta:Expr.t array -> Expr.t array
+(** Symbolic one-step differences [φ_k(x + δ) − φ_k(x)] for each basis
+    monomial, with [δ] given per variable: a quadratic pair (i, j) yields
+    [x_i·δ_j + δ_i·x_j + δ_i·δ_j] and a linear term yields [δ_i].  This
+    factored form shares the [x] sub-terms, so its interval evaluation is
+    far tighter than evaluating [W(F(x)) − W(x)] as two independent sums —
+    which is what makes the discrete-time decrease condition decidable in
+    practice (see {!Discrete}). *)
+
+val basis_lie : t -> float array -> float array -> float array
+(** [basis_lie t x f] is [∇φ_k(x) · f] for each basis function — the exact
+    Lie derivative of the basis along direction [f] (quadratic and linear
+    monomials have closed-form gradients). *)
+
+val grad_exprs : t -> float array -> Expr.t array
+(** Symbolic gradient [∂W/∂x_i], one entry per variable. *)
+
+val p_matrix : t -> float array -> Mat.t
+(** For the pure quadratic part: the symmetric [P] with
+    [x'Px = quadratic part of W].  (For [Quadratic_linear] templates this
+    ignores the linear terms — callers must check {!kind}.) *)

@@ -1,0 +1,1 @@
+lib/dubins/dubins_car.ml: Array Float Nn Ode Path

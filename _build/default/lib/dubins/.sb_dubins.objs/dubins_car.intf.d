@@ -1,0 +1,1 @@
+lib/dubins/dubins_car.mli: Nn Ode Path Vec

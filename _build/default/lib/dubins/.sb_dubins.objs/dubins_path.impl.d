@@ -1,0 +1,1 @@
+lib/dubins/dubins_path.ml: Array Dubins_car Float Floatx List Option Path Stdlib

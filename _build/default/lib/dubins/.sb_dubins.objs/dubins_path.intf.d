@@ -1,0 +1,1 @@
+lib/dubins/dubins_path.mli: Dubins_car Path

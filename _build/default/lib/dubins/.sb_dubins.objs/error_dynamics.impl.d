@@ -1,0 +1,1 @@
+lib/dubins/error_dynamics.ml: Array Expr Float Nn Ode

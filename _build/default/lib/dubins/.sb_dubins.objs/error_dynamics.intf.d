@@ -1,0 +1,1 @@
+lib/dubins/error_dynamics.mli: Expr Nn Ode

@@ -1,0 +1,1 @@
+lib/dubins/path.mli:

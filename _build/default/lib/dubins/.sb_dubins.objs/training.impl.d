@@ -1,0 +1,1 @@
+lib/dubins/training.ml: Array Cmaes Dubins_car Float List Nn Ode Path Rnn

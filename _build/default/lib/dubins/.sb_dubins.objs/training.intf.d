@@ -1,0 +1,1 @@
+lib/dubins/training.mli: Dubins_car Nn Path Rng Rnn

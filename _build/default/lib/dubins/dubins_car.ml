@@ -1,0 +1,50 @@
+type pose = { x : float; y : float; theta : float }
+
+let kinematics ~v ~u t x =
+  let theta = x.(2) in
+  [| v *. Float.sin theta; v *. Float.cos theta; u t x |]
+
+let errors_of_state path x =
+  Path.errors path ~x:x.(0) ~y:x.(1) ~theta_v:x.(2)
+
+let closed_loop_field ~v ~path net =
+  let u _t x =
+    let derr, theta_err = errors_of_state path x in
+    Nn.eval1 net [| derr; theta_err |]
+  in
+  kinematics ~v ~u
+
+type rollout = {
+  trace : Ode.trace;
+  derr : float array;
+  theta_err : float array;
+  u : float array;
+}
+
+let rollout ?(stop_at_end = true) ~v ~path ~dt ~steps ~x0 net =
+  let field = closed_loop_field ~v ~path net in
+  let finish_line = Path.total_length path -. 1e-9 in
+  let stop _t s =
+    stop_at_end && (Path.project path (s.(0), s.(1))).Path.arc_position >= finish_line
+  in
+  let trace =
+    Ode.simulate_until ~stop field ~t0:0.0 ~x0:[| x0.x; x0.y; x0.theta |] ~dt
+      ~t_end:(dt *. float_of_int steps)
+  in
+  let n = Ode.trace_length trace in
+  let derr = Array.make n 0.0
+  and theta_err = Array.make n 0.0
+  and u = Array.make n 0.0 in
+  Array.iteri
+    (fun i s ->
+      let d, th = errors_of_state path s in
+      derr.(i) <- d;
+      theta_err.(i) <- th;
+      u.(i) <- Nn.eval1 net [| d; th |])
+    trace.Ode.states;
+  { trace; derr; theta_err; u }
+
+let start_pose path =
+  let pts = Path.waypoints path in
+  let x0, y0 = pts.(0) and x1, y1 = pts.(1) in
+  { x = x0; y = y0; theta = Float.atan2 (x1 -. x0) (y1 -. y0) }

@@ -1,0 +1,221 @@
+(* Geometric construction of Dubins paths.
+
+   Internally we work in the standard math convention (angle phi measured
+   counter-clockwise from +x), converting from/to the library's pose
+   convention (theta clockwise from +y) at the boundary: phi = pi/2 - theta.
+   In the standard frame a Left turn is counter-clockwise.
+
+   Circle geometry used throughout:
+   - pose (x, y, phi) turning Left (CCW) orbits the center
+     (x - r sin phi, y + r cos phi); turning Right (CW) orbits
+     (x + r sin phi, y - r cos phi);
+   - on a CCW circle, the heading at center-angle a is a + pi/2; on a CW
+     circle it is a - pi/2;
+   - straight travel in direction psi leaves a CCW circle at center-angle
+     psi - pi/2 and a CW circle at psi + pi/2. *)
+
+type word = LSL | RSR | LSR | RSL | RLR | LRL
+
+let word_name = function
+  | LSL -> "LSL"
+  | RSR -> "RSR"
+  | LSR -> "LSR"
+  | RSL -> "RSL"
+  | RLR -> "RLR"
+  | LRL -> "LRL"
+
+type turn = Left | Right | Straight
+
+type segment = { turn : turn; length : float }
+
+type t = {
+  start : Dubins_car.pose;
+  radius : float;
+  word : word;
+  segments : segment array;
+  length : float;
+}
+
+let two_pi = 2.0 *. Float.pi
+
+let mod2pi a =
+  let r = Float.rem a two_pi in
+  if r < 0.0 then r +. two_pi else r
+
+let phi_of_theta theta = (Float.pi /. 2.0) -. theta
+
+let theta_of_phi phi = (Float.pi /. 2.0) -. phi
+
+let left_center r (x, y, phi) = (x -. (r *. Float.sin phi), y +. (r *. Float.cos phi))
+
+let right_center r (x, y, phi) = (x +. (r *. Float.sin phi), y -. (r *. Float.cos phi))
+
+let angle_of (x1, y1) (x2, y2) = Float.atan2 (y2 -. y1) (x2 -. x1)
+
+let dist (x1, y1) (x2, y2) = Float.hypot (x2 -. x1) (y2 -. y1)
+
+(* Candidate constructors return segment triples in the standard frame, or
+   None when the word is infeasible for this geometry. *)
+
+let csc_outer r ~left (sx, sy, sphi) (gx, gy, gphi) =
+  (* LSL (left = true) or RSR: outer tangent between same-sense circles. *)
+  let center = if left then left_center else right_center in
+  let c1 = center r (sx, sy, sphi) and c2 = center r (gx, gy, gphi) in
+  let d = dist c1 c2 in
+  let psi = if d < 1e-12 then sphi else angle_of c1 c2 in
+  let arc1 = if left then mod2pi (psi -. sphi) else mod2pi (sphi -. psi) in
+  let arc2 = if left then mod2pi (gphi -. psi) else mod2pi (psi -. gphi) in
+  let turn = if left then Left else Right in
+  Some
+    [|
+      { turn; length = r *. arc1 };
+      { turn = Straight; length = d };
+      { turn; length = r *. arc2 };
+    |]
+
+let csc_inner r ~left_first (sx, sy, sphi) (gx, gy, gphi) =
+  (* LSR (left_first = true) or RSL: inner tangent between opposite-sense
+     circles; exists when the centers are at least 2r apart. *)
+  let c1 = if left_first then left_center r (sx, sy, sphi) else right_center r (sx, sy, sphi) in
+  let c2 = if left_first then right_center r (gx, gy, gphi) else left_center r (gx, gy, gphi) in
+  let d = dist c1 c2 in
+  if d < 2.0 *. r then None
+  else begin
+    let theta_c = angle_of c1 c2 in
+    let offset = Float.asin (2.0 *. r /. d) in
+    let psi = if left_first then theta_c +. offset else theta_c -. offset in
+    let straight = Float.sqrt (Float.max 0.0 ((d *. d) -. (4.0 *. r *. r))) in
+    let arc1 = if left_first then mod2pi (psi -. sphi) else mod2pi (sphi -. psi) in
+    let arc2 = if left_first then mod2pi (psi -. gphi) else mod2pi (gphi -. psi) in
+    let t1 = if left_first then Left else Right in
+    let t2 = if left_first then Right else Left in
+    Some
+      [|
+        { turn = t1; length = r *. arc1 };
+        { turn = Straight; length = straight };
+        { turn = t2; length = r *. arc2 };
+      |]
+  end
+
+let ccc r ~left_outer ~apex_sign (sx, sy, sphi) (gx, gy, gphi) =
+  (* LRL (left_outer = true) or RLR: three tangent circles; exists when the
+     outer centers are within 4r.  [apex_sign] selects the side of the
+     middle circle. *)
+  let center = if left_outer then left_center else right_center in
+  let c1 = center r (sx, sy, sphi) and c2 = center r (gx, gy, gphi) in
+  let d = dist c1 c2 in
+  if d > 4.0 *. r || d < 1e-12 then None
+  else begin
+    let theta_c = angle_of c1 c2 in
+    let apex = apex_sign *. Float.acos (d /. (4.0 *. r)) in
+    let c3 =
+      ( fst c1 +. (2.0 *. r *. Float.cos (theta_c +. apex)),
+        snd c1 +. (2.0 *. r *. Float.sin (theta_c +. apex)) )
+    in
+    let theta13 = angle_of c1 c3 and theta32_from3 = angle_of c3 c2 in
+    let theta31_from3 = angle_of c3 c1 in
+    if left_outer then begin
+      (* L (ccw on c1) - R (cw on c3) - L (ccw on c2) *)
+      let psi1 = theta13 +. (Float.pi /. 2.0) in
+      let psi2 = theta32_from3 -. (Float.pi /. 2.0) in
+      let arc1 = mod2pi (psi1 -. sphi) in
+      let arc_mid = mod2pi (theta31_from3 -. theta32_from3) in
+      let arc2 = mod2pi (gphi -. psi2) in
+      Some
+        [|
+          { turn = Left; length = r *. arc1 };
+          { turn = Right; length = r *. arc_mid };
+          { turn = Left; length = r *. arc2 };
+        |]
+    end
+    else begin
+      (* R - L - R *)
+      let psi1 = theta13 -. (Float.pi /. 2.0) in
+      let psi2 = theta32_from3 +. (Float.pi /. 2.0) in
+      let arc1 = mod2pi (sphi -. psi1) in
+      let arc_mid = mod2pi (theta32_from3 -. theta31_from3) in
+      let arc2 = mod2pi (psi2 -. gphi) in
+      Some
+        [|
+          { turn = Right; length = r *. arc1 };
+          { turn = Left; length = r *. arc_mid };
+          { turn = Right; length = r *. arc2 };
+        |]
+    end
+  end
+
+let total segments = Array.fold_left (fun acc (s : segment) -> acc +. s.length) 0.0 segments
+
+let std_of_pose (p : Dubins_car.pose) = (p.Dubins_car.x, p.Dubins_car.y, phi_of_theta p.Dubins_car.theta)
+
+let candidates ~radius start goal =
+  if radius <= 0.0 then invalid_arg "Dubins_path.candidates: non-positive radius";
+  let s = std_of_pose start and g = std_of_pose goal in
+  let make word segments = { start; radius; word; segments; length = total segments } in
+  List.filter_map
+    (fun (word, res) -> Option.map (make word) res)
+    [
+      (LSL, csc_outer radius ~left:true s g);
+      (RSR, csc_outer radius ~left:false s g);
+      (LSR, csc_inner radius ~left_first:true s g);
+      (RSL, csc_inner radius ~left_first:false s g);
+      (LRL, ccc radius ~left_outer:true ~apex_sign:1.0 s g);
+      (LRL, ccc radius ~left_outer:true ~apex_sign:(-1.0) s g);
+      (RLR, ccc radius ~left_outer:false ~apex_sign:1.0 s g);
+      (RLR, ccc radius ~left_outer:false ~apex_sign:(-1.0) s g);
+    ]
+
+let shortest ~radius start goal =
+  match candidates ~radius start goal with
+  | [] -> invalid_arg "Dubins_path.shortest: no feasible candidate"
+  | first :: rest -> List.fold_left (fun best c -> if c.length < best.length then c else best) first rest
+
+(* Advance a standard-frame pose along one segment by arc length s. *)
+let advance r (x, y, phi) seg s =
+  match seg.turn with
+  | Straight -> (x +. (s *. Float.cos phi), y +. (s *. Float.sin phi), phi)
+  | Left ->
+    let cx, cy = left_center r (x, y, phi) in
+    let a0 = angle_of (cx, cy) (x, y) in
+    let a = a0 +. (s /. r) in
+    (cx +. (r *. Float.cos a), cy +. (r *. Float.sin a), phi +. (s /. r))
+  | Right ->
+    let cx, cy = right_center r (x, y, phi) in
+    let a0 = angle_of (cx, cy) (x, y) in
+    let a = a0 -. (s /. r) in
+    (cx +. (r *. Float.cos a), cy +. (r *. Float.sin a), phi -. (s /. r))
+
+let pose_at t s =
+  let s = Floatx.clamp ~lo:0.0 ~hi:t.length s in
+  let rec go pose s = function
+    | [] -> pose
+    | (seg : segment) :: rest ->
+      if s <= seg.length then advance t.radius pose seg s
+      else go (advance t.radius pose seg seg.length) (s -. seg.length) rest
+  in
+  let x, y, phi = go (std_of_pose t.start) s (Array.to_list t.segments) in
+  { Dubins_car.x; y; theta = theta_of_phi phi }
+
+let end_pose t = pose_at t t.length
+
+let sample ~ds t =
+  if ds <= 0.0 then invalid_arg "Dubins_path.sample: non-positive spacing";
+  let n = Stdlib.max 1 (int_of_float (Float.ceil (t.length /. ds))) in
+  Array.init (n + 1) (fun i ->
+      pose_at t (Float.min t.length (float_of_int i *. ds)))
+
+let to_path ~ds t =
+  let poses = sample ~ds t in
+  (* Drop consecutive duplicates (possible at zero-length segments). *)
+  let pts =
+    Array.to_list poses
+    |> List.map (fun p -> (p.Dubins_car.x, p.Dubins_car.y))
+    |> List.fold_left
+         (fun acc (x, y) ->
+           match acc with
+           | (px, py) :: _ when Float.hypot (x -. px) (y -. py) < 1e-9 -> acc
+           | _ -> (x, y) :: acc)
+         []
+    |> List.rev
+  in
+  Path.of_waypoints pts

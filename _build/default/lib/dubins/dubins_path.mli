@@ -1,0 +1,46 @@
+(** Shortest Dubins paths: minimum-length curves between two poses under a
+    minimum turning radius, for a vehicle that can only go straight or turn
+    at full rate — exactly the paper's car model with saturated steering.
+
+    The six candidate words (LSL, RSR, LSR, RSL, RLR, LRL) are constructed
+    geometrically; {!shortest} returns the minimum-length feasible one.
+    Headings follow the library convention (clockwise from the +y axis).
+
+    Typical use: plan a path between waypoints, convert it to a polyline
+    with {!to_path}, and track it with a (verified) NN controller. *)
+
+type word = LSL | RSR | LSR | RSL | RLR | LRL
+
+val word_name : word -> string
+
+type turn = Left | Right | Straight
+
+type segment = { turn : turn; length : float (** arc length, ≥ 0 *) }
+
+type t = {
+  start : Dubins_car.pose;
+  radius : float;
+  word : word;
+  segments : segment array;  (** always three segments *)
+  length : float;  (** total arc length *)
+}
+
+val candidates : radius:float -> Dubins_car.pose -> Dubins_car.pose -> t list
+(** All feasible candidate paths between the two poses (LSL and RSR always
+    exist; the others depend on the circle geometry). *)
+
+val shortest : radius:float -> Dubins_car.pose -> Dubins_car.pose -> t
+(** The minimum-length candidate.  Raises [Invalid_argument] on a
+    non-positive radius. *)
+
+val pose_at : t -> float -> Dubins_car.pose
+(** Pose after arc length [s] along the path (clamped to [0, length]). *)
+
+val end_pose : t -> Dubins_car.pose
+
+val sample : ds:float -> t -> Dubins_car.pose array
+(** Poses every [ds] along the path, endpoints included. *)
+
+val to_path : ds:float -> t -> Path.t
+(** Polyline approximation with vertex spacing ≈ [ds], for path
+    following. *)

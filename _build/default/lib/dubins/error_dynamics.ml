@@ -1,0 +1,43 @@
+let var_derr = "derr"
+
+let var_theta_err = "theta_err"
+
+type config = { v : float; theta_r : float }
+
+let default_config = { v = 1.0; theta_r = 0.0 }
+
+let derr_dot cfg theta_err =
+  (-.cfg.v *. Float.sin (cfg.theta_r -. theta_err) *. Float.cos cfg.theta_r)
+  +. (cfg.v *. Float.cos (cfg.theta_r -. theta_err) *. Float.sin cfg.theta_r)
+
+let field cfg ~controller _t x =
+  let derr = x.(0) and theta_err = x.(1) in
+  let u = controller derr theta_err in
+  [| derr_dot cfg theta_err; -.u |]
+
+let field_of_network cfg net =
+  let controller derr theta_err = Nn.eval1 net [| derr; theta_err |] in
+  field cfg ~controller
+
+let simulate cfg ~controller ~x0:(d0, th0) ~dt ~steps =
+  Ode.simulate (field cfg ~controller) ~t0:0.0 ~x0:[| d0; th0 |] ~dt ~steps
+
+let symbolic_field cfg ~u =
+  let open Expr in
+  let theta_err = var var_theta_err in
+  let theta_r = const cfg.theta_r in
+  let v = const cfg.v in
+  let ddot =
+    (neg (v * sin (theta_r - theta_err) * cos theta_r))
+    + (v * cos (theta_r - theta_err) * sin theta_r)
+  in
+  [| ddot; Expr.neg u |]
+
+let symbolic_field_simplified cfg ~u =
+  let open Expr in
+  [| const cfg.v * sin (var var_theta_err); Expr.neg u |]
+
+let symbolic_controller net =
+  if Nn.output_dim net <> 1 || net.Nn.input_dim <> 2 then
+    invalid_arg "Error_dynamics.symbolic_controller: controller must be 2-in 1-out";
+  (Nn.to_exprs net [| Expr.var var_derr; Expr.var var_theta_err |]).(0)

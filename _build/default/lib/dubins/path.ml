@@ -1,0 +1,93 @@
+type t = {
+  pts : (float * float) array;
+  seg_len : float array; (* length of segment i = pts(i) -> pts(i+1) *)
+  cum_len : float array; (* arc length at the start of segment i *)
+}
+
+let of_waypoints waypoints =
+  let pts = Array.of_list waypoints in
+  if Array.length pts < 2 then invalid_arg "Path.of_waypoints: need at least two waypoints";
+  let n_seg = Array.length pts - 1 in
+  let seg_len =
+    Array.init n_seg (fun i ->
+        let x1, y1 = pts.(i) and x2, y2 = pts.(i + 1) in
+        let len = Float.hypot (x2 -. x1) (y2 -. y1) in
+        if len <= 0.0 then invalid_arg "Path.of_waypoints: zero-length segment";
+        len)
+  in
+  let cum_len = Array.make n_seg 0.0 in
+  for i = 1 to n_seg - 1 do
+    cum_len.(i) <- cum_len.(i - 1) +. seg_len.(i - 1)
+  done;
+  { pts; seg_len; cum_len }
+
+let waypoints p = Array.copy p.pts
+
+let straight ~theta_r ~length =
+  if length <= 0.0 then invalid_arg "Path.straight: non-positive length";
+  of_waypoints
+    [ (0.0, 0.0); (length *. Float.sin theta_r, length *. Float.cos theta_r) ]
+
+(* Waypoints approximating the blue target path of the paper's Figure 4. *)
+let paper_training_path =
+  of_waypoints [ (0.0, 0.0); (25.0, 25.0); (50.0, 30.0); (80.0, 60.0); (100.0, 95.0) ]
+
+let total_length p =
+  let n = Array.length p.seg_len in
+  p.cum_len.(n - 1) +. p.seg_len.(n - 1)
+
+let point_at p s =
+  let n = Array.length p.seg_len in
+  let s = Floatx.clamp ~lo:0.0 ~hi:(total_length p) s in
+  let rec find i = if i + 1 >= n || p.cum_len.(i + 1) > s then i else find (i + 1) in
+  let i = find 0 in
+  let frac = (s -. p.cum_len.(i)) /. p.seg_len.(i) in
+  let x1, y1 = p.pts.(i) and x2, y2 = p.pts.(i + 1) in
+  (x1 +. (frac *. (x2 -. x1)), y1 +. (frac *. (y2 -. y1)))
+
+let end_point p = p.pts.(Array.length p.pts - 1)
+
+type projection = {
+  closest : float * float;
+  tangent_heading : float;
+  distance_error : float;
+  arc_position : float;
+}
+
+let project p (x, y) =
+  let n = Array.length p.seg_len in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    let x1, y1 = p.pts.(i) and x2, y2 = p.pts.(i + 1) in
+    let dx = x2 -. x1 and dy = y2 -. y1 in
+    let len2 = (dx *. dx) +. (dy *. dy) in
+    let t = Floatx.clamp ~lo:0.0 ~hi:1.0 ((((x -. x1) *. dx) +. ((y -. y1) *. dy)) /. len2) in
+    let cx = x1 +. (t *. dx) and cy = y1 +. (t *. dy) in
+    let d = Float.hypot (x -. cx) (y -. cy) in
+    match !best with
+    | Some (bd, _, _, _) when bd <= d -> ()
+    | _ -> best := Some (d, (cx, cy), i, t)
+  done;
+  match !best with
+  | None -> assert false
+  | Some (dist, (cx, cy), i, t) ->
+    let x1, y1 = p.pts.(i) and x2, y2 = p.pts.(i + 1) in
+    let dx = x2 -. x1 and dy = y2 -. y1 in
+    (* Heading clockwise from +y: the direction (sin θ, cos θ). *)
+    let theta_r = Float.atan2 dx dy in
+    (* Signed distance: positive on the left of the travel direction, which
+       is along the normal (-cos θ_r, sin θ_r). *)
+    let nx = -.(dy /. Float.hypot dx dy) and ny = dx /. Float.hypot dx dy in
+    let sign_val = ((x -. cx) *. nx) +. ((y -. cy) *. ny) in
+    let signed = if sign_val >= 0.0 then dist else -.dist in
+    {
+      closest = (cx, cy);
+      tangent_heading = theta_r;
+      distance_error = signed;
+      arc_position = p.cum_len.(i) +. (t *. p.seg_len.(i));
+    }
+
+let errors p ~x ~y ~theta_v =
+  let proj = project p (x, y) in
+  let theta_err = Floatx.wrap_angle (proj.tangent_heading -. theta_v) in
+  (proj.distance_error, theta_err)

@@ -1,0 +1,43 @@
+(** Target paths for path following.
+
+    Paths are piecewise-linear polylines on the (x, y) plane.  Angles
+    follow the paper's convention: headings are measured *clockwise from the
+    positive y-axis*, so a heading θ corresponds to the unit vector
+    [(sin θ, cos θ)]. *)
+
+type t
+(** A polyline with at least two distinct waypoints. *)
+
+val of_waypoints : (float * float) list -> t
+(** Raises [Invalid_argument] with fewer than two waypoints or a
+    zero-length segment. *)
+
+val waypoints : t -> (float * float) array
+
+val straight : theta_r:float -> length:float -> t
+(** Straight path from the origin with constant heading [theta_r]. *)
+
+val paper_training_path : t
+(** The piecewise-linear training path of the paper's Figure 4 (waypoints
+    read off the figure; the exact coordinates are not published). *)
+
+val total_length : t -> float
+
+val point_at : t -> float -> float * float
+(** [point_at p s] is the point at arc length [s] (clamped to the path). *)
+
+val end_point : t -> float * float
+
+type projection = {
+  closest : float * float;  (** (x_p, y_p): nearest path point *)
+  tangent_heading : float;  (** θ_r at the nearest point (paper convention) *)
+  distance_error : float;  (** d_err, signed: positive left of the path *)
+  arc_position : float;  (** arc length of the nearest point *)
+}
+
+val project : t -> float * float -> projection
+(** Closest-point projection of a vehicle position onto the path. *)
+
+val errors : t -> x:float -> y:float -> theta_v:float -> float * float
+(** [(d_err, θ_err)] of a vehicle pose with respect to the path;
+    [θ_err = θ_r − θ_v], wrapped to (-π, π]. *)

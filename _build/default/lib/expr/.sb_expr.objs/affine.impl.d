@@ -1,0 +1,1 @@
+lib/expr/affine.ml: Expr Float Interval List

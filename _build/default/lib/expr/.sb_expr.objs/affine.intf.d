@@ -1,0 +1,1 @@
+lib/expr/affine.mli: Expr Interval

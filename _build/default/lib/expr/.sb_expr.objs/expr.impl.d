@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Float Format Interval List Printf Set Stdlib String

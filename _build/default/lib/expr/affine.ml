@@ -1,0 +1,232 @@
+type context = { mutable next : int }
+
+let context () = { next = 0 }
+
+(* Terms sorted by noise index; [err] is the accumulated uncorrelated
+   deviation (always >= 0). *)
+type t = { center : float; terms : (int * float) list; err : float }
+
+let up x = if Float.is_finite x then Float.succ x else x
+
+(* Widen every computed bound by one ulp so float roundoff cannot lose
+   real values. *)
+let widen e = up (Float.abs e)
+
+let of_float c = { center = c; terms = []; err = 0.0 }
+
+let of_interval ctx i =
+  if Interval.is_empty i then invalid_arg "Affine.of_interval: empty interval";
+  let lo = Interval.lo i and hi = Interval.hi i in
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Affine.of_interval: unbounded interval";
+  let center = 0.5 *. (lo +. hi) in
+  let radius = up (0.5 *. (hi -. lo)) in
+  if radius = 0.0 then of_float center
+  else begin
+    let idx = ctx.next in
+    ctx.next <- ctx.next + 1;
+    { center; terms = [ (idx, radius) ]; err = 0.0 }
+  end
+
+let center t = t.center
+
+let radius t =
+  List.fold_left (fun acc (_, c) -> up (acc +. Float.abs c)) (Float.abs t.err) t.terms
+
+let to_interval t =
+  let r = radius t in
+  Interval.make (t.center -. r -. Float.abs t.center *. 1e-15 -. 1e-300)
+    (t.center +. r +. (Float.abs t.center *. 1e-15) +. 1e-300)
+
+let neg t =
+  { center = -.t.center; terms = List.map (fun (i, c) -> (i, -.c)) t.terms; err = t.err }
+
+let rec merge_terms f xs ys =
+  match (xs, ys) with
+  | [], rest -> List.map (fun (i, c) -> (i, f c 0.0)) rest
+  | rest, [] -> List.map (fun (i, c) -> (i, f 0.0 c)) (List.rev rest) |> List.rev_map (fun (i, c) -> (i, c)) |> List.rev
+  | (i, a) :: xt, (j, b) :: yt ->
+    if i = j then (i, f 0.0 0.0 +. f a b -. f 0.0 0.0) :: merge_terms f xt yt
+    else if i < j then (i, f a 0.0) :: merge_terms f xt ys
+    else (j, f 0.0 b) :: merge_terms f xs yt
+
+let add x y =
+  {
+    center = x.center +. y.center;
+    terms = merge_terms ( +. ) x.terms y.terms;
+    err = widen (x.err +. y.err +. ((Float.abs x.center +. Float.abs y.center) *. 1e-15));
+  }
+
+let sub x y = add x (neg y)
+
+let scale a t =
+  {
+    center = a *. t.center;
+    terms = List.map (fun (i, c) -> (i, a *. c)) t.terms;
+    err = widen (Float.abs a *. t.err);
+  }
+
+let add_const c t = { t with center = t.center +. c; err = widen (t.err +. (Float.abs c *. 1e-15)) }
+
+let total_dev t = radius t
+
+let mul x y =
+  (* (x0 + X)(y0 + Y) = x0 y0 + x0 Y + y0 X + XY; the bilinear remainder XY
+     is bounded by dev(x)·dev(y) and goes to the error budget. *)
+  let terms =
+    merge_terms ( +. )
+      (List.map (fun (i, c) -> (i, x.center *. c)) y.terms)
+      (List.map (fun (i, c) -> (i, y.center *. c)) x.terms)
+  in
+  {
+    center = x.center *. y.center;
+    terms;
+    err =
+      widen
+        ((total_dev x *. total_dev y)
+        +. (Float.abs x.center *. y.err)
+        +. (Float.abs y.center *. x.err)
+        +. (Float.abs (x.center *. y.center) *. 1e-15));
+  }
+
+let sqr x =
+  (* x² with the tighter remainder dev²/2 ± dev²/2 (since X² ∈ [0, dev²]):
+     represent as center shift + half-width error. *)
+  let dev = total_dev x in
+  let terms = List.map (fun (i, c) -> (i, 2.0 *. x.center *. c)) x.terms in
+  let half = 0.5 *. dev *. dev in
+  {
+    center = (x.center *. x.center) +. half;
+    terms;
+    err = widen (half +. (2.0 *. Float.abs x.center *. x.err) +. (x.center *. x.center *. 1e-15));
+  }
+
+(* Chebyshev linearization of a twice-differentiable f over [a, b]:
+   use the secant slope alpha = (f(b) - f(a)) / (b - a); for f with
+   monotone derivative the maximum deviation of f(x) - alpha*x occurs at
+   the unique x_e with f'(x_e) = alpha, and the optimal offset centers that
+   deviation.  [extremum] returns such x_e given alpha and the range. *)
+let chebyshev ~f ~extremum x =
+  let i = to_interval x in
+  let a = Interval.lo i and b = Interval.hi i in
+  if b -. a < 1e-12 then begin
+    (* Degenerate range: constant with a small safety margin. *)
+    let v = f x.center in
+    { center = v; terms = []; err = widen ((Float.abs v *. 1e-12) +. 1e-15) }
+  end
+  else begin
+    let fa = f a and fb = f b in
+    let alpha = (fb -. fa) /. (b -. a) in
+    let xs = extremum alpha a b in
+    (* Deviations of f - alpha*x at the candidate points. *)
+    let dev_at x = f x -. (alpha *. x) in
+    let devs = List.map dev_at (a :: b :: xs) in
+    let dmin = List.fold_left Float.min (dev_at a) devs in
+    let dmax = List.fold_left Float.max (dev_at a) devs in
+    let zeta = 0.5 *. (dmin +. dmax) in
+    let delta = widen ((0.5 *. (dmax -. dmin)) +. 1e-15) in
+    let scaled = scale alpha x in
+    { center = scaled.center +. zeta; terms = scaled.terms; err = widen (scaled.err +. delta) }
+  end
+
+let tanh x =
+  (* f' = 1 - tanh²; f'(x_e) = alpha -> tanh x_e = ±sqrt(1 - alpha). *)
+  chebyshev ~f:Float.tanh
+    ~extremum:(fun alpha a b ->
+      if alpha >= 1.0 || alpha <= 0.0 then []
+      else begin
+        let r = Float.sqrt (1.0 -. alpha) in
+        let x1 = Float.atanh r and x2 = -.Float.atanh r in
+        List.filter (fun x -> x > a && x < b) [ x1; x2 ]
+      end)
+    x
+
+let sigmoid_f v = 1.0 /. (1.0 +. Float.exp (-.v))
+
+let sigmoid x =
+  (* f' = s(1-s); f'(x_e) = alpha -> s = (1 ± sqrt(1-4a))/2. *)
+  chebyshev ~f:sigmoid_f
+    ~extremum:(fun alpha a b ->
+      if alpha >= 0.25 || alpha <= 0.0 then []
+      else begin
+        let r = Float.sqrt (1.0 -. (4.0 *. alpha)) in
+        let s1 = 0.5 *. (1.0 +. r) and s2 = 0.5 *. (1.0 -. r) in
+        let inv s = Float.log (s /. (1.0 -. s)) in
+        List.filter (fun x -> x > a && x < b) [ inv s1; inv s2 ]
+      end)
+    x
+
+let exp x =
+  chebyshev ~f:Float.exp
+    ~extremum:(fun alpha a b ->
+      if alpha <= 0.0 then [] else List.filter (fun x -> x > a && x < b) [ Float.log alpha ])
+    x
+
+let sin x =
+  let i = to_interval x in
+  if Interval.width i >= Float.pi then begin
+    (* Wide range: fall back to the interval enclosure. *)
+    let s = Interval.sin i in
+    let c = Interval.midpoint s in
+    { center = c; terms = []; err = widen (0.5 *. Interval.width s) }
+  end
+  else
+    chebyshev ~f:Float.sin
+      ~extremum:(fun alpha a b ->
+        if Float.abs alpha > 1.0 then []
+        else begin
+          let base = Float.acos alpha in
+          (* candidates x with cos x = alpha near [a, b] *)
+          let k0 = Float.round (a /. (2.0 *. Float.pi)) in
+          List.filter
+            (fun x -> x > a && x < b)
+            (List.concat_map
+               (fun k ->
+                 let off = 2.0 *. Float.pi *. (k0 +. float_of_int k) in
+                 [ off +. base; off -. base ])
+               [ -1; 0; 1 ])
+        end)
+      x
+
+let cos x = sin (add_const (Float.pi /. 2.0) x)
+
+(* Fall back to plain interval semantics for operations without an affine
+   rule: the result is a fresh uncorrelated form. *)
+let of_interval_result i =
+  if Interval.is_empty i then invalid_arg "Affine: empty interval result";
+  let lo = Float.max (Interval.lo i) (-1e300) and hi = Float.min (Interval.hi i) 1e300 in
+  let c = 0.5 *. (lo +. hi) in
+  { center = c; terms = []; err = widen (0.5 *. (hi -. lo)) }
+
+let rec eval_expr ctx lookup (e : Expr.t) =
+  let interval_fallback op args =
+    let ivals = List.map (fun a -> to_interval (eval_expr ctx lookup a)) args in
+    of_interval_result (op ivals)
+  in
+  match e with
+  | Expr.Const c -> of_float c
+  | Expr.Var v -> lookup v
+  | Expr.Add (a, b) -> add (eval_expr ctx lookup a) (eval_expr ctx lookup b)
+  | Expr.Sub (a, b) -> sub (eval_expr ctx lookup a) (eval_expr ctx lookup b)
+  | Expr.Mul (a, b) -> mul (eval_expr ctx lookup a) (eval_expr ctx lookup b)
+  | Expr.Neg a -> neg (eval_expr ctx lookup a)
+  | Expr.Pow (a, 2) -> sqr (eval_expr ctx lookup a)
+  | Expr.Tanh a -> tanh (eval_expr ctx lookup a)
+  | Expr.Sigmoid a -> sigmoid (eval_expr ctx lookup a)
+  | Expr.Exp a -> exp (eval_expr ctx lookup a)
+  | Expr.Sin a -> sin (eval_expr ctx lookup a)
+  | Expr.Cos a -> cos (eval_expr ctx lookup a)
+  | Expr.Div (a, b) ->
+    interval_fallback
+      (function [ x; y ] -> Interval.div x y | _ -> assert false)
+      [ a; b ]
+  | Expr.Pow (a, n) ->
+    interval_fallback (function [ x ] -> Interval.pow x n | _ -> assert false) [ a ]
+  | Expr.Sqrt a ->
+    interval_fallback (function [ x ] -> Interval.sqrt x | _ -> assert false) [ a ]
+  | Expr.Log a ->
+    interval_fallback (function [ x ] -> Interval.log x | _ -> assert false) [ a ]
+  | Expr.Abs a ->
+    interval_fallback (function [ x ] -> Interval.abs x | _ -> assert false) [ a ]
+  | Expr.Atan a ->
+    interval_fallback (function [ x ] -> Interval.atan x | _ -> assert false) [ a ]

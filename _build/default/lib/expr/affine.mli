@@ -1,0 +1,74 @@
+(** Affine arithmetic: enclosures that track first-order correlations.
+
+    An affine form represents a quantity as
+
+    {v x̂ = x₀ + Σᵢ xᵢ·εᵢ ± err,   εᵢ ∈ [-1, 1] v}
+
+    where the noise symbols [εᵢ] are *shared* between quantities, so
+    [x̂ − x̂] is exactly 0 and linear cancellation is captured — unlike
+    plain interval arithmetic, whose dependency problem makes [x − x]
+    evaluate to a symmetric interval of twice the width.  Nonlinear
+    operations use Chebyshev-style linearizations, dumping their error
+    into the uncorrelated [err] budget.
+
+    Soundness contract mirrors {!Interval}: the concretization
+    {!to_interval} always contains every real value consistent with the
+    inputs (all float roundoff is over-approximated by widening the error
+    budget). *)
+
+type context
+(** Allocator for fresh noise symbols; forms from different contexts must
+    not be mixed (unchecked — keep one context per evaluation). *)
+
+val context : unit -> context
+
+type t
+
+val of_interval : context -> Interval.t -> t
+(** Fresh affine form ranging over the (bounded, non-empty) interval;
+    raises [Invalid_argument] on unbounded or empty input. *)
+
+val of_float : float -> t
+
+val to_interval : t -> Interval.t
+(** Sound concretization. *)
+
+val center : t -> float
+
+val radius : t -> float
+(** Total deviation: [Σ|xᵢ| + err] (outward-rounded). *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val add_const : float -> t -> t
+
+val mul : t -> t -> t
+
+val sqr : t -> t
+
+(** {1 Nonlinear operations (Chebyshev linearization)} *)
+
+val tanh : t -> t
+
+val sin : t -> t
+
+val cos : t -> t
+
+val exp : t -> t
+
+val sigmoid : t -> t
+
+(** {1 Expression evaluation} *)
+
+val eval_expr : context -> (string -> t) -> Expr.t -> t
+(** Evaluate a symbolic expression over affine forms.  Division, [sqrt],
+    [log], [abs], [atan] and integer powers beyond squaring fall back to
+    interval semantics (sound, correlation-losing). *)

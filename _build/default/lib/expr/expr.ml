@@ -1,0 +1,276 @@
+type t =
+  | Const of float
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Pow of t * int
+  | Sin of t
+  | Cos of t
+  | Atan of t
+  | Exp of t
+  | Log of t
+  | Tanh of t
+  | Sigmoid of t
+  | Sqrt of t
+  | Abs of t
+
+let const c = Const c
+
+let var name = Var name
+
+let zero = Const 0.0
+
+let one = Const 1.0
+
+let is_const_eq c = function Const x -> x = c | _ -> false
+
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x +. y)
+  | _ when is_const_eq 0.0 a -> b
+  | _ when is_const_eq 0.0 b -> a
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x -. y)
+  | _ when is_const_eq 0.0 b -> a
+  | _ when is_const_eq 0.0 a -> Neg b
+  | _ -> Sub (a, b)
+
+let neg = function
+  | Const x -> Const (-.x)
+  | Neg e -> e
+  | e -> Neg e
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x *. y)
+  | _ when is_const_eq 0.0 a || is_const_eq 0.0 b -> zero
+  | _ when is_const_eq 1.0 a -> b
+  | _ when is_const_eq 1.0 b -> a
+  | _ when is_const_eq (-1.0) a -> neg b
+  | _ when is_const_eq (-1.0) b -> neg a
+  | _ -> Mul (a, b)
+
+let div a b =
+  match (a, b) with
+  | Const x, Const y when y <> 0.0 -> Const (x /. y)
+  | _ when is_const_eq 0.0 a && not (is_const_eq 0.0 b) -> zero
+  | _ when is_const_eq 1.0 b -> a
+  | _ -> Div (a, b)
+
+let pow e n =
+  match (e, n) with
+  | Const x, _ -> Const (x ** float_of_int n)
+  | _, 0 -> one
+  | _, 1 -> e
+  | _ -> Pow (e, n)
+
+let sin = function Const x -> Const (Stdlib.sin x) | e -> Sin e
+
+let cos = function Const x -> Const (Stdlib.cos x) | e -> Cos e
+
+let atan = function Const x -> Const (Stdlib.atan x) | e -> Atan e
+
+let exp = function Const x -> Const (Stdlib.exp x) | e -> Exp e
+
+let log = function Const x when x > 0.0 -> Const (Stdlib.log x) | e -> Log e
+
+let tanh = function Const x -> Const (Stdlib.tanh x) | e -> Tanh e
+
+let sigmoid_f x = 1.0 /. (1.0 +. Stdlib.exp (-.x))
+
+let sigmoid = function Const x -> Const (sigmoid_f x) | e -> Sigmoid e
+
+let sqrt = function Const x when x >= 0.0 -> Const (Stdlib.sqrt x) | e -> Sqrt e
+
+let abs = function Const x -> Const (Float.abs x) | e -> Abs e
+
+let ( + ) = add
+
+let ( - ) = sub
+
+let ( * ) = mul
+
+let ( / ) = div
+
+let sum = List.fold_left add zero
+
+let dot xs ys =
+  if List.length xs <> List.length ys then invalid_arg "Expr.dot: length mismatch";
+  sum (List.map2 mul xs ys)
+
+exception Unbound_variable of string
+
+let rec eval lookup e =
+  match e with
+  | Const c -> c
+  | Var v -> lookup v
+  | Add (a, b) -> eval lookup a +. eval lookup b
+  | Sub (a, b) -> eval lookup a -. eval lookup b
+  | Mul (a, b) -> eval lookup a *. eval lookup b
+  | Div (a, b) -> eval lookup a /. eval lookup b
+  | Neg a -> -.eval lookup a
+  | Pow (a, n) -> eval lookup a ** float_of_int n
+  | Sin a -> Stdlib.sin (eval lookup a)
+  | Cos a -> Stdlib.cos (eval lookup a)
+  | Atan a -> Stdlib.atan (eval lookup a)
+  | Exp a -> Stdlib.exp (eval lookup a)
+  | Log a -> Stdlib.log (eval lookup a)
+  | Tanh a -> Stdlib.tanh (eval lookup a)
+  | Sigmoid a -> sigmoid_f (eval lookup a)
+  | Sqrt a -> Stdlib.sqrt (eval lookup a)
+  | Abs a -> Float.abs (eval lookup a)
+
+let eval_env env e =
+  let lookup v =
+    match List.assoc_opt v env with
+    | Some x -> x
+    | None -> raise (Unbound_variable v)
+  in
+  eval lookup e
+
+let rec ieval lookup e =
+  match e with
+  | Const c -> Interval.of_float c
+  | Var v -> lookup v
+  | Add (a, b) -> Interval.add (ieval lookup a) (ieval lookup b)
+  | Sub (a, b) -> Interval.sub (ieval lookup a) (ieval lookup b)
+  | Mul (a, b) -> Interval.mul (ieval lookup a) (ieval lookup b)
+  | Div (a, b) -> Interval.div (ieval lookup a) (ieval lookup b)
+  | Neg a -> Interval.neg (ieval lookup a)
+  | Pow (a, n) -> Interval.pow (ieval lookup a) n
+  | Sin a -> Interval.sin (ieval lookup a)
+  | Cos a -> Interval.cos (ieval lookup a)
+  | Atan a -> Interval.atan (ieval lookup a)
+  | Exp a -> Interval.exp (ieval lookup a)
+  | Log a -> Interval.log (ieval lookup a)
+  | Tanh a -> Interval.tanh (ieval lookup a)
+  | Sigmoid a -> Interval.sigmoid (ieval lookup a)
+  | Sqrt a -> Interval.sqrt (ieval lookup a)
+  | Abs a -> Interval.abs (ieval lookup a)
+
+let rec diff x e =
+  match e with
+  | Const _ -> zero
+  | Var v -> if String.equal v x then one else zero
+  | Add (a, b) -> add (diff x a) (diff x b)
+  | Sub (a, b) -> sub (diff x a) (diff x b)
+  | Mul (a, b) -> add (mul (diff x a) b) (mul a (diff x b))
+  | Div (a, b) -> div (sub (mul (diff x a) b) (mul a (diff x b))) (pow b 2)
+  | Neg a -> neg (diff x a)
+  | Pow (a, n) -> mul (mul (const (float_of_int n)) (pow a Stdlib.(n - 1))) (diff x a)
+  | Sin a -> mul (cos a) (diff x a)
+  | Cos a -> neg (mul (sin a) (diff x a))
+  | Atan a -> div (diff x a) (add one (pow a 2))
+  | Exp a -> mul (exp a) (diff x a)
+  | Log a -> div (diff x a) a
+  | Tanh a -> mul (sub one (pow (tanh a) 2)) (diff x a)
+  | Sigmoid a ->
+    let s = sigmoid a in
+    mul (mul s (sub one s)) (diff x a)
+  | Sqrt a -> div (diff x a) (mul (const 2.0) (sqrt a))
+  | Abs a -> mul (div a (abs a)) (diff x a)
+
+let rec subst bindings e =
+  match e with
+  | Const _ -> e
+  | Var v -> ( match List.assoc_opt v bindings with Some r -> r | None -> e)
+  | Add (a, b) -> add (subst bindings a) (subst bindings b)
+  | Sub (a, b) -> sub (subst bindings a) (subst bindings b)
+  | Mul (a, b) -> mul (subst bindings a) (subst bindings b)
+  | Div (a, b) -> div (subst bindings a) (subst bindings b)
+  | Neg a -> neg (subst bindings a)
+  | Pow (a, n) -> pow (subst bindings a) n
+  | Sin a -> sin (subst bindings a)
+  | Cos a -> cos (subst bindings a)
+  | Atan a -> atan (subst bindings a)
+  | Exp a -> exp (subst bindings a)
+  | Log a -> log (subst bindings a)
+  | Tanh a -> tanh (subst bindings a)
+  | Sigmoid a -> sigmoid (subst bindings a)
+  | Sqrt a -> sqrt (subst bindings a)
+  | Abs a -> abs (subst bindings a)
+
+let simplify e = subst [] e
+
+module String_set = Set.Make (String)
+
+let free_vars e =
+  let rec collect acc = function
+    | Const _ -> acc
+    | Var v -> String_set.add v acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> collect (collect acc a) b
+    | Neg a | Pow (a, _) | Sin a | Cos a | Atan a | Exp a | Log a | Tanh a
+    | Sigmoid a | Sqrt a | Abs a ->
+      collect acc a
+  in
+  String_set.elements (collect String_set.empty e)
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (size a) (size b))
+  | Neg a | Pow (a, _) | Sin a | Cos a | Atan a | Exp a | Log a | Tanh a
+  | Sigmoid a | Sqrt a | Abs a ->
+    Stdlib.( + ) 1 (size a)
+
+let rec depth = function
+  | Const _ | Var _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> Stdlib.( + ) 1 (Stdlib.max (depth a) (depth b))
+  | Neg a | Pow (a, _) | Sin a | Cos a | Atan a | Exp a | Log a | Tanh a
+  | Sigmoid a | Sqrt a | Abs a ->
+    Stdlib.( + ) 1 (depth a)
+
+let equal = Stdlib.( = )
+
+let rec pp fmt e =
+  let unary name a = Format.fprintf fmt "%s(%a)" name pp a in
+  match e with
+  | Const c -> Format.fprintf fmt "%g" c
+  | Var v -> Format.pp_print_string fmt v
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf fmt "(%a / %a)" pp a pp b
+  | Neg a -> Format.fprintf fmt "(-%a)" pp a
+  | Pow (a, n) -> Format.fprintf fmt "(%a^%d)" pp a n
+  | Sin a -> unary "sin" a
+  | Cos a -> unary "cos" a
+  | Atan a -> unary "atan" a
+  | Exp a -> unary "exp" a
+  | Log a -> unary "log" a
+  | Tanh a -> unary "tanh" a
+  | Sigmoid a -> unary "sigmoid" a
+  | Sqrt a -> unary "sqrt" a
+  | Abs a -> unary "abs" a
+
+let to_string e = Format.asprintf "%a" pp e
+
+let rec to_smtlib e =
+  let bin op a b = Printf.sprintf "(%s %s %s)" op (to_smtlib a) (to_smtlib b) in
+  let unary op a = Printf.sprintf "(%s %s)" op (to_smtlib a) in
+  match e with
+  | Const c ->
+    if c < 0.0 then Printf.sprintf "(- %.17g)" (Float.abs c) else Printf.sprintf "%.17g" c
+  | Var v -> v
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Div (a, b) -> bin "/" a b
+  | Neg a -> unary "-" a
+  | Pow (a, n) -> Printf.sprintf "(^ %s %d)" (to_smtlib a) n
+  | Sin a -> unary "sin" a
+  | Cos a -> unary "cos" a
+  | Atan a -> unary "arctan" a
+  | Exp a -> unary "exp" a
+  | Log a -> unary "log" a
+  | Tanh a -> unary "tanh" a
+  | Sigmoid a ->
+    (* dReal has no sigmoid primitive; expand it. *)
+    Printf.sprintf "(/ 1 (+ 1 (exp (- %s))))" (to_smtlib a)
+  | Sqrt a -> unary "sqrt" a
+  | Abs a -> unary "abs" a

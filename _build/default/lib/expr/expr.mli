@@ -1,0 +1,122 @@
+(** Symbolic expressions over the reals.
+
+    Expressions are the common language between the plant model, the neural
+    controller, the generator-function templates and the δ-SAT solver: the
+    closed-loop vector field and [∇W·f] are built symbolically, then handed
+    to the SMT layer for interval reasoning, and to the simulator for point
+    evaluation.
+
+    The constructor functions below perform light algebraic simplification
+    (constant folding, additive/multiplicative identities), so building
+    expressions programmatically does not accumulate trivial nodes. *)
+
+type t =
+  | Const of float
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Pow of t * int
+  | Sin of t
+  | Cos of t
+  | Atan of t
+  | Exp of t
+  | Log of t
+  | Tanh of t
+  | Sigmoid of t
+  | Sqrt of t
+  | Abs of t
+
+(** {1 Smart constructors} *)
+
+val const : float -> t
+
+val var : string -> t
+
+val zero : t
+
+val one : t
+
+val ( + ) : t -> t -> t
+
+val ( - ) : t -> t -> t
+
+val ( * ) : t -> t -> t
+
+val ( / ) : t -> t -> t
+
+val neg : t -> t
+
+val pow : t -> int -> t
+
+val sin : t -> t
+
+val cos : t -> t
+
+val atan : t -> t
+
+val exp : t -> t
+
+val log : t -> t
+
+val tanh : t -> t
+
+val sigmoid : t -> t
+
+val sqrt : t -> t
+
+val abs : t -> t
+
+val sum : t list -> t
+
+val dot : t list -> t list -> t
+(** Inner product of expression lists; raises on length mismatch. *)
+
+(** {1 Evaluation} *)
+
+exception Unbound_variable of string
+
+val eval : (string -> float) -> t -> float
+(** Point evaluation; the lookup function may raise [Unbound_variable]. *)
+
+val eval_env : (string * float) list -> t -> float
+
+val ieval : (string -> Interval.t) -> t -> Interval.t
+(** Sound interval evaluation (natural extension). *)
+
+(** {1 Symbolic manipulation} *)
+
+val diff : string -> t -> t
+(** Partial derivative with respect to the named variable.  [Abs] is
+    differentiated as [sign] away from zero (adequate here: it never appears
+    in verified dynamics, only in costs). *)
+
+val subst : (string * t) list -> t -> t
+(** Simultaneous substitution of variables by expressions. *)
+
+val simplify : t -> t
+(** Bottom-up re-application of the smart constructors. *)
+
+val free_vars : t -> string list
+(** Sorted, duplicate-free. *)
+
+val size : t -> int
+(** Node count. *)
+
+val depth : t -> int
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Infix human-readable form. *)
+
+val to_string : t -> string
+
+val to_smtlib : t -> string
+(** SMT-LIB 2 s-expression (dReal dialect: [tanh], [exp], ... as unary
+    symbols), for external cross-checking of queries. *)

@@ -1,0 +1,93 @@
+type method_ = Random_search | Cmaes_search | Hybrid
+
+type options = { method_ : method_; budget : int; sim_dt : float; sim_steps : int }
+
+let default_options = { method_ = Hybrid; budget = 200; sim_dt = 0.05; sim_steps = 600 }
+
+type outcome =
+  | Falsified of { x0 : Vec.t; trace : Ode.trace; robustness : float }
+  | Not_falsified of { best_x0 : Vec.t; best_robustness : float; evaluations : int }
+
+let state_robustness ~safe_rect x =
+  let acc = ref infinity in
+  Array.iteri
+    (fun i (lo, hi) -> acc := Float.min !acc (Float.min (x.(i) -. lo) (hi -. x.(i))))
+    safe_rect;
+  !acc
+
+let trace_robustness ~safe_rect tr =
+  Array.fold_left
+    (fun acc x -> Float.min acc (state_robustness ~safe_rect x))
+    infinity tr.Ode.states
+
+(* Rollout from x0, stopping early once the trajectory has violated (no
+   point simulating further) — the returned trace ends at/after the first
+   violation when one occurs. *)
+let rollout options ~field ~safe_rect x0 =
+  let stop _t x = state_robustness ~safe_rect x < 0.0 in
+  Ode.simulate_until ~stop field ~t0:0.0 ~x0 ~dt:options.sim_dt
+    ~t_end:(options.sim_dt *. float_of_int options.sim_steps)
+
+let clamp_to_rect rect x = Array.mapi (fun i (lo, hi) -> Floatx.clamp ~lo ~hi x.(i)) rect
+
+let falsify ?(options = default_options) ~rng ~field ~x0_rect ~safe_rect () =
+  let dim = Array.length x0_rect in
+  let evaluations = ref 0 in
+  let best_x0 = ref (Array.map (fun (lo, hi) -> 0.5 *. (lo +. hi)) x0_rect) in
+  let best_rob = ref infinity in
+  let best_trace = ref None in
+  let evaluate x0 =
+    incr evaluations;
+    let tr = rollout options ~field ~safe_rect x0 in
+    let rob = trace_robustness ~safe_rect tr in
+    if rob < !best_rob then begin
+      best_rob := rob;
+      best_x0 := Array.copy x0;
+      best_trace := Some tr
+    end;
+    rob
+  in
+  let random_phase budget =
+    let i = ref 0 in
+    while !i < budget && !best_rob >= 0.0 do
+      incr i;
+      let x0 = Array.map (fun (lo, hi) -> Rng.uniform rng lo hi) x0_rect in
+      ignore (evaluate x0)
+    done
+  in
+  let cmaes_phase budget start =
+    if budget > 0 && !best_rob >= 0.0 then begin
+      let opt = Cmaes.create ~lambda:(4 + (3 * dim)) ~sigma:0.3 ~rng (Vec.copy start) in
+      let objective x =
+        (* Penalize leaving X0 (the falsifier must start inside it) and
+           evaluate the clamped point. *)
+        let clamped = clamp_to_rect x0_rect x in
+        let out_of_x0 = Vec.dist2 x clamped in
+        evaluate clamped +. (10.0 *. out_of_x0)
+      in
+      let used = ref 0 in
+      (try
+         while !used < budget && !best_rob >= 0.0 do
+           let pop = Cmaes.ask opt in
+           let fitness = Array.map objective pop in
+           used := !used + Array.length pop;
+           Cmaes.tell opt pop fitness
+         done
+       with Invalid_argument _ -> ())
+    end
+  in
+  (match options.method_ with
+  | Random_search -> random_phase options.budget
+  | Cmaes_search -> cmaes_phase options.budget !best_x0
+  | Hybrid ->
+    let explore = options.budget / 3 in
+    random_phase explore;
+    cmaes_phase (options.budget - explore) !best_x0);
+  if !best_rob < 0.0 then begin
+    match !best_trace with
+    | Some trace -> Falsified { x0 = !best_x0; trace; robustness = !best_rob }
+    | None -> assert false
+  end
+  else
+    Not_falsified
+      { best_x0 = !best_x0; best_robustness = !best_rob; evaluations = !evaluations }

@@ -1,0 +1,62 @@
+(** Simulation-based falsification — the testing counterpart to
+    verification.
+
+    Where the barrier pipeline proves that no trajectory from [X0] reaches
+    the unsafe set [U], a falsifier searches for a single trajectory that
+    *does*.  This is the complementary methodology the paper situates
+    itself against (compositional falsification, S-TaLiRo-style robustness
+    minimization): falsifiers can only ever show unsafety; this module
+    provides them both as a baseline and as a cross-check — a verified
+    system must never falsify, and the test suite enforces that.
+
+    The unsafe set is the complement of an axis-aligned safe rectangle, as
+    in the paper's case study.  The search minimizes the trajectory
+    robustness
+
+    {v ρ(trace) = min over samples x of min_i min(x_i − lo_i, hi_i − x_i) v}
+
+    which is negative exactly when the trajectory leaves the safe
+    rectangle. *)
+
+type method_ =
+  | Random_search  (** uniform sampling of initial states *)
+  | Cmaes_search  (** CMA-ES minimization of trajectory robustness *)
+  | Hybrid  (** random exploration, then CMA-ES from the best sample *)
+
+type options = {
+  method_ : method_;  (** default [Hybrid] *)
+  budget : int;  (** total simulation budget, default 200 *)
+  sim_dt : float;  (** default 0.05 *)
+  sim_steps : int;  (** horizon per rollout, default 600 *)
+}
+
+val default_options : options
+
+type outcome =
+  | Falsified of {
+      x0 : Vec.t;  (** the violating initial state (inside [X0]) *)
+      trace : Ode.trace;  (** its trajectory, ending at the violation *)
+      robustness : float;  (** < 0 *)
+    }
+  | Not_falsified of {
+      best_x0 : Vec.t;  (** most promising initial state found *)
+      best_robustness : float;  (** ≥ 0: how close the search got *)
+      evaluations : int;
+    }
+
+val state_robustness : safe_rect:(float * float) array -> Vec.t -> float
+(** Signed margin of one state to the unsafe set: negative inside [U]. *)
+
+val trace_robustness : safe_rect:(float * float) array -> Ode.trace -> float
+(** Minimum state robustness along a trace. *)
+
+val falsify :
+  ?options:options ->
+  rng:Rng.t ->
+  field:Ode.field ->
+  x0_rect:(float * float) array ->
+  safe_rect:(float * float) array ->
+  unit ->
+  outcome
+(** Search for an initial state in [x0_rect] whose trajectory leaves
+    [safe_rect] within the horizon.  Deterministic given the [rng] seed. *)

@@ -1,0 +1,56 @@
+exception Not_positive_definite
+
+let factorize a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Cholesky.factorize: matrix not square";
+  let l = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref a.(i).(j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (l.(i).(k) *. l.(j).(k))
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then raise Not_positive_definite;
+        l.(i).(i) <- sqrt !acc
+      end
+      else l.(i).(j) <- !acc /. l.(j).(j)
+    done
+  done;
+  l
+
+let solve a b =
+  let n = Mat.rows a in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  let l = factorize a in
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (l.(i).(j) *. y.(j))
+    done;
+    y.(i) <- !acc /. l.(i).(i)
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (l.(j).(i) *. y.(j))
+    done;
+    y.(i) <- !acc /. l.(i).(i)
+  done;
+  y
+
+let is_positive_definite a =
+  match factorize a with
+  | (_ : Mat.t) -> true
+  | exception Not_positive_definite -> false
+  | exception Invalid_argument _ -> false
+
+let log_det a =
+  let l = factorize a in
+  let n = Mat.rows a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. log l.(i).(i)
+  done;
+  2.0 *. !acc

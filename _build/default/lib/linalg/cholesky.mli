@@ -1,0 +1,15 @@
+(** Cholesky decomposition of symmetric positive-definite matrices. *)
+
+exception Not_positive_definite
+
+val factorize : Mat.t -> Mat.t
+(** [factorize a] is the lower-triangular [l] with [a = l lᵀ]; raises
+    [Not_positive_definite] when a diagonal pivot is non-positive. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] for SPD [a]. *)
+
+val is_positive_definite : Mat.t -> bool
+
+val log_det : Mat.t -> float
+(** Log-determinant of an SPD matrix, numerically stable. *)

@@ -1,0 +1,16 @@
+(** Eigendecomposition of real symmetric matrices (cyclic Jacobi).
+
+    Needed by CMA-ES (covariance sampling) and by the barrier level-set
+    geometry (ellipsoid axes). *)
+
+val symmetric : ?max_sweeps:int -> ?tol:float -> Mat.t -> Vec.t * Mat.t
+(** [symmetric a] is [(eigenvalues, eigenvectors)] with eigenvalues in
+    ascending order and eigenvectors as the *columns* of the returned
+    matrix, so [a = V diag(λ) Vᵀ].  The input must be symmetric; only its
+    lower triangle is trusted after symmetrization.  Convergence is
+    quadratic; [max_sweeps] (default 64) bounds the sweep count. *)
+
+val sqrt_spd : Mat.t -> Mat.t
+(** Symmetric square root of an SPD matrix: [sqrt_spd a] is the [s] with
+    [s s = a].  Raises [Invalid_argument] if an eigenvalue is negative
+    beyond tolerance. *)

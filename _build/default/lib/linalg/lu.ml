@@ -1,0 +1,91 @@
+type factorization = {
+  lu : Mat.t; (* L below the diagonal (unit diag implicit), U on and above *)
+  perm : int array; (* row permutation: original row of factored row i *)
+  sign : float; (* permutation parity, for the determinant *)
+}
+
+exception Singular
+
+let pivot_tol = 1e-13
+
+let factorize a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factorize: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest |entry| of column k to the diagonal. *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!piv).(k) then piv := i
+    done;
+    if !piv <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!piv);
+      lu.(!piv) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = lu.(k).(k) in
+    if Float.abs pivot < pivot_tol then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (factor *. lu.(k).(j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  let y = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward: L y = P b. *)
+  for i = 1 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (lu.(i).(j) *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  (* Backward: U x = y. *)
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (lu.(i).(j) *. y.(j))
+    done;
+    y.(i) <- !acc /. lu.(i).(i)
+  done;
+  y
+
+let solve a b = solve_factored (factorize a) b
+
+let det a =
+  match factorize a with
+  | { lu; sign; _ } ->
+    let n = Mat.rows lu in
+    let acc = ref sign in
+    for i = 0 to n - 1 do
+      acc := !acc *. lu.(i).(i)
+    done;
+    !acc
+  | exception Singular -> 0.0
+
+let inverse a =
+  let n = Mat.rows a in
+  let f = factorize a in
+  let inv = Mat.zeros n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    let x = solve_factored f e in
+    for i = 0 to n - 1 do
+      inv.(i).(j) <- x.(i)
+    done
+  done;
+  inv

@@ -1,0 +1,23 @@
+(** LU decomposition with partial pivoting, and derived solvers. *)
+
+type factorization
+(** Packed LU factors of a square matrix with a row-permutation record. *)
+
+exception Singular
+(** Raised when the matrix is (numerically) singular. *)
+
+val factorize : Mat.t -> factorization
+(** [factorize a] computes [P a = L U]; raises [Singular] when a pivot
+    underflows. *)
+
+val solve_factored : factorization -> Vec.t -> Vec.t
+(** Back/forward substitution against an existing factorization. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] is the [x] with [a x = b]. *)
+
+val det : Mat.t -> float
+(** Determinant via LU; 0 when singular. *)
+
+val inverse : Mat.t -> Mat.t
+(** Matrix inverse; raises [Singular] when not invertible. *)

@@ -1,0 +1,391 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+
+type problem = {
+  objective : float array;
+  constraints : constr list;
+  bounds : (float * float) array;
+}
+
+type solution = { x : float array; objective_value : float }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+let free = (neg_infinity, infinity)
+
+let nonneg = (0.0, infinity)
+
+let eps = 1e-9
+
+(* --- Standard-form translation -------------------------------------------
+
+   Original variable x_j with bounds (lo, hi) maps to non-negative standard
+   variables:
+     finite lo:            x_j = lo + y_k            (hi finite adds y_k <= hi-lo)
+     lo = -inf, finite hi: x_j = hi - y_k
+     free:                 x_j = y_k - y_{k+1}
+   The recovery table records how to rebuild x from y. *)
+
+type var_map =
+  | Shifted of int * float (* x = lo + y_k *)
+  | Mirrored of int * float (* x = hi - y_k *)
+  | Split of int * int (* x = y_k - y_k' *)
+
+let translate p =
+  let n = Array.length p.objective in
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> n then invalid_arg "Lp: constraint arity mismatch")
+    p.constraints;
+  if Array.length p.bounds <> n then invalid_arg "Lp: bounds arity mismatch";
+  let next = ref 0 in
+  let fresh () =
+    let k = !next in
+    incr next;
+    k
+  in
+  let maps =
+    Array.map
+      (fun (lo, hi) ->
+        if lo > hi then invalid_arg "Lp: empty variable bound";
+        if Float.is_finite lo then Shifted (fresh (), lo)
+        else if Float.is_finite hi then Mirrored (fresh (), hi)
+        else Split (fresh (), fresh ()))
+      p.bounds
+  in
+  let ny = !next in
+  (* Rewrite a row a·x ⋈ b into standard variables; returns (row, rhs shift). *)
+  let rewrite coeffs =
+    let row = Array.make ny 0.0 in
+    let shift = ref 0.0 in
+    Array.iteri
+      (fun j a ->
+        if a <> 0.0 then
+          match maps.(j) with
+          | Shifted (k, lo) ->
+            row.(k) <- row.(k) +. a;
+            shift := !shift +. (a *. lo)
+          | Mirrored (k, hi) ->
+            row.(k) <- row.(k) -. a;
+            shift := !shift +. (a *. hi)
+          | Split (k, k') ->
+            row.(k) <- row.(k) +. a;
+            row.(k') <- row.(k') -. a)
+      coeffs;
+    (row, !shift)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun c ->
+      let row, shift = rewrite c.coeffs in
+      rows := (row, c.relation, c.rhs -. shift) :: !rows)
+    p.constraints;
+  (* Upper bounds for doubly bounded variables become extra Le rows. *)
+  Array.iteri
+    (fun j (lo, hi) ->
+      if Float.is_finite lo && Float.is_finite hi then begin
+        match maps.(j) with
+        | Shifted (k, _) ->
+          let row = Array.make ny 0.0 in
+          row.(k) <- 1.0;
+          rows := (row, Le, hi -. lo) :: !rows
+        | Mirrored _ | Split _ -> assert false
+      end)
+    p.bounds;
+  let obj_row, obj_shift = rewrite p.objective in
+  (maps, ny, List.rev !rows, obj_row, obj_shift)
+
+let recover maps y =
+  Array.map
+    (function
+      | Shifted (k, lo) -> lo +. y.(k)
+      | Mirrored (k, hi) -> hi -. y.(k)
+      | Split (k, k') -> y.(k) -. y.(k'))
+    maps
+
+(* --- Tableau simplex ------------------------------------------------------
+
+   Tableau layout: m rows of structural+slack+artificial coefficients with
+   rhs in the last column; a cost row is maintained separately by pivoting.
+   Bland's rule (lowest eligible index) guarantees termination. *)
+
+type tableau = {
+  a : float array array; (* m x (n+1), last column = rhs >= 0 invariant *)
+  basis : int array; (* basic variable of each row *)
+  cost : float array; (* reduced-cost row, length n+1 (last = -objective) *)
+  ncols : int; (* structural + slack + artificial count *)
+}
+
+let pivot t ~row ~col =
+  let n1 = t.ncols + 1 in
+  let p = t.a.(row).(col) in
+  for j = 0 to n1 - 1 do
+    t.a.(row).(j) <- t.a.(row).(j) /. p
+  done;
+  for i = 0 to Array.length t.a - 1 do
+    if i <> row then begin
+      let factor = t.a.(i).(col) in
+      if factor <> 0.0 then
+        for j = 0 to n1 - 1 do
+          t.a.(i).(j) <- t.a.(i).(j) -. (factor *. t.a.(row).(j))
+        done
+    end
+  done;
+  let factor = t.cost.(col) in
+  if factor <> 0.0 then
+    for j = 0 to n1 - 1 do
+      t.cost.(j) <- t.cost.(j) -. (factor *. t.a.(row).(j))
+    done;
+  t.basis.(row) <- col
+
+type phase_outcome = Opt | Unbdd
+
+(* Practical primal simplex: Dantzig pricing with largest-pivot
+   tie-breaking in the ratio test (keeps pivots well-scaled on the heavily
+   degenerate LPs the barrier synthesis produces), falling back to Bland's
+   rule after a stretch of stalling (non-improving) iterations so
+   termination is guaranteed. *)
+let run_simplex t ~allowed =
+  let m = Array.length t.a in
+  let stall = ref 0 in
+  let rec iterate () =
+    let bland = !stall > 2 * (m + t.ncols) in
+    (* Entering column. *)
+    let entering = ref (-1) in
+    if bland then begin
+      try
+        for j = 0 to t.ncols - 1 do
+          if allowed j && t.cost.(j) < -.eps then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ()
+    end
+    else begin
+      let best_cost = ref (-.eps) in
+      for j = 0 to t.ncols - 1 do
+        if allowed j && t.cost.(j) < !best_cost then begin
+          best_cost := t.cost.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then Opt
+    else begin
+      let col = !entering in
+      (* Leaving row: minimum ratio.  Among (near-)ties prefer the largest
+         pivot magnitude (numerical stability); under Bland, the smallest
+         basis index. *)
+      let best = ref (-1) and best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let aic = t.a.(i).(col) in
+        if aic > eps then begin
+          let ratio = t.a.(i).(t.ncols) /. aic in
+          let tie = Float.abs (ratio -. !best_ratio) <= eps *. (1.0 +. Float.abs !best_ratio) in
+          if ratio < !best_ratio -. eps || !best < 0 then begin
+            best := i;
+            best_ratio := ratio
+          end
+          else if tie then begin
+            let better =
+              if bland then t.basis.(i) < t.basis.(!best)
+              else Float.abs aic > Float.abs t.a.(!best).(col)
+            in
+            if better then begin
+              best := i;
+              best_ratio := ratio
+            end
+          end
+        end
+      done;
+      if !best < 0 then Unbdd
+      else begin
+        let improving = !best_ratio > eps in
+        if improving then stall := 0 else incr stall;
+        pivot t ~row:!best ~col;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let minimize p =
+  let maps, ny, rows, obj_row, obj_shift = translate p in
+  let m = List.length rows in
+  if m = 0 then begin
+    (* Unconstrained: optimum is at a bound, or unbounded if any objective
+       coefficient pushes past an infinite bound. *)
+    let x = Array.make (Array.length p.objective) 0.0 in
+    let unbounded = ref false in
+    Array.iteri
+      (fun j c ->
+        let lo, hi = p.bounds.(j) in
+        if c > 0.0 then
+          if Float.is_finite lo then x.(j) <- lo else unbounded := true
+        else if c < 0.0 then
+          if Float.is_finite hi then x.(j) <- hi else unbounded := true
+        else x.(j) <- (if Float.is_finite lo then lo else if Float.is_finite hi then hi else 0.0))
+      p.objective;
+    if !unbounded then Unbounded
+    else begin
+      let v = Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) p.objective) in
+      Optimal { x; objective_value = v }
+    end
+  end
+  else begin
+    (* Count slack and artificial columns. *)
+    let rows_arr = Array.of_list rows in
+    (* Row equilibration: scale each row to unit max-norm so that rows from
+       very small or very large states do not produce badly scaled pivots. *)
+    let rows_arr =
+      Array.map
+        (fun (row, rel, rhs) ->
+          let m = Array.fold_left (fun acc a -> Float.max acc (Float.abs a)) (Float.abs rhs) row in
+          if m > 0.0 && (m < 1e-3 || m > 1e3) then
+            (Array.map (fun a -> a /. m) row, rel, rhs /. m)
+          else (row, rel, rhs))
+        rows_arr
+    in
+    (* Normalize rhs >= 0. *)
+    let rows_arr =
+      Array.map
+        (fun (row, rel, rhs) ->
+          if rhs < 0.0 then
+            ( Array.map (fun a -> -.a) row,
+              (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+              -.rhs )
+          else (row, rel, rhs))
+        rows_arr
+    in
+    let n_slack = Array.fold_left (fun k (_, rel, _) -> match rel with Le | Ge -> k + 1 | Eq -> k) 0 rows_arr in
+    let n_art =
+      Array.fold_left (fun k (_, rel, _) -> match rel with Ge | Eq -> k + 1 | Le -> k) 0 rows_arr
+    in
+    let ncols = ny + n_slack + n_art in
+    let a = Array.make_matrix m (ncols + 1) 0.0 in
+    let basis = Array.make m (-1) in
+    let slack_next = ref ny and art_next = ref (ny + n_slack) in
+    Array.iteri
+      (fun i (row, rel, rhs) ->
+        Array.blit row 0 a.(i) 0 ny;
+        a.(i).(ncols) <- rhs;
+        (match rel with
+        | Le ->
+          let s = !slack_next in
+          incr slack_next;
+          a.(i).(s) <- 1.0;
+          basis.(i) <- s
+        | Ge ->
+          let s = !slack_next in
+          incr slack_next;
+          a.(i).(s) <- -1.0;
+          let art = !art_next in
+          incr art_next;
+          a.(i).(art) <- 1.0;
+          basis.(i) <- art
+        | Eq ->
+          let art = !art_next in
+          incr art_next;
+          a.(i).(art) <- 1.0;
+          basis.(i) <- art))
+      rows_arr;
+    (* Phase 1: minimize the sum of artificials. *)
+    let cost1 = Array.make (ncols + 1) 0.0 in
+    for j = ny + n_slack to ncols - 1 do
+      cost1.(j) <- 1.0
+    done;
+    let t = { a; basis; cost = cost1; ncols } in
+    (* Price out the initial artificial basis so reduced costs are
+       consistent. *)
+    for i = 0 to m - 1 do
+      if basis.(i) >= ny + n_slack then
+        for j = 0 to ncols do
+          t.cost.(j) <- t.cost.(j) -. t.a.(i).(j)
+        done
+    done;
+    (match run_simplex t ~allowed:(fun _ -> true) with
+    | Unbdd -> assert false (* phase-1 objective is bounded below by 0 *)
+    | Opt -> ());
+    let phase1_value = -.t.cost.(ncols) in
+    if phase1_value > 1e-7 then Infeasible
+    else begin
+      (* Drive every artificial still basic (at zero level) out of the
+         basis; rows where that is impossible are redundant and get
+         deleted.  After this no artificial is basic, and artificial
+         columns are barred from entering in phase 2, so all artificials
+         stay pinned at zero — the phase-2 iterates remain feasible for the
+         original problem. *)
+      let art_lo = ny + n_slack in
+      let keep_rows = ref [] in
+      for i = 0 to m - 1 do
+        if t.basis.(i) >= art_lo then begin
+          let pivot_col = ref (-1) in
+          (try
+             for j = 0 to art_lo - 1 do
+               if Float.abs t.a.(i).(j) > eps then begin
+                 pivot_col := j;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !pivot_col >= 0 then begin
+            pivot t ~row:i ~col:!pivot_col;
+            keep_rows := i :: !keep_rows
+          end
+          (* else: redundant row, dropped below *)
+        end
+        else keep_rows := i :: !keep_rows
+      done;
+      let keep_rows = Array.of_list (List.rev !keep_rows) in
+      let a2 = Array.map (fun i -> t.a.(i)) keep_rows in
+      let basis2 = Array.map (fun i -> t.basis.(i)) keep_rows in
+      let m2 = Array.length keep_rows in
+      (* Phase 2: restore the real objective, priced out over the basis. *)
+      let cost2 = Array.make (ncols + 1) 0.0 in
+      Array.blit obj_row 0 cost2 0 ny;
+      for i = 0 to m2 - 1 do
+        let b = basis2.(i) in
+        if b < ncols && cost2.(b) <> 0.0 then begin
+          let factor = cost2.(b) in
+          for j = 0 to ncols do
+            cost2.(j) <- cost2.(j) -. (factor *. a2.(i).(j))
+          done
+        end
+      done;
+      let t2 = { a = a2; basis = basis2; cost = cost2; ncols } in
+      match run_simplex t2 ~allowed:(fun j -> j < art_lo) with
+      | Unbdd -> Unbounded
+      | Opt ->
+        let y = Array.make ny 0.0 in
+        for i = 0 to m2 - 1 do
+          if t2.basis.(i) < ny then y.(t2.basis.(i)) <- t2.a.(i).(ncols)
+        done;
+        let x = recover maps y in
+        let v =
+          obj_shift
+          +. Array.fold_left ( +. ) 0.0 (Array.mapi (fun k c -> c *. y.(k)) obj_row)
+        in
+        Optimal { x; objective_value = v }
+    end
+  end
+
+let maximize p =
+  match minimize { p with objective = Array.map (fun c -> -.c) p.objective } with
+  | Optimal s -> Optimal { s with objective_value = -.s.objective_value }
+  | (Infeasible | Unbounded) as r -> r
+
+let check_feasible ?(tol = 1e-7) p x =
+  let n = Array.length p.objective in
+  Array.length x = n
+  && Array.for_all2 (fun xi (lo, hi) -> xi >= lo -. tol && xi <= hi +. tol) x p.bounds
+  && List.for_all
+       (fun c ->
+         let lhs = ref 0.0 in
+         Array.iteri (fun j a -> lhs := !lhs +. (a *. x.(j))) c.coeffs;
+         match c.relation with
+         | Le -> !lhs <= c.rhs +. tol
+         | Ge -> !lhs >= c.rhs -. tol
+         | Eq -> Float.abs (!lhs -. c.rhs) <= tol)
+       p.constraints

@@ -1,0 +1,46 @@
+(** Linear programming by dense two-phase primal simplex.
+
+    This is the substitute for MATLAB's [linprog] in the paper's pipeline:
+    the generator-function candidate is the solution of an LP whose rows
+    come from simulation traces.  Problems here are small (tens of
+    variables, hundreds of rows), so a dense tableau with Bland's
+    anti-cycling rule is entirely adequate and easy to trust.
+
+    Variables may have arbitrary (possibly infinite) bounds; free variables
+    are handled by the classic positive/negative split. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;  (** dense row, one coefficient per variable *)
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  objective : float array;  (** minimize [objective · x] *)
+  constraints : constr list;
+  bounds : (float * float) array;
+      (** per-variable [(lower, upper)]; use [neg_infinity] / [infinity] for
+          unbounded sides *)
+}
+
+type solution = { x : float array; objective_value : float }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+val free : float * float
+(** [(neg_infinity, infinity)]. *)
+
+val nonneg : float * float
+(** [(0., infinity)]. *)
+
+val minimize : problem -> result
+
+val maximize : problem -> result
+(** Same problem with the objective negated; the reported
+    [objective_value] is the maximum. *)
+
+val check_feasible : ?tol:float -> problem -> float array -> bool
+(** [check_feasible p x] verifies all constraints and bounds at [x] up to
+    [tol] (default 1e-7); used by tests and as a postcondition guard. *)

@@ -1,0 +1,1 @@
+lib/nn/nn.ml: Array Buffer Expr Float Fun List Mat Printf Rng Scanf String Vec

@@ -1,0 +1,1 @@
+lib/nn/nn.mli: Expr Mat Rng Vec

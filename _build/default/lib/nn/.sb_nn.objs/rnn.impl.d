@@ -1,0 +1,1 @@
+lib/nn/rnn.ml: Array Expr Float Fun List Mat Nn Printf Rng Scanf String Vec

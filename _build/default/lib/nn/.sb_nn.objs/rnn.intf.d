@@ -1,0 +1,1 @@
+lib/nn/rnn.mli: Expr Mat Nn Rng Vec

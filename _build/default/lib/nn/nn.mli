@@ -1,0 +1,84 @@
+(** Feedforward neural networks.
+
+    Networks here are the learning-enabled controllers of the paper:
+    stateless, fully connected, with arbitrary nonlinear activations.  The
+    module supports three views of the same network: numeric evaluation
+    (simulation), a flat parameter vector (CMA-ES policy search) and a
+    symbolic expression (SMT verification) — the paper's fidelity assumption
+    is that the symbolic view *is* the deployed controller. *)
+
+type activation = Tansig | Logsig | Relu | Linear
+
+val apply_activation : activation -> float -> float
+
+val activation_expr : activation -> Expr.t -> Expr.t
+(** Symbolic counterpart.  [Relu] is encoded as [(x + |x|) / 2]. *)
+
+val activation_name : activation -> string
+
+val activation_of_name : string -> activation
+(** Raises [Invalid_argument] on unknown names. *)
+
+type layer = {
+  weights : Mat.t;  (** [d_out × d_in] *)
+  biases : Vec.t;  (** length [d_out] *)
+  activation : activation;
+}
+
+type t = { input_dim : int; layers : layer list }
+(** Invariant (checked by [create]/[of_layers]): consecutive layer shapes
+    chain, i.e. [cols weights = previous d_out]. *)
+
+val of_layers : input_dim:int -> layer list -> t
+(** Validates shape chaining; raises [Invalid_argument] otherwise. *)
+
+val create : rng:Rng.t -> input_dim:int -> (int * activation) list -> t
+(** [create ~rng ~input_dim spec] builds a network with one entry of [spec]
+    per layer (width, activation), Xavier-uniform initialized. *)
+
+val output_dim : t -> int
+
+val hidden_widths : t -> int list
+
+val eval : t -> Vec.t -> Vec.t
+(** Forward pass; raises [Invalid_argument] on input-dimension mismatch. *)
+
+val eval1 : t -> Vec.t -> float
+(** Forward pass of a single-output network. *)
+
+(** {1 Parameter vector (for policy search)} *)
+
+val num_params : t -> int
+(** Total weight + bias count.  For the paper's controller (2 inputs, one
+    hidden layer of [Nh], 1 output) this is [4·Nh + 1]. *)
+
+val get_params : t -> Vec.t
+(** Row-major weights then biases, layer by layer. *)
+
+val set_params : t -> Vec.t -> t
+(** Functional update from a flat vector; raises [Invalid_argument] on
+    length mismatch. *)
+
+(** {1 Symbolic view} *)
+
+val to_exprs : t -> Expr.t array -> Expr.t array
+(** [to_exprs net inputs] is the symbolic output of the network applied to
+    symbolic inputs (one expression per output neuron). *)
+
+(** {1 Serialization} *)
+
+val to_string : t -> string
+(** Line-oriented text format, round-tripped by {!of_string}. *)
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val save : t -> string -> unit
+
+val load : string -> t
+
+(** {1 The paper's controller architecture} *)
+
+val controller : rng:Rng.t -> hidden:int -> t
+(** Two inputs [(derr, θerr)], [hidden] tansig neurons, one tansig output —
+    the architecture verified in the paper's case study. *)

@@ -1,0 +1,175 @@
+type field = float -> Vec.t -> Vec.t
+
+type trace = { times : float array; states : Vec.t array }
+
+let trace_length tr = Array.length tr.times
+
+let final_state tr = tr.states.(Array.length tr.states - 1)
+
+let step_euler f t x h = Vec.axpy h (f t x) x
+
+let step_rk4 f t x h =
+  let k1 = f t x in
+  let k2 = f (t +. (0.5 *. h)) (Vec.axpy (0.5 *. h) k1 x) in
+  let k3 = f (t +. (0.5 *. h)) (Vec.axpy (0.5 *. h) k2 x) in
+  let k4 = f (t +. h) (Vec.axpy h k3 x) in
+  let incr =
+    Vec.map2 ( +. ) k1 (Vec.map2 ( +. ) (Vec.scale 2.0 k2) (Vec.map2 ( +. ) (Vec.scale 2.0 k3) k4))
+  in
+  Vec.axpy (h /. 6.0) incr x
+
+let stepper = function `Euler -> step_euler | `Rk4 -> step_rk4
+
+let simulate ?(method_ = `Rk4) f ~t0 ~x0 ~dt ~steps =
+  if steps < 0 then invalid_arg "Ode.simulate: negative step count";
+  let step = stepper method_ in
+  let times = Array.make (steps + 1) t0 in
+  let states = Array.make (steps + 1) x0 in
+  for i = 1 to steps do
+    let t = t0 +. (dt *. float_of_int (i - 1)) in
+    times.(i) <- t0 +. (dt *. float_of_int i);
+    states.(i) <- step f t states.(i - 1) dt
+  done;
+  { times; states }
+
+let simulate_until ?(method_ = `Rk4) ?(stop = fun _ _ -> false) f ~t0 ~x0 ~dt ~t_end =
+  if t_end < t0 then invalid_arg "Ode.simulate_until: t_end < t0";
+  let step = stepper method_ in
+  let rec loop t x acc =
+    if stop t x || t >= t_end -. (0.5 *. dt) then List.rev ((t, x) :: acc)
+    else begin
+      let h = Float.min dt (t_end -. t) in
+      loop (t +. h) (step f t x h) ((t, x) :: acc)
+    end
+  in
+  let samples = loop t0 x0 [] in
+  {
+    times = Array.of_list (List.map fst samples);
+    states = Array.of_list (List.map snd samples);
+  }
+
+type rk45_options = {
+  rel_tol : float;
+  abs_tol : float;
+  h_init : float;
+  h_min : float;
+  h_max : float;
+  max_steps : int;
+}
+
+let default_rk45 =
+  { rel_tol = 1e-8; abs_tol = 1e-10; h_init = 1e-3; h_min = 1e-12; h_max = 1.0; max_steps = 1_000_000 }
+
+exception Step_size_underflow of float
+
+(* Dormand-Prince 5(4) Butcher tableau. *)
+let dp_c = [| 0.0; 0.2; 0.3; 0.8; 8.0 /. 9.0; 1.0; 1.0 |]
+
+let dp_a =
+  [|
+    [||];
+    [| 0.2 |];
+    [| 3.0 /. 40.0; 9.0 /. 40.0 |];
+    [| 44.0 /. 45.0; -56.0 /. 15.0; 32.0 /. 9.0 |];
+    [| 19372.0 /. 6561.0; -25360.0 /. 2187.0; 64448.0 /. 6561.0; -212.0 /. 729.0 |];
+    [| 9017.0 /. 3168.0; -355.0 /. 33.0; 46732.0 /. 5247.0; 49.0 /. 176.0; -5103.0 /. 18656.0 |];
+    [| 35.0 /. 384.0; 0.0; 500.0 /. 1113.0; 125.0 /. 192.0; -2187.0 /. 6784.0; 11.0 /. 84.0 |];
+  |]
+
+let dp_b5 = [| 35.0 /. 384.0; 0.0; 500.0 /. 1113.0; 125.0 /. 192.0; -2187.0 /. 6784.0; 11.0 /. 84.0; 0.0 |]
+
+let dp_b4 =
+  [|
+    5179.0 /. 57600.0;
+    0.0;
+    7571.0 /. 16695.0;
+    393.0 /. 640.0;
+    -92097.0 /. 339200.0;
+    187.0 /. 2100.0;
+    1.0 /. 40.0;
+  |]
+
+let rk45_step f t x h =
+  let n = Vec.dim x in
+  let k = Array.make 7 (Vec.zeros n) in
+  for i = 0 to 6 do
+    let xi = Array.copy x in
+    for j = 0 to i - 1 do
+      let aij = dp_a.(i).(j) in
+      if aij <> 0.0 then
+        for d = 0 to n - 1 do
+          xi.(d) <- xi.(d) +. (h *. aij *. k.(j).(d))
+        done
+    done;
+    k.(i) <- f (t +. (dp_c.(i) *. h)) xi
+  done;
+  let x5 = Array.copy x and x4 = Array.copy x in
+  for i = 0 to 6 do
+    for d = 0 to n - 1 do
+      x5.(d) <- x5.(d) +. (h *. dp_b5.(i) *. k.(i).(d));
+      x4.(d) <- x4.(d) +. (h *. dp_b4.(i) *. k.(i).(d))
+    done
+  done;
+  (x5, x4)
+
+let simulate_rk45 ?(options = default_rk45) f ~t0 ~x0 ~t_end =
+  if t_end < t0 then invalid_arg "Ode.simulate_rk45: t_end < t0";
+  let { rel_tol; abs_tol; h_init; h_min; h_max; max_steps } = options in
+  let times = ref [ t0 ] and states = ref [ x0 ] in
+  let rec loop t x h steps =
+    if steps > max_steps then raise (Step_size_underflow t);
+    if t >= t_end -. 1e-14 then ()
+    else begin
+      let h = Float.min h (t_end -. t) in
+      let x5, x4 = rk45_step f t x h in
+      (* Scaled error norm; <= 1 means the step is acceptable. *)
+      let err = ref 0.0 in
+      for d = 0 to Vec.dim x - 1 do
+        let scale = abs_tol +. (rel_tol *. Float.max (Float.abs x.(d)) (Float.abs x5.(d))) in
+        let e = (x5.(d) -. x4.(d)) /. scale in
+        err := !err +. (e *. e)
+      done;
+      let err = sqrt (!err /. float_of_int (Vec.dim x)) in
+      if err <= 1.0 then begin
+        let t' = t +. h in
+        times := t' :: !times;
+        states := x5 :: !states;
+        let grow = 0.9 *. (Float.max err 1e-10 ** -0.2) in
+        let h' = Floatx.clamp ~lo:h_min ~hi:h_max (h *. Float.min 5.0 grow) in
+        loop t' x5 h' (steps + 1)
+      end
+      else begin
+        let shrink = 0.9 *. (err ** -0.25) in
+        let h' = h *. Float.max 0.1 shrink in
+        if h' < h_min then raise (Step_size_underflow t);
+        loop t x h' (steps + 1)
+      end
+    end
+  in
+  loop t0 x0 (Float.min h_init h_max) 0;
+  {
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states);
+  }
+
+let resample tr ~dt =
+  let n = Array.length tr.times in
+  if n = 0 then invalid_arg "Ode.resample: empty trace";
+  let t0 = tr.times.(0) and t_end = tr.times.(n - 1) in
+  let count = 1 + int_of_float (Float.floor (((t_end -. t0) /. dt) +. 1e-12)) in
+  let times = Array.init count (fun i -> t0 +. (dt *. float_of_int i)) in
+  let states =
+    Array.map
+      (fun t ->
+        (* Find the bracketing samples and interpolate linearly. *)
+        let rec find i = if i + 1 >= n || tr.times.(i + 1) >= t then i else find (i + 1) in
+        let i = find 0 in
+        if i + 1 >= n then tr.states.(n - 1)
+        else begin
+          let t1 = tr.times.(i) and t2 = tr.times.(i + 1) in
+          let w = if t2 = t1 then 0.0 else (t -. t1) /. (t2 -. t1) in
+          Vec.map2 (fun a b -> a +. (w *. (b -. a))) tr.states.(i) tr.states.(i + 1)
+        end)
+      times
+  in
+  { times; states }

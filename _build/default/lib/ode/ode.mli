@@ -1,0 +1,72 @@
+(** Numerical integration of autonomous and time-varying ODEs.
+
+    The closed-loop models in this library are autonomous ([ẋ = f(x)]), but
+    the integrators accept a time argument for generality.  Simulation
+    traces are the raw material of the barrier-certificate LP: each sampled
+    state contributes positivity and decrease constraints. *)
+
+type field = float -> Vec.t -> Vec.t
+(** [field t x] is [ẋ] at time [t], state [x]. *)
+
+type trace = { times : float array; states : Vec.t array }
+(** A trajectory sampled at increasing times; [states.(i)] is the state at
+    [times.(i)].  Invariant: equal lengths, at least one sample. *)
+
+val trace_length : trace -> int
+
+val final_state : trace -> Vec.t
+
+val step_euler : field -> float -> Vec.t -> float -> Vec.t
+(** [step_euler f t x h] is the explicit-Euler step of size [h]. *)
+
+val step_rk4 : field -> float -> Vec.t -> float -> Vec.t
+(** Classic fourth-order Runge–Kutta step. *)
+
+val simulate :
+  ?method_:[ `Euler | `Rk4 ] ->
+  field ->
+  t0:float ->
+  x0:Vec.t ->
+  dt:float ->
+  steps:int ->
+  trace
+(** Fixed-step integration recording every step (so the trace has
+    [steps + 1] samples).  Default method is [`Rk4]. *)
+
+val simulate_until :
+  ?method_:[ `Euler | `Rk4 ] ->
+  ?stop:(float -> Vec.t -> bool) ->
+  field ->
+  t0:float ->
+  x0:Vec.t ->
+  dt:float ->
+  t_end:float ->
+  trace
+(** Like {!simulate} but integrates to [t_end]; if [stop] becomes true the
+    trace is truncated at that sample. *)
+
+(** {1 Adaptive integration} *)
+
+type rk45_options = {
+  rel_tol : float;  (** relative tolerance, default 1e-8 *)
+  abs_tol : float;  (** absolute tolerance, default 1e-10 *)
+  h_init : float;  (** initial step, default 1e-3 *)
+  h_min : float;  (** smallest allowed step, default 1e-12 *)
+  h_max : float;  (** largest allowed step, default 1.0 *)
+  max_steps : int;  (** safety bound, default 1_000_000 *)
+}
+
+val default_rk45 : rk45_options
+
+exception Step_size_underflow of float
+(** Raised when error control would require a step below [h_min]; carries
+    the time of failure. *)
+
+val simulate_rk45 :
+  ?options:rk45_options -> field -> t0:float -> x0:Vec.t -> t_end:float -> trace
+(** Dormand–Prince RK45 with PI step-size control; records every accepted
+    step and lands exactly on [t_end]. *)
+
+val resample : trace -> dt:float -> trace
+(** Linear-interpolation resampling of a trace onto a uniform grid with
+    spacing [dt] (useful to compare adaptive and fixed-step runs). *)

@@ -1,0 +1,1 @@
+lib/smt/box.ml: Array Float Format Hashtbl Interval List

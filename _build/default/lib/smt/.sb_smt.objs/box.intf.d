@@ -1,0 +1,1 @@
+lib/smt/box.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/smt/formula.ml: Buffer Expr Float Format List Printf Set String

@@ -1,0 +1,1 @@
+lib/smt/hc4.ml: Array Expr Float Formula Interval

@@ -1,0 +1,1 @@
+lib/smt/hc4.mli: Formula Interval

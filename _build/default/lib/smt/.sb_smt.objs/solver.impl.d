@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Expr Float Format Formula Hashtbl Hc4 Interval List Printf Unix

@@ -1,0 +1,67 @@
+type t = { names : string array; index : (string, int) Hashtbl.t; ivals : Interval.t array }
+
+let of_list bindings =
+  let names = Array.of_list (List.map fst bindings) in
+  let ivals = Array.of_list (List.map snd bindings) in
+  let index = Hashtbl.create (Array.length names) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem index name then invalid_arg "Box.of_list: duplicate variable";
+      Hashtbl.add index name i)
+    names;
+  { names; index; ivals }
+
+let vars b = Array.copy b.names
+
+let dim b = Array.length b.names
+
+let index_of b name =
+  match Hashtbl.find_opt b.index name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let get b name = b.ivals.(index_of b name)
+
+let get_idx b i = b.ivals.(i)
+
+let set_idx b i ival =
+  let ivals = Array.copy b.ivals in
+  ivals.(i) <- ival;
+  { b with ivals }
+
+let is_empty b = Array.exists Interval.is_empty b.ivals
+
+let max_width b = Array.fold_left (fun w i -> Float.max w (Interval.width i)) 0.0 b.ivals
+
+let widest_var b =
+  let best = ref 0 and best_w = ref (Interval.width b.ivals.(0)) in
+  for i = 1 to Array.length b.ivals - 1 do
+    let w = Interval.width b.ivals.(i) in
+    if w > !best_w then begin
+      best := i;
+      best_w := w
+    end
+  done;
+  !best
+
+let split b i =
+  let left, right = Interval.split b.ivals.(i) in
+  (set_idx b i left, set_idx b i right)
+
+let midpoint b =
+  Array.to_list (Array.mapi (fun i name -> (name, Interval.midpoint b.ivals.(i))) b.names)
+
+let contains b assignment =
+  List.for_all
+    (fun (name, x) ->
+      match Hashtbl.find_opt b.index name with
+      | Some i -> Interval.mem x b.ivals.(i)
+      | None -> true)
+    assignment
+
+let total_width b = Array.fold_left (fun acc i -> acc +. Interval.width i) 0.0 b.ivals
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri (fun i name -> Format.fprintf fmt "%s ∈ %a@," name Interval.pp b.ivals.(i)) b.names;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,48 @@
+(** Boxes: axis-aligned interval assignments to named variables.
+
+    A box is the solver's search-state: each variable of the query maps to
+    an interval, and contraction/branching shrink these intervals. *)
+
+type t
+
+val of_list : (string * Interval.t) list -> t
+(** Variable order follows the list; duplicate names raise
+    [Invalid_argument]. *)
+
+val vars : t -> string array
+
+val dim : t -> int
+
+val get : t -> string -> Interval.t
+(** Raises [Not_found] for unknown variables. *)
+
+val get_idx : t -> int -> Interval.t
+
+val set_idx : t -> int -> Interval.t -> t
+(** Functional update. *)
+
+val index_of : t -> string -> int
+
+val is_empty : t -> bool
+(** True when any coordinate interval is empty. *)
+
+val max_width : t -> float
+(** Largest coordinate width. *)
+
+val widest_var : t -> int
+(** Index of the widest coordinate (first on ties). *)
+
+val split : t -> int -> t * t
+(** Bisect the given coordinate. *)
+
+val midpoint : t -> (string * float) list
+(** Center point as an assignment. *)
+
+val contains : t -> (string * float) list -> bool
+(** Does the assignment lie inside the box (for its variables)? *)
+
+val total_width : t -> float
+(** Sum of coordinate widths — monotone measure used to detect contraction
+    progress. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+type rel = Le0 | Lt0 | Eq0
+
+type atom = { expr : Expr.t; rel : rel }
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t list
+  | Or of t list
+  | Not of t
+
+let le a b = Atom { expr = Expr.( - ) a b; rel = Le0 }
+
+let lt a b = Atom { expr = Expr.( - ) a b; rel = Lt0 }
+
+let ge a b = le b a
+
+let gt a b = lt b a
+
+let eq a b = Atom { expr = Expr.( - ) a b; rel = Eq0 }
+
+let and_ fs =
+  if List.exists (fun f -> f = False) fs then False
+  else begin
+    match List.filter (fun f -> f <> True) fs with
+    | [] -> True
+    | [ f ] -> f
+    | fs -> And fs
+  end
+
+let or_ fs =
+  if List.exists (fun f -> f = True) fs then True
+  else begin
+    match List.filter (fun f -> f <> False) fs with
+    | [] -> False
+    | [ f ] -> f
+    | fs -> Or fs
+  end
+
+let not_ = function True -> False | False -> True | Not f -> f | f -> Not f
+
+let in_rect dims =
+  and_
+    (List.concat_map
+       (fun (v, lo, hi) ->
+         [ le (Expr.const lo) (Expr.var v); le (Expr.var v) (Expr.const hi) ])
+       dims)
+
+let outside_rect dims =
+  or_
+    (List.concat_map
+       (fun (v, lo, hi) ->
+         [ lt (Expr.var v) (Expr.const lo); gt (Expr.var v) (Expr.const hi) ])
+       dims)
+
+let eval_atom env { expr; rel } =
+  let v = Expr.eval_env env expr in
+  match rel with Le0 -> v <= 0.0 | Lt0 -> v < 0.0 | Eq0 -> v = 0.0
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom env a
+  | And fs -> List.for_all (eval env) fs
+  | Or fs -> List.exists (eval env) fs
+  | Not f -> not (eval env f)
+
+let holds_delta delta env f =
+  let atom_delta { expr; rel } =
+    let v = Expr.eval_env env expr in
+    match rel with Le0 | Lt0 -> v <= delta | Eq0 -> Float.abs v <= delta
+  in
+  let rec go = function
+    | True -> true
+    | False -> false
+    | Atom a -> atom_delta a
+    | And fs -> List.for_all go fs
+    | Or fs -> List.exists go fs
+    | Not f -> go (push_not f)
+  and push_not = function
+    | True -> False
+    | False -> True
+    | Atom { expr; rel = Le0 } -> Atom { expr = Expr.neg expr; rel = Lt0 }
+    | Atom { expr; rel = Lt0 } -> Atom { expr = Expr.neg expr; rel = Le0 }
+    | Atom ({ rel = Eq0; _ } as a) ->
+      Or [ Atom { a with rel = Lt0 }; Atom { expr = Expr.neg a.expr; rel = Lt0 } ]
+    | And fs -> Or (List.map (fun f -> Not f) fs)
+    | Or fs -> And (List.map (fun f -> Not f) fs)
+    | Not f -> f
+  in
+  go f
+
+(* Negation normal form: push Not down to (flipped) atoms. *)
+let rec nnf = function
+  | (True | False | Atom _) as f -> f
+  | And fs -> And (List.map nnf fs)
+  | Or fs -> Or (List.map nnf fs)
+  | Not f -> nnf_neg f
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Atom { expr; rel = Le0 } -> Atom { expr = Expr.neg expr; rel = Lt0 }
+  | Atom { expr; rel = Lt0 } -> Atom { expr = Expr.neg expr; rel = Le0 }
+  | Atom ({ rel = Eq0; _ } as a) ->
+    Or [ Atom { a with rel = Lt0 }; Atom { expr = Expr.neg a.expr; rel = Lt0 } ]
+  | And fs -> Or (List.map nnf_neg fs)
+  | Or fs -> And (List.map nnf_neg fs)
+  | Not f -> nnf f
+
+let to_dnf f =
+  (* Cartesian products of sub-DNFs; inputs here are small by construction. *)
+  let rec go = function
+    | True -> [ [] ]
+    | False -> []
+    | Atom a -> [ [ a ] ]
+    | Or fs -> List.concat_map go fs
+    | And fs ->
+      List.fold_left
+        (fun acc f ->
+          let branches = go f in
+          List.concat_map (fun conj -> List.map (fun b -> conj @ b) branches) acc)
+        [ [] ] fs
+    | Not _ -> assert false (* removed by nnf *)
+  in
+  go (nnf f)
+
+module String_set = Set.Make (String)
+
+let free_vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Atom { expr; _ } -> List.fold_left (fun s v -> String_set.add v s) acc (Expr.free_vars expr)
+    | And fs | Or fs -> List.fold_left go acc fs
+    | Not f -> go acc f
+  in
+  String_set.elements (go String_set.empty f)
+
+let rec to_smtlib = function
+  | True -> "true"
+  | False -> "false"
+  | Atom { expr; rel } ->
+    let op = match rel with Le0 -> "<=" | Lt0 -> "<" | Eq0 -> "=" in
+    Printf.sprintf "(%s %s 0)" op (Expr.to_smtlib expr)
+  | And fs -> Printf.sprintf "(and %s)" (String.concat " " (List.map to_smtlib fs))
+  | Or fs -> Printf.sprintf "(or %s)" (String.concat " " (List.map to_smtlib fs))
+  | Not f -> Printf.sprintf "(not %s)" (to_smtlib f)
+
+let to_smtlib_script ~bounds f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "(set-logic QF_NRA)\n";
+  List.iter
+    (fun (v, _, _) -> Buffer.add_string buf (Printf.sprintf "(declare-fun %s () Real)\n" v))
+    bounds;
+  List.iter
+    (fun (v, lo, hi) ->
+      Buffer.add_string buf
+        (Printf.sprintf "(assert (and (<= %.17g %s) (<= %s %.17g)))\n" lo v v hi))
+    bounds;
+  Buffer.add_string buf (Printf.sprintf "(assert %s)\n" (to_smtlib f));
+  Buffer.add_string buf "(check-sat)\n(exit)\n";
+  Buffer.contents buf
+
+let pp_atom fmt { expr; rel } =
+  let op = match rel with Le0 -> "<=" | Lt0 -> "<" | Eq0 -> "=" in
+  Format.fprintf fmt "%a %s 0" Expr.pp expr op
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom a -> pp_atom fmt a
+  | And fs ->
+    Format.fprintf fmt "(and";
+    List.iter (fun f -> Format.fprintf fmt " %a" pp f) fs;
+    Format.fprintf fmt ")"
+  | Or fs ->
+    Format.fprintf fmt "(or";
+    List.iter (fun f -> Format.fprintf fmt " %a" pp f) fs;
+    Format.fprintf fmt ")"
+  | Not f -> Format.fprintf fmt "(not %a)" pp f

@@ -1,0 +1,322 @@
+type verdict = Unsat | Delta_sat of (string * float) list | Unknown
+
+type stats = {
+  branches : int;
+  prunes : int;
+  hc4_calls : int;
+  max_depth : int;
+  elapsed : float;
+}
+
+type branching = Widest | Smear
+
+type options = {
+  delta : float;
+  max_branches : int;
+  use_backward : bool;
+  branching : branching;
+  use_mvf : bool;
+}
+
+let default_options =
+  {
+    delta = 1e-3;
+    max_branches = 200_000;
+    use_backward = true;
+    branching = Smear;
+    use_mvf = true;
+  }
+
+type search_state = {
+  mutable branches : int;
+  mutable prunes : int;
+  mutable hc4_calls : int;
+  mutable max_depth : int;
+}
+
+(* Atom satisfiable somewhere in the box, from the forward enclosure alone. *)
+let possibly_sat (atom : Formula.atom) ival =
+  (not (Interval.is_empty ival))
+  &&
+  match atom.rel with
+  | Formula.Le0 | Formula.Lt0 -> Interval.lo ival <= 0.0
+  | Formula.Eq0 -> Interval.mem 0.0 ival
+
+exception Pruned
+
+(* Contract [domains] in place to a fixpoint of HC4 over all atoms; raises
+   Pruned on emptiness.  In forward-only mode (ablation A2) no contraction
+   happens, only infeasibility detection. *)
+let contract ~opts st domains compiled_atoms =
+  if opts.use_backward then begin
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !rounds < 10 do
+      incr rounds;
+      let changed = ref false in
+      List.iter
+        (fun (_, c, _) ->
+          st.hc4_calls <- st.hc4_calls + 1;
+          match Hc4.revise domains c with
+          | did -> if did then changed := true
+          | exception Hc4.Empty_box -> raise Pruned)
+        compiled_atoms;
+      continue_ := !changed
+    done
+  end
+  else
+    List.iter
+      (fun (atom, c, _) ->
+        st.hc4_calls <- st.hc4_calls + 1;
+        let ival = Hc4.forward domains c in
+        if not (possibly_sat atom ival) then raise Pruned)
+      compiled_atoms
+
+let midpoint_assignment names domains =
+  Array.to_list (Array.mapi (fun i n -> (n, Interval.midpoint domains.(i))) names)
+
+let atom_holds_delta delta env (atom : Formula.atom) =
+  let v = Expr.eval_env env atom.expr in
+  Float.is_finite v
+  && (match atom.rel with Formula.Le0 | Formula.Lt0 -> v <= delta | Formula.Eq0 -> Float.abs v <= delta)
+
+(* Decide one DNF disjunct (a conjunction of atoms) by branch-and-prune.
+   Returns a witness option; Unknown is signalled by exception. *)
+exception Budget_exhausted
+
+let solve_conjunction ~opts st names bounds atoms =
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.add index n i) names;
+  let index_of n =
+    match Hashtbl.find_opt index n with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" n)
+  in
+  (* Each atom is compiled together with its partial derivatives, used for
+     mean-value-form bounds (quadratic-convergence enclosures) and smear
+     branching.  Partials are only built for nontrivial atoms — tiny
+     box-membership atoms gain nothing from them. *)
+  let compile_partials (a : Formula.atom) =
+    if Expr.size a.Formula.expr < 4 then [||]
+    else
+      Array.map
+        (fun v ->
+          let partial = Expr.diff v a.Formula.expr in
+          Hc4.compile ~index_of { Formula.expr = partial; rel = Formula.Le0 })
+        names
+  in
+  let compiled_atoms =
+    List.map (fun a -> (a, Hc4.compile ~index_of a, compile_partials a)) atoms
+  in
+  (* Mean-value form of an atom over the current box:
+     e(x) ∈ e(mid) + Σᵢ ∂e/∂xᵢ(box)·(xᵢ − midᵢ), with a relative fudge for
+     the float evaluation of e(mid).  Returns None when midpoint evaluation
+     or a gradient enclosure is unusable. *)
+  let mvf_bounds domains (atom : Formula.atom) partials =
+    if Array.length partials = 0 then None
+    else begin
+      let mid = Array.map Interval.midpoint domains in
+      let lookup v = mid.(index_of v) in
+      let e_mid = Expr.eval lookup atom.Formula.expr in
+      if not (Float.is_finite e_mid) then None
+      else begin
+        let rad = ref 0.0 in
+        (try
+           Array.iteri
+             (fun i c ->
+               let w = Interval.width domains.(i) in
+               if w > 0.0 then begin
+                 let grad = Hc4.forward domains c in
+                 if Interval.is_empty grad then raise Exit;
+                 let mag = Float.max (Float.abs (Interval.lo grad)) (Float.abs (Interval.hi grad)) in
+                 if not (Float.is_finite mag) then raise Exit;
+                 rad := !rad +. (mag *. 0.5 *. w)
+               end)
+             partials;
+           let fudge = 1e-9 *. (1.0 +. Float.abs e_mid) in
+           Some (e_mid -. !rad -. fudge, e_mid +. !rad +. fudge)
+         with Exit -> None)
+      end
+    end
+  in
+  (* MVF verdicts: atom certainly satisfied / certainly violated on the box. *)
+  let mvf_certainly_true domains (atom : Formula.atom) partials =
+    opts.use_mvf
+    &&
+    match mvf_bounds domains atom partials with
+    | None -> false
+    | Some (_, hi) -> (
+      match atom.Formula.rel with
+      | Formula.Le0 -> hi <= 0.0
+      | Formula.Lt0 -> hi < 0.0
+      | Formula.Eq0 -> false)
+  in
+  let mvf_infeasible domains (atom : Formula.atom) partials =
+    opts.use_mvf
+    &&
+    match mvf_bounds domains atom partials with
+    | None -> false
+    | Some (lo, hi) -> (
+      match atom.Formula.rel with
+      | Formula.Le0 | Formula.Lt0 -> lo > 0.0
+      | Formula.Eq0 -> lo > 0.0 || hi < 0.0)
+  in
+  let smear_partials =
+    match opts.branching with
+    | Widest -> [||]
+    | Smear -> (
+      match
+        List.fold_left
+          (fun best (a, _, partials) ->
+            match best with
+            | None -> if Array.length partials > 0 then Some (a, partials) else None
+            | Some (b, _) ->
+              if
+                Array.length partials > 0
+                && Expr.size a.Formula.expr > Expr.size b.Formula.expr
+              then Some (a, partials)
+              else best)
+          None compiled_atoms
+      with
+      | None -> [||]
+      | Some (_, partials) -> partials)
+  in
+  let pick_split_var domains =
+    let widest () =
+      let best = ref 0 and best_w = ref (Interval.width domains.(0)) in
+      Array.iteri
+        (fun i d ->
+          let w = Interval.width d in
+          if w > !best_w then begin
+            best := i;
+            best_w := w
+          end)
+        domains;
+      !best
+    in
+    if Array.length smear_partials = 0 then widest ()
+    else begin
+      let best = ref (-1) and best_score = ref neg_infinity in
+      Array.iteri
+        (fun i c ->
+          let w = Interval.width domains.(i) in
+          if w > 0.0 then begin
+            let grad = Hc4.forward domains c in
+            let mag =
+              if Interval.is_empty grad then 0.0
+              else Float.min 1e12 (Float.max (Float.abs (Interval.lo grad)) (Float.abs (Interval.hi grad)))
+            in
+            let score = w *. Float.max mag 1e-9 in
+            if score > !best_score then begin
+              best := i;
+              best_score := score
+            end
+          end)
+        smear_partials;
+      if !best < 0 then widest () else !best
+    end
+  in
+  let initial = Array.map (fun (_, lo, hi) -> Interval.make lo hi) bounds in
+  let stack = ref [ (initial, 0) ] in
+  let result = ref None in
+  (try
+     while !result = None && !stack <> [] do
+       match !stack with
+       | [] -> ()
+       | (domains, depth) :: rest ->
+         stack := rest;
+         st.branches <- st.branches + 1;
+         if st.branches > opts.max_branches then raise Budget_exhausted;
+         if depth > st.max_depth then st.max_depth <- depth;
+         (match contract ~opts st domains compiled_atoms with
+         | () ->
+           if
+             List.exists
+               (fun (atom, _, partials) -> mvf_infeasible domains atom partials)
+               compiled_atoms
+           then st.prunes <- st.prunes + 1
+           else begin
+           let mid = midpoint_assignment names domains in
+           let all_true =
+             List.for_all
+               (fun (atom, c, partials) ->
+                 Hc4.certainly_true domains c || mvf_certainly_true domains atom partials)
+               compiled_atoms
+           in
+           if all_true then result := Some mid
+           else if List.for_all (atom_holds_delta opts.delta mid) atoms
+           then result := Some mid
+           else begin
+             let max_w =
+               Array.fold_left (fun w i -> Float.max w (Interval.width i)) 0.0 domains
+             in
+             if max_w <= opts.delta then result := Some mid
+             else begin
+               let split_var = pick_split_var domains in
+               let left, right = Interval.split domains.(split_var) in
+               let d1 = Array.copy domains and d2 = Array.copy domains in
+               d1.(split_var) <- left;
+               d2.(split_var) <- right;
+               stack := (d1, depth + 1) :: (d2, depth + 1) :: !stack
+             end
+           end
+           end
+         | exception Pruned -> st.prunes <- st.prunes + 1)
+     done;
+     (match !result with Some w -> Delta_sat w | None -> Unsat)
+   with Budget_exhausted -> Unknown)
+
+let solve ?(options = default_options) ~bounds formula =
+  let t0 = Unix.gettimeofday () in
+  let st = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
+  let names = Array.of_list (List.map (fun (n, _, _) -> n) bounds) in
+  let bounds_arr = Array.of_list bounds in
+  (* Validate coverage of the formula's variables up front. *)
+  let bound_set = List.map (fun (n, _, _) -> n) bounds in
+  List.iter
+    (fun v ->
+      if not (List.mem v bound_set) then
+        invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" v))
+    (Formula.free_vars formula);
+  let disjuncts = Formula.to_dnf formula in
+  let rec try_disjuncts unknown = function
+    | [] -> if unknown then Unknown else Unsat
+    | conj :: rest -> (
+      match solve_conjunction ~opts:options st names bounds_arr conj with
+      | Delta_sat w -> Delta_sat w
+      | Unsat -> try_disjuncts unknown rest
+      | Unknown -> try_disjuncts true rest)
+  in
+  let verdict = try_disjuncts false disjuncts in
+  let stats =
+    {
+      branches = st.branches;
+      prunes = st.prunes;
+      hc4_calls = st.hc4_calls;
+      max_depth = st.max_depth;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  (verdict, stats)
+
+let pp_verdict fmt = function
+  | Unsat -> Format.pp_print_string fmt "unsat"
+  | Delta_sat w ->
+    Format.fprintf fmt "delta-sat (";
+    List.iteri
+      (fun i (n, x) -> Format.fprintf fmt "%s%s = %.6g" (if i > 0 then ", " else "") n x)
+      w;
+    Format.fprintf fmt ")"
+  | Unknown -> Format.pp_print_string fmt "unknown"
+
+type proof_verdict = Proved | Refuted of (string * float) list | Not_decided
+
+let prove ?options ~bounds formula =
+  let verdict, stats = solve ?options ~bounds (Formula.not_ formula) in
+  let proof =
+    match verdict with
+    | Unsat -> Proved
+    | Delta_sat witness -> Refuted witness
+    | Unknown -> Not_decided
+  in
+  (proof, stats)

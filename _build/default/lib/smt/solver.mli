@@ -1,0 +1,81 @@
+(** δ-complete satisfiability solver (the dReal substitute).
+
+    [solve] decides whether a quantifier-free nonlinear formula has a
+    solution inside a box of variable bounds:
+
+    - [Unsat] is *sound*: the formula has no real solution in the box
+      (interval arithmetic over-approximates, so nothing is missed);
+    - [Delta_sat w] means the δ-weakening of the formula is satisfied at the
+      witness [w] (possibly a spurious answer for the exact formula when the
+      problem is ill-conditioned below δ — exactly dReal's contract);
+    - [Unknown] is returned only when the branch budget is exhausted.
+
+    The algorithm is interval constraint propagation (HC4-revise fixpoints)
+    with branch-and-prune on the widest variable, run independently on each
+    DNF disjunct. *)
+
+type verdict =
+  | Unsat
+  | Delta_sat of (string * float) list  (** witness assignment *)
+  | Unknown
+
+type stats = {
+  branches : int;  (** boxes examined *)
+  prunes : int;  (** boxes emptied by contraction *)
+  hc4_calls : int;  (** individual HC4-revise invocations *)
+  max_depth : int;
+  elapsed : float;  (** seconds *)
+}
+
+type branching = Widest  (** bisect the widest variable *) | Smear
+      (** bisect the variable with the largest width × |∂e/∂x| product for
+          the hardest atom (dReal's smear heuristic) — markedly better on
+          higher-dimensional queries *)
+
+type options = {
+  delta : float;  (** box-size threshold for δ-sat answers, default 1e-3 *)
+  max_branches : int;  (** search budget per disjunct, default 200_000 *)
+  use_backward : bool;
+      (** when false, HC4 backward propagation is disabled (forward
+          evaluation only) — used by the A2 ablation; default true *)
+  branching : branching;  (** default [Smear] *)
+  use_mvf : bool;
+      (** mean-value-form (centered-form) bounds — enclosure error O(w²)
+          instead of O(w), decisive on higher-dimensional queries with thin
+          margins; default true *)
+}
+
+val default_options : options
+
+val solve :
+  ?options:options ->
+  bounds:(string * float * float) list ->
+  Formula.t ->
+  verdict * stats
+(** [solve ~bounds f] decides [∃x ∈ bounds. f(x)].  Variables of [f] not
+    listed in [bounds] raise [Invalid_argument]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Universal queries} *)
+
+type proof_verdict =
+  | Proved  (** the property holds everywhere in the box (sound) *)
+  | Refuted of (string * float) list
+      (** a point where the δ-weakened negation holds — a genuine or
+          near-violation witness *)
+  | Not_decided
+
+val prove :
+  ?options:options ->
+  bounds:(string * float * float) list ->
+  Formula.t ->
+  proof_verdict * stats
+(** [prove ~bounds f] decides [∀x ∈ bounds. f(x)] by refuting its negation:
+    the barrier conditions are universal statements, and this is the
+    wrapper the engines' SMT checks are an instance of.
+
+    δ-decidability caveat: a property that holds with zero margin (e.g.
+    [x² ≤ 1] on exactly [[-1, 1]]) is [Refuted] with a boundary witness —
+    only properties with a strictly positive margin are provable, which is
+    why the barrier conditions carry the slack [γ]. *)

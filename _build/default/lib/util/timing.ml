@@ -1,0 +1,24 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+type accumulator = { mutable total : float; mutable count : int }
+
+let accumulator () = { total = 0.0; count = 0 }
+
+let record acc f =
+  let result, dt = time f in
+  acc.total <- acc.total +. dt;
+  acc.count <- acc.count + 1;
+  result
+
+let total acc = acc.total
+
+let count acc = acc.count
+
+let reset acc =
+  acc.total <- 0.0;
+  acc.count <- 0

@@ -1,0 +1,23 @@
+(** Wall-clock timing of pipeline stages. *)
+
+val now : unit -> float
+(** Seconds since the epoch, with sub-millisecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+type accumulator
+(** Accumulates total time and call count across repeated stage
+    executions. *)
+
+val accumulator : unit -> accumulator
+
+val record : accumulator -> (unit -> 'a) -> 'a
+(** [record acc f] times [f ()] and adds the elapsed time to [acc]. *)
+
+val total : accumulator -> float
+
+val count : accumulator -> int
+
+val reset : accumulator -> unit

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Case_study Error_dynamics Expr Float Interval List Printf QCheck QCheck_alcotest Rng String

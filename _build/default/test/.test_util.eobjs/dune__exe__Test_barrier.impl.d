@@ -1,0 +1,1 @@
+test/test_barrier.ml: Alcotest Array Benchmark_systems Case_study Cholesky Engine Error_dynamics Expr Float Floatx Formula Fun Level_search Levelset List Mat Ode Printf Rng Solver Synthesis Template

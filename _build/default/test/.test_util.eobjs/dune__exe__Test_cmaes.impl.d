@@ -1,0 +1,1 @@
+test/test_cmaes.ml: Alcotest Array Cmaes Float Mat Printf QCheck QCheck_alcotest Rng Vec

@@ -1,0 +1,1 @@
+test/test_dubins.ml: Alcotest Array Case_study Dubins_car Error_dynamics Expr Float List Nn Ode Path Printf QCheck QCheck_alcotest Rng Training Vec

@@ -1,0 +1,1 @@
+test/test_dubins_path.ml: Alcotest Array Case_study Dubins_car Dubins_path Float Floatx List Path Printf QCheck QCheck_alcotest Rng

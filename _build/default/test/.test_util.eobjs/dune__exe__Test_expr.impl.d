@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Float Interval List QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_falsify.ml: Alcotest Array Case_study Engine Falsify Float List Nn Ode Printf QCheck QCheck_alcotest Rng

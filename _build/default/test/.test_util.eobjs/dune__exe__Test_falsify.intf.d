@@ -1,0 +1,1 @@
+test/test_falsify.mli:

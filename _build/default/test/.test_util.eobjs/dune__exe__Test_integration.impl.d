@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Case_study Cholesky Engine Error_dynamics Expr Float Floatx List Nn Printf Rng Solver Synthesis Sys Template

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Float Interval List Printf QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cholesky Eig Lu Mat QCheck QCheck_alcotest Rng Vec

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Case_study Expr Filename Float Fun List Nn Printf QCheck QCheck_alcotest Rng Sys

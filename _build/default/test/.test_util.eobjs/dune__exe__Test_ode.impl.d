@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Float Ode Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Box Expr Float Formula Hc4 Interval List Printf QCheck QCheck_alcotest Rng Solver String

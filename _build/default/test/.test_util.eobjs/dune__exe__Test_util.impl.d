@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Floatx Fun QCheck QCheck_alcotest Rng Timing

@@ -1,0 +1,432 @@
+(* Tests for the barrier core: templates, LP synthesis, level-set geometry,
+   and the engine's SMT formula builders. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let vars2 = [| "d"; "th" |]
+
+let quad = Template.make Template.Quadratic vars2
+
+let quad_lin = Template.make Template.Quadratic_linear vars2
+
+(* --- Template ----------------------------------------------------------- *)
+
+let test_template_dimensions () =
+  Alcotest.(check int) "quadratic 2 vars" 3 (Template.dimension quad);
+  Alcotest.(check int) "quadratic+linear 2 vars" 5 (Template.dimension quad_lin);
+  let three = Template.make Template.Quadratic [| "a"; "b"; "c" |] in
+  Alcotest.(check int) "quadratic 3 vars" 6 (Template.dimension three)
+
+let test_basis_order () =
+  (* Documented order: d², d·th, th² then (for linear) d, th. *)
+  let phis = Template.eval_basis quad_lin [| 2.0; 3.0 |] in
+  Alcotest.(check int) "five entries" 5 (Array.length phis);
+  check_float "d^2" 4.0 phis.(0);
+  check_float "d*th" 6.0 phis.(1);
+  check_float "th^2" 9.0 phis.(2);
+  check_float "d" 2.0 phis.(3);
+  check_float "th" 3.0 phis.(4)
+
+let test_w_eval_vs_expr () =
+  let coeffs = [| 0.7; 1.0; 1.0 |] in
+  let w = Template.w_expr quad coeffs in
+  let rng = Rng.create 17 in
+  for _ = 1 to 100 do
+    let d = Rng.uniform rng (-5.0) 5.0 and th = Rng.uniform rng (-2.0) 2.0 in
+    let direct = Template.w_eval quad coeffs [| d; th |] in
+    let via_expr = Expr.eval_env [ ("d", d); ("th", th) ] w in
+    if Float.abs (direct -. via_expr) > 1e-9 then Alcotest.fail "w_eval vs expr mismatch"
+  done
+
+let test_p_matrix () =
+  let p = Template.p_matrix quad [| 2.0; 1.0; 3.0 |] in
+  check_float "p00" 2.0 p.(0).(0);
+  check_float "p01" 0.5 p.(0).(1);
+  check_float "p10" 0.5 p.(1).(0);
+  check_float "p11" 3.0 p.(1).(1);
+  (* x'Px must equal W for the pure quadratic. *)
+  let x = [| 1.5; -0.8 |] in
+  check_float "quadratic form" (Template.w_eval quad [| 2.0; 1.0; 3.0 |] x) (Mat.quadratic_form p x)
+
+let test_basis_lie () =
+  (* d/dt of (d², d·th, th²) along f = (fd, fth). *)
+  let lie = Template.basis_lie quad [| 2.0; 3.0 |] [| 0.5; -1.0 |] in
+  check_float "d(d^2)" (2.0 *. 2.0 *. 0.5) lie.(0);
+  check_float "d(d*th)" ((0.5 *. 3.0) +. (2.0 *. -1.0)) lie.(1);
+  check_float "d(th^2)" (2.0 *. 3.0 *. -1.0) lie.(2);
+  let lie5 = Template.basis_lie quad_lin [| 2.0; 3.0 |] [| 0.5; -1.0 |] in
+  check_float "d(d)" 0.5 lie5.(3);
+  check_float "d(th)" (-1.0) lie5.(4)
+
+let test_grad_exprs () =
+  let coeffs = [| 1.0; 2.0; 3.0 |] in
+  let grads = Template.grad_exprs quad coeffs in
+  let env = [ ("d", 1.5); ("th", -0.5) ] in
+  (* ∂W/∂d = 2·d + 2·th; ∂W/∂th = 2·d + 6·th for these coefficients. *)
+  check_float "dW/dd" ((2.0 *. 1.5) +. (2.0 *. -0.5)) (Expr.eval_env env grads.(0));
+  check_float "dW/dth" ((2.0 *. 1.5) +. (6.0 *. -0.5)) (Expr.eval_env env grads.(1))
+
+(* --- Synthesis ----------------------------------------------------------- *)
+
+(* A linear stable system ẋ = -x, ẏ = -2y: W = x² + y² works. *)
+let stable_field _t x = [| -.x.(0); -2.0 *. x.(1) |]
+
+let stable_traces () =
+  List.map
+    (fun x0 -> Ode.simulate stable_field ~t0:0.0 ~x0 ~dt:0.1 ~steps:60)
+    [ [| 2.0; 1.0 |]; [| -1.5; 2.0 |]; [| 1.0; -2.0 |]; [| -2.0; -1.0 |]; [| 0.5; 2.2 |] ]
+
+let test_synthesize_stable_system () =
+  match
+    Synthesis.synthesize ~template:quad ~field:stable_field (stable_traces ())
+  with
+  | Synthesis.Candidate { coeffs; margin } ->
+    Alcotest.(check bool) (Printf.sprintf "margin %.4f > 0" margin) true (margin > 0.0);
+    (* The candidate must be positive definite for this system. *)
+    let p = Template.p_matrix quad coeffs in
+    Alcotest.(check bool) "P positive definite" true (Cholesky.is_positive_definite p)
+  | Synthesis.Lp_infeasible -> Alcotest.fail "LP infeasible on a stable linear system"
+  | Synthesis.Margin_too_small m -> Alcotest.failf "margin too small: %g" m
+
+let test_synthesize_lie_mode () =
+  let options = { Synthesis.default_options with Synthesis.mode = Synthesis.Lie_derivative } in
+  match Synthesis.synthesize ~options ~template:quad ~field:stable_field (stable_traces ()) with
+  | Synthesis.Candidate { margin; _ } ->
+    Alcotest.(check bool) "lie margin positive" true (margin > 0.0)
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ ->
+    Alcotest.fail "Lie mode failed on stable linear system"
+
+let test_synthesize_unstable_rejected () =
+  (* ẋ = +x: no positive decreasing W exists along outward trajectories. *)
+  let unstable _t x = [| x.(0); x.(1) |] in
+  let traces =
+    List.map
+      (fun x0 -> Ode.simulate unstable ~t0:0.0 ~x0 ~dt:0.1 ~steps:30)
+      [ [| 0.5; 0.5 |]; [| -0.5; 0.3 |] ]
+  in
+  match Synthesis.synthesize ~template:quad ~field:unstable traces with
+  | Synthesis.Candidate { margin; _ } -> Alcotest.failf "found margin %g on unstable system" margin
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ -> ()
+
+let test_cex_cut_forces_change () =
+  (* Adding a CEX cut at a state where the current candidate increases must
+     change the LP answer.  Spiral system: ẋ = -y, ẏ = x - 0.1y (slow
+     decay); W = x² + y² decreases, but W = x² alone would not. *)
+  let spiral _t x = [| -.x.(1); x.(0) -. (0.1 *. x.(1)) |] in
+  let traces =
+    [ Ode.simulate spiral ~t0:0.0 ~x0:[| 2.0; 0.0 |] ~dt:0.05 ~steps:400 ]
+  in
+  (match Synthesis.synthesize ~template:quad ~field:spiral traces with
+  | Synthesis.Candidate _ -> ()
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ ->
+    Alcotest.fail "spiral should admit a quadratic generator");
+  (* Now inject a fake CEX point: rows must still produce a candidate that
+     decreases at that exact point. *)
+  match
+    Synthesis.synthesize ~cex_points:[ [| 0.0; 1.5 |] ] ~template:quad ~field:spiral traces
+  with
+  | Synthesis.Candidate { coeffs; margin } ->
+    let lie = Template.basis_lie quad [| 0.0; 1.5 |] (spiral 0.0 [| 0.0; 1.5 |]) in
+    let dot = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i l -> coeffs.(i) *. l) lie) in
+    Alcotest.(check bool)
+      (Printf.sprintf "decrease at cex: %.4f <= -margin*rho" dot)
+      true
+      (dot <= -.margin *. 2.25 +. 1e-9)
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ ->
+    Alcotest.fail "cex cut made the LP fail"
+
+let test_exclude_rect () =
+  let options =
+    { Synthesis.default_options with Synthesis.exclude_rect = Some [| (-10.0, 10.0); (-10.0, 10.0) |] }
+  in
+  (* Everything excluded: zero rows. *)
+  Alcotest.(check int) "all samples excluded" 0
+    (Synthesis.count_rows ~options ~template:quad (stable_traces ()))
+
+let test_count_rows_subsample () =
+  let base = Synthesis.count_rows ~template:quad (stable_traces ()) in
+  let sub =
+    Synthesis.count_rows
+      ~options:{ Synthesis.default_options with Synthesis.subsample = 4 }
+      ~template:quad (stable_traces ())
+  in
+  Alcotest.(check bool) (Printf.sprintf "%d > %d" base sub) true (base > sub)
+
+(* --- Level set ------------------------------------------------------------ *)
+
+let p_identityish = [| [| 1.0; 0.0 |]; [| 0.0; 4.0 |] |]
+
+let test_rect_vertices () =
+  let vs = Levelset.rect_vertices [| (-1.0, 1.0); (-2.0, 2.0) |] in
+  Alcotest.(check int) "four corners" 4 (List.length vs);
+  Alcotest.(check bool) "contains (1, -2)" true
+    (List.exists (fun v -> v.(0) = 1.0 && v.(1) = -2.0) vs)
+
+let test_complement_halfspaces () =
+  let hs = Levelset.complement_halfspaces [| (-5.0, 5.0); (-1.5, 1.5) |] in
+  Alcotest.(check int) "four half-spaces" 4 (List.length hs);
+  (* Each pair (a, b) represents a·x >= b; e.g. x0 >= 5. *)
+  Alcotest.(check bool) "x0 upper face" true
+    (List.exists (fun (a, b) -> a.(0) = 1.0 && a.(1) = 0.0 && b = 5.0) hs);
+  Alcotest.(check bool) "x0 lower face" true
+    (List.exists (fun (a, b) -> a.(0) = -1.0 && b = 5.0) hs)
+
+let test_analytic_range () =
+  (* W = x² + 4y², X0 = [-1,1]², safe = [-5,5]×[-2,2].
+     l_min = max over corners = 1 + 4 = 5.
+     l_max = min(25 / (a P^-1 a)) over faces:
+       x-faces: b=5, a=(±1,0): aP⁻¹a = 1 -> 25
+       y-faces: b=2, a=(0,±1): aP⁻¹a = 1/4 -> 4/0.25 = 16. *)
+  let r =
+    Levelset.analytic_range ~p:p_identityish ~x0_rect:[| (-1.0, 1.0); (-1.0, 1.0) |]
+      ~safe_rect:[| (-5.0, 5.0); (-2.0, 2.0) |]
+  in
+  check_float "l_min" 5.0 r.Levelset.l_min;
+  check_float "l_max" 16.0 r.Levelset.l_max
+
+let test_analytic_range_not_definite () =
+  let indefinite = [| [| 1.0; 0.0 |]; [| 0.0; -1.0 |] |] in
+  Alcotest.check_raises "indefinite" Levelset.Not_definite (fun () ->
+      ignore
+        (Levelset.analytic_range ~p:indefinite ~x0_rect:[| (-1.0, 1.0); (-1.0, 1.0) |]
+           ~safe_rect:[| (-5.0, 5.0); (-2.0, 2.0) |]))
+
+let test_bounding_box () =
+  let bb = Levelset.ellipsoid_bounding_box ~p:p_identityish ~level:4.0 in
+  (* |x| <= sqrt(4·1) = 2; |y| <= sqrt(4·(1/4)) = 1. *)
+  check_float "x radius" 2.0 (snd bb.(0));
+  check_float "y radius" 1.0 (snd bb.(1))
+
+let test_boundary_points_on_level () =
+  let pts = Levelset.boundary_points ~p:p_identityish ~level:3.0 ~n:64 in
+  Alcotest.(check int) "count" 64 (Array.length pts);
+  Array.iter
+    (fun (x, y) ->
+      let w = (x *. x) +. (4.0 *. y *. y) in
+      if Float.abs (w -. 3.0) > 1e-6 then Alcotest.failf "boundary point off level: W=%g" w)
+    pts
+
+let test_range_centered_matches_plain () =
+  (* With center 0 and w_of_point = quadratic form, both functions agree. *)
+  let x0 = [| (-1.0, 1.0); (-1.0, 1.0) |] and safe = [| (-5.0, 5.0); (-2.0, 2.0) |] in
+  let plain = Levelset.analytic_range ~p:p_identityish ~x0_rect:x0 ~safe_rect:safe in
+  let centered =
+    Levelset.analytic_range_centered ~p:p_identityish ~center:[| 0.0; 0.0 |]
+      ~w_of_point:(fun v -> Mat.quadratic_form p_identityish v)
+      ~x0_rect:x0 ~safe_rect:safe
+  in
+  check_float "l_min" plain.Levelset.l_min centered.Levelset.l_min;
+  check_float "l_max" plain.Levelset.l_max centered.Levelset.l_max
+
+(* --- Level_search ----------------------------------------------------------- *)
+
+let level_spec =
+  {
+    Level_search.vars = vars2;
+    x0_rect = [| (-1.0, 1.0); (-1.0, 1.0) |];
+    safe_rect = [| (-5.0, 5.0); (-2.0, 2.0) |];
+    unsafe_rect = [| (-5.0, 5.0); (-2.0, 2.0) |];
+    smt = Solver.default_options;
+    max_iters = 30;
+  }
+
+let test_level_search_identity_form () =
+  (* W = x² + 4y² with the rects of test_analytic_range: valid levels are
+     (5, 16); the search must land inside and verify with SMT. *)
+  let coeffs = [| 1.0; 0.0; 4.0 |] in
+  let result = Level_search.search level_spec quad coeffs in
+  match result.Level_search.level with
+  | Ok level ->
+    Alcotest.(check bool)
+      (Printf.sprintf "level %.3f in (5, 16)" level)
+      true
+      (level > 5.0 && level < 16.0);
+    Alcotest.(check bool) "iterations counted" true (result.Level_search.iterations >= 1)
+  | Error _ -> Alcotest.fail "level search must succeed for the identity form"
+
+let test_level_search_indefinite_fails () =
+  let coeffs = [| 1.0; 0.0; -1.0 |] in
+  match (Level_search.search level_spec quad coeffs).Level_search.level with
+  | Error Level_search.Range_empty -> ()
+  | Ok _ -> Alcotest.fail "indefinite form cannot have an ellipsoidal level set"
+  | Error _ -> Alcotest.fail "expected Range_empty"
+
+let test_level_search_too_flat_fails () =
+  (* W nearly flat in y: the sublevel set through the X0 corners pokes out
+     of the safe rect in y — no valid level. *)
+  let coeffs = [| 1.0; 0.0; 0.01 |] in
+  match (Level_search.search level_spec quad coeffs).Level_search.level with
+  | Error Level_search.Range_empty -> ()
+  | Ok level -> Alcotest.failf "found level %.4f for a too-flat form" level
+  | Error _ -> ()
+
+let test_level_search_certificate_checks () =
+  (* The returned level really satisfies conditions (6) and (7) point-wise
+     on a sample grid. *)
+  let coeffs = [| 1.0; 0.5; 2.0 |] in
+  match (Level_search.search level_spec quad coeffs).Level_search.level with
+  | Error _ -> Alcotest.fail "search should succeed"
+  | Ok level ->
+    let w = Template.w_eval quad coeffs in
+    (* (6): all X0 points inside the level set. *)
+    Array.iter
+      (fun x ->
+        Array.iter
+          (fun y -> if w [| x; y |] > level +. 1e-9 then Alcotest.fail "X0 point outside")
+          (Floatx.linspace (-1.0) 1.0 11))
+      (Floatx.linspace (-1.0) 1.0 11);
+    (* (7): points outside the safe rect are outside the level set. *)
+    List.iter
+      (fun p -> if w p <= level then Alcotest.fail "unsafe point inside level set")
+      [ [| 5.01; 0.0 |]; [| -5.01; 0.0 |]; [| 0.0; 2.01 |]; [| 0.0; -2.01 |] ]
+
+(* --- Engine formulas ------------------------------------------------------- *)
+
+let reference_system = Case_study.system_of_network Case_study.reference_controller
+
+let test_condition_formulas_semantics () =
+  let config = Engine.default_config in
+  let template = Template.make Template.Quadratic reference_system.Engine.vars in
+  let cert = { Engine.template; coeffs = [| 0.688; 1.0; 1.0 |]; level = 1.0 } in
+  (* Condition 6 at a point inside X0 with W > level: satisfied (bad). *)
+  let f6 = Engine.condition6_formula cert in
+  let w_at p = Template.w_eval template cert.Engine.coeffs p in
+  let probe = [| 0.9; 0.15 |] in
+  Alcotest.(check bool) "cond6 point semantics"
+    (w_at probe > 1.0)
+    (Formula.eval
+       [ (Error_dynamics.var_derr, probe.(0)); (Error_dynamics.var_theta_err, probe.(1)) ]
+       f6);
+  (* Condition 5 formula excludes X0. *)
+  let f5 = Engine.condition5_formula reference_system config cert in
+  Alcotest.(check bool) "cond5 false inside X0" false
+    (Formula.eval
+       [ (Error_dynamics.var_derr, 0.0); (Error_dynamics.var_theta_err, 0.0) ]
+       f5)
+
+let test_barrier_expr () =
+  let template = Template.make Template.Quadratic vars2 in
+  let cert = { Engine.template; coeffs = [| 1.0; 0.0; 1.0 |]; level = 2.0 } in
+  let b = Engine.barrier_expr cert in
+  check_float "B(1,1) = 0" 0.0 (Expr.eval_env [ ("d", 1.0); ("th", 1.0) ] b);
+  check_float "B(0,0) = -2" (-2.0) (Expr.eval_env [ ("d", 0.0); ("th", 0.0) ] b)
+
+let test_sample_initial_states () =
+  let config = Engine.default_config in
+  let rng = Rng.create 6 in
+  let samples = Engine.sample_initial_states ~rng config 50 in
+  Alcotest.(check int) "fifty samples" 50 (List.length samples);
+  List.iter
+    (fun x ->
+      let inside_safe =
+        x.(0) >= -5.0 && x.(0) <= 5.0 && Float.abs x.(1) <= (Float.pi /. 2.0) -. 0.05
+      in
+      let inside_x0 = Float.abs x.(0) <= 1.0 && Float.abs x.(1) <= Float.pi /. 16.0 in
+      if not inside_safe then Alcotest.fail "sample outside safe rect";
+      if inside_x0 then Alcotest.fail "sample inside X0")
+    samples
+
+(* --- Benchmark systems ------------------------------------------------ *)
+
+let test_benchmark_expectations () =
+  List.iter
+    (fun b ->
+      let report = Benchmark_systems.run b in
+      match (b.Benchmark_systems.expectation, report.Engine.outcome) with
+      | Benchmark_systems.Should_prove, Engine.Proved _ -> ()
+      | Benchmark_systems.Should_fail, Engine.Failed _ -> ()
+      | Benchmark_systems.Should_prove, Engine.Failed _ ->
+        Alcotest.failf "%s: expected proof, engine failed" b.Benchmark_systems.name
+      | Benchmark_systems.Should_fail, Engine.Proved _ ->
+        Alcotest.failf "%s: engine proved an uncertifiable system!" b.Benchmark_systems.name)
+    Benchmark_systems.all
+
+let test_benchmark_certificates_valid () =
+  (* Dense numeric re-check of each proved certificate's decrease
+     condition. *)
+  List.iter
+    (fun b ->
+      match (Benchmark_systems.run b).Engine.outcome with
+      | Engine.Failed _ -> ()
+      | Engine.Proved cert ->
+        let config = b.Benchmark_systems.config in
+        let system = b.Benchmark_systems.system in
+        let grads = Template.grad_exprs cert.Engine.template cert.Engine.coeffs in
+        let inside_x0 x =
+          Array.for_all Fun.id
+            (Array.mapi (fun i (lo, hi) -> x.(i) >= lo && x.(i) <= hi) config.Engine.x0_rect)
+        in
+        let (d_lo, d_hi) = config.Engine.safe_rect.(0)
+        and (t_lo, t_hi) = config.Engine.safe_rect.(1) in
+        Array.iter
+          (fun a ->
+            Array.iter
+              (fun bb ->
+                let p = [| a; bb |] in
+                if not (inside_x0 p) then begin
+                  let env =
+                    Array.to_list (Array.mapi (fun i v -> (v, p.(i))) system.Engine.vars)
+                  in
+                  let f = system.Engine.numeric_field 0.0 p in
+                  let lie =
+                    (Expr.eval_env env grads.(0) *. f.(0))
+                    +. (Expr.eval_env env grads.(1) *. f.(1))
+                  in
+                  if lie >= -.config.Engine.gamma then
+                    Alcotest.failf "%s: decrease violated at (%g, %g): %g"
+                      b.Benchmark_systems.name a bb lie
+                end)
+              (Floatx.linspace t_lo t_hi 21))
+          (Floatx.linspace d_lo d_hi 21))
+    Benchmark_systems.all
+
+let () =
+  Alcotest.run "barrier"
+    [
+      ( "template",
+        [
+          Alcotest.test_case "dimensions" `Quick test_template_dimensions;
+          Alcotest.test_case "basis order" `Quick test_basis_order;
+          Alcotest.test_case "w_eval vs expr" `Quick test_w_eval_vs_expr;
+          Alcotest.test_case "p_matrix" `Quick test_p_matrix;
+          Alcotest.test_case "basis lie derivative" `Quick test_basis_lie;
+          Alcotest.test_case "gradient expressions" `Quick test_grad_exprs;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "stable linear system" `Quick test_synthesize_stable_system;
+          Alcotest.test_case "lie-derivative mode" `Quick test_synthesize_lie_mode;
+          Alcotest.test_case "unstable system rejected" `Quick test_synthesize_unstable_rejected;
+          Alcotest.test_case "cex cut forces decrease" `Quick test_cex_cut_forces_change;
+          Alcotest.test_case "exclude rect" `Quick test_exclude_rect;
+          Alcotest.test_case "subsampling reduces rows" `Quick test_count_rows_subsample;
+        ] );
+      ( "levelset",
+        [
+          Alcotest.test_case "rect vertices" `Quick test_rect_vertices;
+          Alcotest.test_case "complement half-spaces" `Quick test_complement_halfspaces;
+          Alcotest.test_case "analytic range" `Quick test_analytic_range;
+          Alcotest.test_case "indefinite rejected" `Quick test_analytic_range_not_definite;
+          Alcotest.test_case "bounding box" `Quick test_bounding_box;
+          Alcotest.test_case "boundary points on level" `Quick test_boundary_points_on_level;
+          Alcotest.test_case "centered range consistency" `Quick test_range_centered_matches_plain;
+        ] );
+      ( "level_search",
+        [
+          Alcotest.test_case "identity form" `Quick test_level_search_identity_form;
+          Alcotest.test_case "indefinite fails" `Quick test_level_search_indefinite_fails;
+          Alcotest.test_case "too-flat fails" `Quick test_level_search_too_flat_fails;
+          Alcotest.test_case "certificate point checks" `Quick test_level_search_certificate_checks;
+        ] );
+      ( "benchmark systems",
+        [
+          Alcotest.test_case "expectations hold" `Slow test_benchmark_expectations;
+          Alcotest.test_case "certificates numerically valid" `Slow test_benchmark_certificates_valid;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "condition formulas" `Quick test_condition_formulas_semantics;
+          Alcotest.test_case "barrier expression" `Quick test_barrier_expr;
+          Alcotest.test_case "seed sampling respects D" `Quick test_sample_initial_states;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Tests for CMA-ES: convergence on standard benchmark functions in both
+   covariance modes, ask/tell contract, invariances. *)
+
+let sphere x = Vec.dot x x
+
+let rosenbrock x =
+  let acc = ref 0.0 in
+  for i = 0 to Vec.dim x - 2 do
+    let a = x.(i + 1) -. (x.(i) *. x.(i)) and b = 1.0 -. x.(i) in
+    acc := !acc +. (100.0 *. a *. a) +. (b *. b)
+  done;
+  !acc
+
+(* Ellipsoid with condition number 1e4: tests covariance adaptation. *)
+let ellipsoid x =
+  let n = Vec.dim x in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w = 10.0 ** (4.0 *. float_of_int i /. float_of_int (max 1 (n - 1))) in
+    acc := !acc +. (w *. x.(i) *. x.(i))
+  done;
+  !acc
+
+let run ?mode ?(max_iter = 600) ?(sigma = 0.5) ~seed ~dim ~x0 objective =
+  let rng = Rng.create seed in
+  let t = Cmaes.create ?mode ~sigma ~rng (Vec.make dim x0) in
+  let x, f, _ = Cmaes.optimize ~max_iter t objective in
+  (x, f)
+
+let test_sphere () =
+  let _, f = run ~seed:1 ~dim:8 ~x0:3.0 sphere in
+  Alcotest.(check bool) (Printf.sprintf "f=%.2e < 1e-10" f) true (f < 1e-10)
+
+let test_rosenbrock () =
+  let x, f = run ~seed:2 ~max_iter:1500 ~dim:5 ~x0:0.0 rosenbrock in
+  Alcotest.(check bool) (Printf.sprintf "f=%.2e < 1e-8" f) true (f < 1e-8);
+  Alcotest.(check bool) "x near ones" true (Float.abs (x.(0) -. 1.0) < 1e-3)
+
+let test_ellipsoid () =
+  let _, f = run ~seed:3 ~max_iter:1200 ~dim:6 ~x0:1.0 ellipsoid in
+  Alcotest.(check bool) (Printf.sprintf "f=%.2e < 1e-8" f) true (f < 1e-8)
+
+let test_diagonal_mode_sphere () =
+  let _, f = run ~mode:`Diagonal ~seed:4 ~dim:12 ~x0:2.0 sphere in
+  Alcotest.(check bool) (Printf.sprintf "diag f=%.2e < 1e-8" f) true (f < 1e-8)
+
+let test_diagonal_mode_high_dim () =
+  (* 300-dimensional separable problem — full mode would be slow. *)
+  let _, f = run ~mode:`Diagonal ~seed:5 ~max_iter:1500 ~dim:300 ~x0:1.0 sphere in
+  Alcotest.(check bool) (Printf.sprintf "high-dim f=%.2e < 1e-2" f) true (f < 1e-2)
+
+let test_shifted_optimum () =
+  let target = [| 2.0; -1.0; 0.5 |] in
+  let objective x = Vec.dist2 x target ** 2.0 in
+  let x, _ = run ~seed:6 ~dim:3 ~x0:0.0 objective in
+  Alcotest.(check bool) "found shifted optimum" true (Vec.dist2 x target < 1e-5)
+
+let test_determinism () =
+  let go () = snd (run ~seed:42 ~max_iter:50 ~dim:4 ~x0:1.0 sphere) in
+  Alcotest.(check (float 0.0)) "same seed same result" (go ()) (go ())
+
+let test_ask_tell_contract () =
+  let rng = Rng.create 7 in
+  let t = Cmaes.create ~lambda:8 ~rng (Vec.make 3 1.0) in
+  Alcotest.(check int) "lambda" 8 (Cmaes.lambda t);
+  Alcotest.(check int) "dim" 3 (Cmaes.dim t);
+  Alcotest.(check int) "generation 0" 0 (Cmaes.generation t);
+  Alcotest.(check bool) "no best yet" true (Cmaes.best t = None);
+  let pop = Cmaes.ask t in
+  Alcotest.(check int) "population size" 8 (Array.length pop);
+  Cmaes.tell t pop (Array.map sphere pop);
+  Alcotest.(check int) "generation 1" 1 (Cmaes.generation t);
+  (match Cmaes.best t with
+  | Some (x, f) -> Alcotest.(check (float 1e-12)) "best matches" (sphere x) f
+  | None -> Alcotest.fail "best missing after tell");
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Cmaes.tell: population size mismatch") (fun () ->
+      Cmaes.tell t [| Vec.zeros 3 |] [| 0.0 |])
+
+let test_best_monotone () =
+  let rng = Rng.create 8 in
+  let t = Cmaes.create ~rng (Vec.make 5 2.0) in
+  let prev = ref infinity in
+  for _ = 1 to 60 do
+    let pop = Cmaes.ask t in
+    Cmaes.tell t pop (Array.map sphere pop);
+    match Cmaes.best t with
+    | Some (_, f) ->
+      if f > !prev +. 1e-12 then Alcotest.failf "best regressed: %g > %g" f !prev;
+      prev := f
+    | None -> Alcotest.fail "no best"
+  done
+
+let test_sigma_positive () =
+  let rng = Rng.create 9 in
+  let t = Cmaes.create ~rng (Vec.make 4 1.0) in
+  for _ = 1 to 100 do
+    let pop = Cmaes.ask t in
+    Cmaes.tell t pop (Array.map rosenbrock pop);
+    if Cmaes.sigma t <= 0.0 || not (Float.is_finite (Cmaes.sigma t)) then
+      Alcotest.failf "sigma degenerated to %g" (Cmaes.sigma t)
+  done
+
+let test_stop_reasons () =
+  let rng = Rng.create 10 in
+  let t = Cmaes.create ~rng (Vec.make 3 1.0) in
+  let _, _, reason = Cmaes.optimize ~max_iter:5 t sphere in
+  (match reason with
+  | Cmaes.Max_iterations -> ()
+  | Cmaes.Tol_fun _ | Cmaes.Tol_sigma _ -> Alcotest.fail "expected max-iterations stop");
+  let rng = Rng.create 11 in
+  let t = Cmaes.create ~rng (Vec.make 2 0.0) in
+  (* Constant objective: the population spread is zero immediately. *)
+  let _, _, reason = Cmaes.optimize ~max_iter:100 t (fun _ -> 1.0) in
+  match reason with
+  | Cmaes.Tol_fun _ -> ()
+  | Cmaes.Max_iterations | Cmaes.Tol_sigma _ -> Alcotest.fail "expected tol_fun stop"
+
+let prop_quadratic_bowls =
+  QCheck.Test.make ~name:"converges on random quadratic bowls" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 2 + Rng.int rng 4 in
+      (* Random SPD quadratic via G'G + I. *)
+      let g = Mat.init dim dim (fun _ _ -> Rng.normal rng) in
+      let q = Mat.add (Mat.mul (Mat.transpose g) g) (Mat.identity dim) in
+      let objective x = Mat.quadratic_form q x in
+      let opt_rng = Rng.create (seed + 1) in
+      let t = Cmaes.create ~rng:opt_rng (Vec.make dim 2.0) in
+      let _, f, _ = Cmaes.optimize ~max_iter:400 t objective in
+      f < 1e-8)
+
+let () =
+  Alcotest.run "cmaes"
+    [
+      ( "benchmarks",
+        [
+          Alcotest.test_case "sphere" `Quick test_sphere;
+          Alcotest.test_case "rosenbrock" `Slow test_rosenbrock;
+          Alcotest.test_case "ill-conditioned ellipsoid" `Slow test_ellipsoid;
+          Alcotest.test_case "diagonal mode sphere" `Quick test_diagonal_mode_sphere;
+          Alcotest.test_case "diagonal mode high-dim" `Slow test_diagonal_mode_high_dim;
+          Alcotest.test_case "shifted optimum" `Quick test_shifted_optimum;
+          QCheck_alcotest.to_alcotest prop_quadratic_bowls;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "ask/tell contract" `Quick test_ask_tell_contract;
+          Alcotest.test_case "best-ever monotone" `Quick test_best_monotone;
+          Alcotest.test_case "sigma stays positive" `Quick test_sigma_positive;
+          Alcotest.test_case "stop reasons" `Quick test_stop_reasons;
+        ] );
+    ]

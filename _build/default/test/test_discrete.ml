@@ -1,0 +1,350 @@
+(* Tests for the extensions beyond the paper's evaluation: the discrete-time
+   engine (with RNN controllers), the Lyapunov mode, the RNN module itself,
+   and SMT-LIB export. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rnn ------------------------------------------------------------ *)
+
+let small_rnn ?(leak = 1.0) () =
+  Rnn.of_weights
+    ~w_input:[| [| 0.5; -0.3 |]; [| 0.2; 0.7 |] |]
+    ~w_recurrent:[| [| 0.1; 0.0 |]; [| -0.2; 0.3 |] |]
+    ~b_hidden:[| 0.05; -0.1 |]
+    ~w_output:[| [| 1.0; -0.8 |] |]
+    ~b_output:[| 0.1 |]
+    ~output_activation:Nn.Linear ~leak ()
+
+let test_rnn_step_by_hand () =
+  let rnn = small_rnn () in
+  let state = [| 0.1; -0.2 |] and input = [| 1.0; 0.5 |] in
+  let h1 = Float.tanh ((0.5 *. 1.0) +. (-0.3 *. 0.5) +. (0.1 *. 0.1) +. (0.0 *. -0.2) +. 0.05) in
+  let h2 = Float.tanh ((0.2 *. 1.0) +. (0.7 *. 0.5) +. (-0.2 *. 0.1) +. (0.3 *. -0.2) -. 0.1) in
+  let state', out = Rnn.step rnn ~state ~input in
+  check_float "h1" h1 state'.(0);
+  check_float "h2" h2 state'.(1);
+  check_float "u" ((1.0 *. h1) -. (0.8 *. h2) +. 0.1) out.(0)
+
+let test_rnn_leak_slows_state () =
+  let fast = small_rnn ~leak:1.0 () and slow = small_rnn ~leak:0.1 () in
+  let state = [| 0.0; 0.0 |] and input = [| 2.0; 1.0 |] in
+  let sf, _ = Rnn.step fast ~state ~input and ss, _ = Rnn.step slow ~state ~input in
+  Alcotest.(check bool) "leaky moves less" true
+    (Vec.norm2 ss < Vec.norm2 sf);
+  check_float "leak scales the step" (0.1 *. sf.(0)) ss.(0)
+
+let test_rnn_param_roundtrip () =
+  let rnn = small_rnn () in
+  Alcotest.(check int) "param count" ((2 * 2) + (2 * 2) + 2 + 2 + 1) (Rnn.num_params rnn);
+  let theta = Rnn.get_params rnn in
+  let rnn2 = Rnn.set_params rnn theta in
+  let s, o = Rnn.step rnn ~state:[| 0.3; -0.4 |] ~input:[| 0.7; 0.2 |] in
+  let s2, o2 = Rnn.step rnn2 ~state:[| 0.3; -0.4 |] ~input:[| 0.7; 0.2 |] in
+  Alcotest.(check bool) "same step" true (s = s2 && o = o2)
+
+let prop_rnn_symbolic_matches =
+  QCheck.Test.make ~name:"rnn symbolic step equals numeric step" ~count:100
+    QCheck.(
+      quad (int_range 0 10_000) (float_range (-2.0) 2.0) (float_range (-2.0) 2.0)
+        (float_range 0.05 1.0))
+    (fun (seed, a, b, leak) ->
+      let rng = Rng.create seed in
+      let rnn = Rnn.create ~rng ~inputs:2 ~hidden:3 ~outputs:1 ~leak () in
+      let state = [| Rng.uniform rng (-1.0) 1.0; Rng.uniform rng (-1.0) 1.0; Rng.uniform rng (-1.0) 1.0 |] in
+      let input = [| a; b |] in
+      let num_state, num_out = Rnn.step rnn ~state ~input in
+      let sym_state, sym_out =
+        Rnn.step_exprs rnn
+          ~state:[| Expr.var "h0"; Expr.var "h1"; Expr.var "h2" |]
+          ~input:[| Expr.var "i0"; Expr.var "i1" |]
+      in
+      let env =
+        [ ("h0", state.(0)); ("h1", state.(1)); ("h2", state.(2)); ("i0", a); ("i1", b) ]
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i e -> if Float.abs (Expr.eval_env env e -. num_state.(i)) > 1e-9 then ok := false)
+        sym_state;
+      if Float.abs (Expr.eval_env env sym_out.(0) -. num_out.(0)) > 1e-9 then ok := false;
+      !ok)
+
+let test_rnn_serialization () =
+  let rnn = small_rnn ~leak:0.37 () in
+  let rnn2 = Rnn.of_string (Rnn.to_string rnn) in
+  let s1, o1 = Rnn.step rnn ~state:[| 0.2; -0.5 |] ~input:[| 1.1; -0.3 |] in
+  let s2, o2 = Rnn.step rnn2 ~state:[| 0.2; -0.5 |] ~input:[| 1.1; -0.3 |] in
+  Alcotest.(check bool) "round-trip step" true (s1 = s2 && o1 = o2);
+  check_float "leak preserved" 0.37 rnn2.Rnn.leak;
+  let path = Filename.temp_file "rnn_test" ".rnn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rnn.save rnn path;
+      let rnn3 = Rnn.load path in
+      let s3, _ = Rnn.step rnn3 ~state:[| 0.2; -0.5 |] ~input:[| 1.1; -0.3 |] in
+      Alcotest.(check bool) "file round-trip" true (s1 = s3));
+  try
+    ignore (Rnn.of_string "garbage");
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+let test_rnn_validation () =
+  Alcotest.check_raises "bad recurrent shape"
+    (Invalid_argument "Rnn.of_weights: recurrent matrix shape mismatch") (fun () ->
+      ignore
+        (Rnn.of_weights ~w_input:[| [| 1.0; 0.0 |] |] ~w_recurrent:[| [| 1.0; 0.0 |] |]
+           ~b_hidden:[| 0.0 |] ~w_output:[| [| 1.0 |] |] ~b_output:[| 0.0 |] ()));
+  Alcotest.check_raises "bad leak" (Invalid_argument "Rnn.of_weights: leak must be in (0, 1]")
+    (fun () ->
+      ignore
+        (Rnn.of_weights ~w_input:[| [| 1.0; 0.0 |] |] ~w_recurrent:[| [| 0.5 |] |]
+           ~b_hidden:[| 0.0 |] ~w_output:[| [| 1.0 |] |] ~b_output:[| 0.0 |] ~leak:0.0 ()))
+
+(* --- Discrete engine ------------------------------------------------- *)
+
+let test_discrete_symbolic_matches_numeric () =
+  let sys = Discrete.of_network ~dt:0.1 Case_study.reference_controller in
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let x = [| Rng.uniform rng (-4.0) 4.0; Rng.uniform rng (-1.4) 1.4 |] in
+    let x' = sys.Discrete.map_numeric x in
+    let env =
+      [ (Error_dynamics.var_derr, x.(0)); (Error_dynamics.var_theta_err, x.(1)) ]
+    in
+    Array.iteri
+      (fun i delta ->
+        let expected = x'.(i) -. x.(i) in
+        let got = Expr.eval_env env delta in
+        if Float.abs (expected -. got) > 1e-9 then
+          Alcotest.failf "delta %d mismatch: %g vs %g" i expected got)
+      sys.Discrete.delta_symbolic
+  done
+
+let test_discrete_feedforward_proved () =
+  let sys = Discrete.of_network ~dt:0.1 Case_study.reference_controller in
+  let report = Discrete.verify ~rng:(Rng.create 5) sys in
+  match report.Discrete.outcome with
+  | Discrete.Proved cert ->
+    Alcotest.(check bool) "positive level" true (cert.Discrete.level > 0.0)
+  | Discrete.Failed _ -> Alcotest.fail "discrete feedforward case must prove"
+
+let test_discrete_unsafe_rejected () =
+  let bad =
+    Nn.of_layers ~input_dim:2
+      [ { Nn.weights = [| [| 0.0; -1.0 |] |]; biases = [| 0.0 |]; activation = Nn.Linear } ]
+  in
+  let sys = Discrete.of_network ~dt:0.1 bad in
+  match (Discrete.verify ~rng:(Rng.create 5) sys).Discrete.outcome with
+  | Discrete.Proved _ -> Alcotest.fail "proved an unstable discrete loop"
+  | Discrete.Failed _ -> ()
+
+let test_discrete_orbit_truncation () =
+  let sys = Discrete.of_network ~dt:0.1 Case_study.reference_controller in
+  let config = Discrete.default_config ~dim:2 in
+  let tr = Discrete.iterate sys config [| 3.0; 0.5 |] in
+  Alcotest.(check bool) "nonempty" true (Ode.trace_length tr >= 1);
+  Array.iter
+    (fun x ->
+      if Float.abs x.(0) > 5.0 || Float.abs x.(1) > (Float.pi /. 2.0) -. 0.05 then
+        Alcotest.fail "orbit sample outside the safe rectangle")
+    tr.Ode.states
+
+let test_rnn_closed_loop_consistency () =
+  let rnn = small_rnn ~leak:0.3 () in
+  let sys = Discrete.of_rnn ~dt:0.1 rnn in
+  Alcotest.(check int) "augmented dimension" 4 (Array.length sys.Discrete.vars);
+  (* map_numeric versus manual composition. *)
+  let x = [| 1.0; 0.2; 0.1; -0.3 |] in
+  let state', out = Rnn.step rnn ~state:[| 0.1; -0.3 |] ~input:[| 1.0; 0.2 |] in
+  let x' = sys.Discrete.map_numeric x in
+  check_float "theta update" (0.2 -. (0.1 *. out.(0))) x'.(1);
+  check_float "h0 update" state'.(0) x'.(2);
+  check_float "h1 update" state'.(1) x'.(3);
+  (* delta_symbolic consistency on the augmented state. *)
+  let env =
+    [
+      (Error_dynamics.var_derr, x.(0));
+      (Error_dynamics.var_theta_err, x.(1));
+      ("h0", x.(2));
+      ("h1", x.(3));
+    ]
+  in
+  Array.iteri
+    (fun i delta ->
+      let expected = x'.(i) -. x.(i) in
+      check_float (Printf.sprintf "delta %d" i) expected (Expr.eval_env env delta))
+    sys.Discrete.delta_symbolic
+
+let test_rnn_closed_loop_proved () =
+  (* The paper's future-work case end-to-end: a leaky recurrent controller
+     verified over the augmented (derr, theta_err, h) state space.  Uses
+     the fast-converging parameterization; the slower lambda = 0.2 variant
+     is exercised by bench/main.exe ext. *)
+  let rnn =
+    Rnn.of_weights
+      ~w_input:[| [| 0.6; 0.8 |] |]
+      ~w_recurrent:[| [| 0.0 |] |]
+      ~b_hidden:[| 0.0 |]
+      ~w_output:[| [| 1.0 |] |]
+      ~b_output:[| 0.0 |]
+      ~output_activation:Nn.Linear ~leak:0.5 ()
+  in
+  let sys = Discrete.of_rnn ~dt:0.1 rnn in
+  let config =
+    {
+      (Discrete.default_config ~dim:3) with
+      Discrete.smt =
+        { Solver.default_options with Solver.delta = 1e-5; max_branches = 2_000_000 };
+    }
+  in
+  match (Discrete.verify ~config ~rng:(Rng.create 5) sys).Discrete.outcome with
+  | Discrete.Proved cert ->
+    Alcotest.(check bool) "positive level" true (cert.Discrete.level > 0.0);
+    Alcotest.(check int) "six coefficients (3-var quadratic)" 6
+      (Array.length cert.Discrete.coeffs)
+  | Discrete.Failed _ -> Alcotest.fail "leaky RNN closed loop must prove"
+
+(* --- RNN rollout & training ------------------------------------------- *)
+
+let test_rnn_rollout_shape () =
+  let rnn = small_rnn ~leak:0.3 () in
+  let path = Path.straight ~theta_r:0.0 ~length:20.0 in
+  let r =
+    Training.rnn_rollout ~v:1.0 ~path ~dt:0.2 ~steps:150 ~x0:(Dubins_car.start_pose path) rnn
+  in
+  let n = Array.length r.Dubins_car.derr in
+  Alcotest.(check bool) "has samples" true (n > 10);
+  Alcotest.(check int) "aligned arrays" n (Array.length r.Dubins_car.u);
+  Alcotest.(check int) "trace aligned" n (Ode.trace_length r.Dubins_car.trace)
+
+let test_rnn_hold_step_consistency () =
+  (* Constant-turn rollout follows a circle: heading advances by u·dt per
+     step and speed is preserved. *)
+  let constant_u =
+    Rnn.of_weights
+      ~w_input:[| [| 0.0; 0.0 |] |] ~w_recurrent:[| [| 0.0 |] |] ~b_hidden:[| 10.0 |]
+      ~w_output:[| [| 0.5 |] |] ~b_output:[| 0.0 |] ~output_activation:Nn.Linear ()
+  in
+  (* tanh(10) ≈ 1, so u ≈ 0.5 constantly after the first step. *)
+  let path = Path.straight ~theta_r:0.0 ~length:1000.0 in
+  let r =
+    Training.rnn_rollout ~v:1.0 ~path ~dt:0.1 ~steps:50
+      ~x0:{ Dubins_car.x = 0.0; y = 0.0; theta = 0.0 }
+      constant_u
+  in
+  let states = r.Dubins_car.trace.Ode.states in
+  let n = Array.length states in
+  (* Consecutive positions are ~v·dt apart (arc chords slightly shorter). *)
+  let ok = ref true in
+  for i = 1 to n - 2 do
+    let dx = states.(i + 1).(0) -. states.(i).(0)
+    and dy = states.(i + 1).(1) -. states.(i).(1) in
+    let d = Float.hypot dx dy in
+    if Float.abs (d -. 0.1) > 1e-3 then ok := false
+  done;
+  Alcotest.(check bool) "unit-speed arc steps" true !ok
+
+let test_train_rnn_improves () =
+  let rng = Rng.create 42 in
+  let path = Path.straight ~theta_r:0.0 ~length:30.0 in
+  let rnn, cost = Training.train_rnn ~hidden:3 ~population:10 ~iterations:25 ~rng path in
+  (* An untrained (random) controller of the same seed for comparison. *)
+  let fresh =
+    Rnn.create ~rng:(Rng.create 42) ~inputs:2 ~hidden:3 ~outputs:1 ~leak:0.2 ()
+  in
+  let fresh_cost = Training.rnn_cost ~v:1.0 ~path ~dt:0.2 ~steps:180 fresh in
+  Alcotest.(check bool)
+    (Printf.sprintf "trained %.1f <= untrained %.1f" cost fresh_cost)
+    true (cost <= fresh_cost);
+  Alcotest.(check int) "architecture preserved" 3 (Rnn.hidden rnn)
+
+(* --- Lyapunov mode ---------------------------------------------------- *)
+
+let test_lyapunov_reference_proved () =
+  let system = Case_study.system_of_network Case_study.reference_controller in
+  let report = Lyapunov.verify ~rng:(Rng.create 9) system in
+  match report.Lyapunov.outcome with
+  | Lyapunov.Proved cert ->
+    (* The certificate must be positive definite. *)
+    let p = Template.p_matrix cert.Lyapunov.template cert.Lyapunov.coeffs in
+    Alcotest.(check bool) "P SPD" true (Cholesky.is_positive_definite p)
+  | Lyapunov.Failed _ -> Alcotest.fail "Lyapunov mode must prove the reference controller"
+
+let test_lyapunov_unstable_rejected () =
+  let unstable_u _ _ = -0.5 in
+  let u_expr = Expr.const (-0.5) in
+  let system = Case_study.system_of_controller ~controller:unstable_u u_expr in
+  match (Lyapunov.verify ~rng:(Rng.create 9) system).Lyapunov.outcome with
+  | Lyapunov.Proved _ -> Alcotest.fail "proved a constant-turn loop stable"
+  | Lyapunov.Failed _ -> ()
+
+(* --- SMT-LIB export ---------------------------------------------------- *)
+
+let test_smt2_export () =
+  let system = Case_study.system_of_network Case_study.reference_controller in
+  let report = Engine.verify ~rng:(Rng.create 2024) system in
+  match report.Engine.outcome with
+  | Engine.Failed _ -> Alcotest.fail "reference must prove"
+  | Engine.Proved cert ->
+    let dir = Filename.temp_file "smt2" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () ->
+        let files = Engine.dump_smt2 system cert ~dir in
+        Alcotest.(check int) "three queries" 3 (List.length files);
+        List.iter
+          (fun path ->
+            Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path);
+            let ic = open_in path in
+            let content = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Alcotest.(check bool) "declares logic" true
+              (String.length content > 30
+              && String.sub content 0 20 = "(set-logic QF_NRA)\n(");
+            Alcotest.(check bool) "has check-sat" true
+              (let rec contains i =
+                 i + 11 <= String.length content
+                 && (String.sub content i 11 = "(check-sat)" || contains (i + 1))
+               in
+               contains 0))
+          files)
+
+let () =
+  Alcotest.run "discrete"
+    [
+      ( "rnn",
+        [
+          Alcotest.test_case "step by hand" `Quick test_rnn_step_by_hand;
+          Alcotest.test_case "leak slows the state" `Quick test_rnn_leak_slows_state;
+          Alcotest.test_case "param round-trip" `Quick test_rnn_param_roundtrip;
+          Alcotest.test_case "validation" `Quick test_rnn_validation;
+          Alcotest.test_case "serialization" `Quick test_rnn_serialization;
+          QCheck_alcotest.to_alcotest prop_rnn_symbolic_matches;
+        ] );
+      ( "discrete engine",
+        [
+          Alcotest.test_case "delta symbolic = numeric" `Quick test_discrete_symbolic_matches_numeric;
+          Alcotest.test_case "feedforward proved" `Quick test_discrete_feedforward_proved;
+          Alcotest.test_case "unsafe rejected" `Quick test_discrete_unsafe_rejected;
+          Alcotest.test_case "orbit truncation" `Quick test_discrete_orbit_truncation;
+          Alcotest.test_case "rnn closed-loop consistency" `Quick test_rnn_closed_loop_consistency;
+          Alcotest.test_case "rnn closed loop proved" `Slow test_rnn_closed_loop_proved;
+        ] );
+      ( "rnn training",
+        [
+          Alcotest.test_case "rollout shape" `Quick test_rnn_rollout_shape;
+          Alcotest.test_case "hold-step arcs" `Quick test_rnn_hold_step_consistency;
+          Alcotest.test_case "training improves" `Slow test_train_rnn_improves;
+        ] );
+      ( "lyapunov",
+        [
+          Alcotest.test_case "reference proved" `Quick test_lyapunov_reference_proved;
+          Alcotest.test_case "unstable rejected" `Quick test_lyapunov_unstable_rejected;
+        ] );
+      ( "smt2 export",
+        [ Alcotest.test_case "query scripts" `Quick test_smt2_export ] );
+    ]

@@ -1,0 +1,290 @@
+(* Tests for symbolic expressions: construction, evaluation, interval
+   containment, differentiation vs finite differences, substitution. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let env2 d th = [ ("d", d); ("th", th) ]
+
+let d = Expr.var "d"
+
+let th = Expr.var "th"
+
+(* --- smart constructors ----------------------------------------------- *)
+
+let test_constant_folding () =
+  let open Expr in
+  (match const 2.0 + const 3.0 with
+  | Const 5.0 -> ()
+  | e -> Alcotest.failf "expected Const 5, got %s" (to_string e));
+  (match const 2.0 * const 3.0 with
+  | Const 6.0 -> ()
+  | e -> Alcotest.failf "expected Const 6, got %s" (to_string e));
+  (match sin (const 0.0) with
+  | Const 0.0 -> ()
+  | e -> Alcotest.failf "expected Const 0, got %s" (to_string e))
+
+let test_identities () =
+  let open Expr in
+  Alcotest.(check bool) "x + 0 = x" true (equal (d + zero) d);
+  Alcotest.(check bool) "0 + x = x" true (equal (zero + d) d);
+  Alcotest.(check bool) "x * 1 = x" true (equal (d * one) d);
+  Alcotest.(check bool) "x * 0 = 0" true (equal (d * zero) zero);
+  Alcotest.(check bool) "x - 0 = x" true (equal (d - zero) d);
+  Alcotest.(check bool) "x / 1 = x" true (equal (d / one) d);
+  Alcotest.(check bool) "neg neg x = x" true (equal (neg (neg d)) d);
+  Alcotest.(check bool) "pow x 1 = x" true (equal (pow d 1) d);
+  Alcotest.(check bool) "pow x 0 = 1" true (equal (pow d 0) one)
+
+let test_eval () =
+  let open Expr in
+  let e = (d * d) + (const 2.0 * d * th) + sin th in
+  check_float "eval" ((1.5 *. 1.5) +. (2.0 *. 1.5 *. 0.3) +. Float.sin 0.3)
+    (eval_env (env2 1.5 0.3) e);
+  Alcotest.check_raises "unbound" (Unbound_variable "zz") (fun () ->
+      ignore (eval_env [] (var "zz")))
+
+let test_eval_all_ops () =
+  let open Expr in
+  let checks =
+    [
+      (exp d, Float.exp 0.7);
+      (log d, Float.log 0.7);
+      (tanh d, Float.tanh 0.7);
+      (sigmoid d, 1.0 /. (1.0 +. Float.exp (-0.7)));
+      (sqrt d, Float.sqrt 0.7);
+      (abs (neg d), 0.7);
+      (atan d, Float.atan 0.7);
+      (cos d, Float.cos 0.7);
+      (pow d 3, 0.7 ** 3.0);
+      (d / const 2.0, 0.35);
+    ]
+  in
+  List.iter (fun (e, expected) -> check_float (to_string e) expected (eval_env [ ("d", 0.7) ] e)) checks
+
+(* --- differentiation --------------------------------------------------- *)
+
+let finite_diff e x0 =
+  let h = 1e-6 in
+  let f v = Expr.eval_env [ ("d", v) ] e in
+  (f (x0 +. h) -. f (x0 -. h)) /. (2.0 *. h)
+
+let test_diff_cases () =
+  let open Expr in
+  let cases =
+    [
+      pow d 3;
+      sin d;
+      cos d;
+      exp d;
+      tanh d;
+      sigmoid d;
+      sqrt (d + const 2.0);
+      log (d + const 2.0);
+      atan d;
+      (d * d) + (const 3.0 * d);
+      sin (d * d);
+      d / (d + const 2.0);
+      tanh (const 2.0 * d) * sin d;
+    ]
+  in
+  List.iter
+    (fun e ->
+      let sym = diff "d" e in
+      List.iter
+        (fun x0 ->
+          let expected = finite_diff e x0 in
+          let got = eval_env [ ("d", x0) ] sym in
+          if Float.abs (expected -. got) > 1e-4 *. Float.max 1.0 (Float.abs expected) then
+            Alcotest.failf "d/dx %s at %g: finite diff %g vs symbolic %g" (to_string e) x0
+              expected got)
+        [ -0.8; 0.1; 0.9 ])
+    cases
+
+let test_diff_partial () =
+  let open Expr in
+  (* ∂/∂d of d²·th = 2·d·th; ∂/∂th = d². *)
+  let e = pow d 2 * th in
+  check_float "partial d" (2.0 *. 1.5 *. 0.3) (eval_env (env2 1.5 0.3) (diff "d" e));
+  check_float "partial th" (1.5 *. 1.5) (eval_env (env2 1.5 0.3) (diff "th" e));
+  Alcotest.(check bool) "d/dz = 0" true (equal (diff "zz" e) zero)
+
+let prop_diff_matches_fd =
+  QCheck.Test.make ~name:"symbolic derivative matches finite differences" ~count:200
+    QCheck.(pair (int_range 0 10_000) (float_range (-1.2) 1.2))
+    (fun (seed, x0) ->
+      (* Random expression tree over variable d. *)
+      let rng = Rng.create seed in
+      let rec gen depth =
+        if depth = 0 then if Rng.float rng < 0.5 then Expr.var "d" else Expr.const (Rng.uniform rng (-2.0) 2.0)
+        else begin
+          match Rng.int rng 8 with
+          | 0 -> Expr.( + ) (gen (depth - 1)) (gen (depth - 1))
+          | 1 -> Expr.( - ) (gen (depth - 1)) (gen (depth - 1))
+          | 2 -> Expr.( * ) (gen (depth - 1)) (gen (depth - 1))
+          | 3 -> Expr.sin (gen (depth - 1))
+          | 4 -> Expr.cos (gen (depth - 1))
+          | 5 -> Expr.tanh (gen (depth - 1))
+          | 6 -> Expr.pow (gen (depth - 1)) 2
+          | _ -> Expr.neg (gen (depth - 1))
+        end
+      in
+      let e = gen 4 in
+      let sym = Expr.eval_env [ ("d", x0) ] (Expr.diff "d" e) in
+      let fd = finite_diff e x0 in
+      (not (Float.is_finite fd))
+      || (not (Float.is_finite sym))
+      || Float.abs (sym -. fd) <= 1e-3 *. Float.max 1.0 (Float.abs fd))
+
+(* --- interval evaluation ----------------------------------------------- *)
+
+let prop_ieval_contains_eval =
+  QCheck.Test.make ~name:"interval eval encloses point eval" ~count:200
+    QCheck.(triple (int_range 0 10_000) (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (seed, a, b) ->
+      let rng = Rng.create seed in
+      let rec gen depth =
+        if depth = 0 then if Rng.float rng < 0.6 then Expr.var "d" else Expr.const (Rng.uniform rng (-2.0) 2.0)
+        else begin
+          match Rng.int rng 9 with
+          | 0 -> Expr.( + ) (gen (depth - 1)) (gen (depth - 1))
+          | 1 -> Expr.( - ) (gen (depth - 1)) (gen (depth - 1))
+          | 2 -> Expr.( * ) (gen (depth - 1)) (gen (depth - 1))
+          | 3 -> Expr.sin (gen (depth - 1))
+          | 4 -> Expr.cos (gen (depth - 1))
+          | 5 -> Expr.tanh (gen (depth - 1))
+          | 6 -> Expr.sigmoid (gen (depth - 1))
+          | 7 -> Expr.abs (gen (depth - 1))
+          | _ -> Expr.exp (gen (depth - 1))
+        end
+      in
+      let e = gen 4 in
+      let lo = Float.min a b and hi = Float.max a b in
+      let box = Interval.make lo hi in
+      let ival = Expr.ieval (fun _ -> box) e in
+      let ok = ref true in
+      for k = 0 to 10 do
+        let x = lo +. (float_of_int k /. 10.0 *. (hi -. lo)) in
+        let v = Expr.eval (fun _ -> x) e in
+        if Float.is_finite v && not (Interval.mem v ival) then ok := false
+      done;
+      !ok)
+
+(* --- substitution, vars, printing -------------------------------------- *)
+
+let test_subst () =
+  let open Expr in
+  let e = (d * d) + th in
+  let e' = subst [ ("d", const 2.0) ] e in
+  check_float "subst" 4.3 (eval_env [ ("th", 0.3) ] e');
+  (* Simultaneous: d -> th, th -> d does not cascade. *)
+  let swapped = subst [ ("d", th); ("th", d) ] (d - th) in
+  check_float "swap" (-1.2) (eval_env (env2 2.0 0.8) swapped)
+
+let test_free_vars () =
+  let open Expr in
+  Alcotest.(check (list string)) "vars" [ "d"; "th" ] (free_vars ((d * th) + sin d));
+  Alcotest.(check (list string)) "no vars" [] (free_vars (const 3.0))
+
+let test_size_depth () =
+  let open Expr in
+  Alcotest.(check int) "leaf size" 1 (size d);
+  Alcotest.(check int) "sum size" 3 (size (d + th));
+  Alcotest.(check int) "leaf depth" 1 (depth d);
+  Alcotest.(check int) "nested depth" 3 (depth (sin (d + th)))
+
+let test_printing () =
+  let open Expr in
+  Alcotest.(check string) "infix" "(d + tanh(th))" (to_string (d + tanh th));
+  let smt = to_smtlib ((d * const 2.0) + tanh th) in
+  Alcotest.(check bool) "smtlib mentions tanh" true
+    (String.length smt > 0 && String.index_opt smt '(' <> None);
+  Alcotest.(check string) "smtlib neg const" "(- 1)" (to_smtlib (const (-1.0)))
+
+let prop_subst_then_eval =
+  QCheck.Test.make ~name:"subst commutes with eval" ~count:200
+    QCheck.(triple (int_range 0 10_000) (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (seed, a, b) ->
+      let rng = Rng.create seed in
+      let rec gen depth =
+        if depth = 0 then
+          if Rng.float rng < 0.5 then Expr.var "d" else Expr.const (Rng.uniform rng (-2.0) 2.0)
+        else begin
+          match Rng.int rng 5 with
+          | 0 -> Expr.( + ) (gen (depth - 1)) (gen (depth - 1))
+          | 1 -> Expr.( * ) (gen (depth - 1)) (gen (depth - 1))
+          | 2 -> Expr.sin (gen (depth - 1))
+          | 3 -> Expr.tanh (gen (depth - 1))
+          | _ -> Expr.( - ) (gen (depth - 1)) (gen (depth - 1))
+        end
+      in
+      let e = gen 4 in
+      (* Substituting d := b then evaluating equals evaluating with d = b;
+         also check via an intermediate variable renaming. *)
+      let direct = Expr.eval_env [ ("d", b) ] e in
+      let via_subst = Expr.eval_env [] (Expr.subst [ ("d", Expr.const b) ] e) in
+      let renamed = Expr.eval_env [ ("z", b) ] (Expr.subst [ ("d", Expr.var "z") ] e) in
+      ignore a;
+      (not (Float.is_finite direct))
+      || (Float.abs (direct -. via_subst) < 1e-12 && Float.abs (direct -. renamed) < 1e-12))
+
+let prop_simplify_preserves_semantics =
+  QCheck.Test.make ~name:"simplify preserves values" ~count:200
+    QCheck.(pair (int_range 0 10_000) (float_range (-2.0) 2.0))
+    (fun (seed, v) ->
+      let rng = Rng.create seed in
+      let rec gen depth =
+        if depth = 0 then
+          if Rng.float rng < 0.5 then Expr.var "d" else Expr.const (Rng.uniform rng (-2.0) 2.0)
+        else begin
+          match Rng.int rng 6 with
+          | 0 -> Expr.( + ) (gen (depth - 1)) (gen (depth - 1))
+          | 1 -> Expr.( * ) (gen (depth - 1)) (gen (depth - 1))
+          | 2 -> Expr.( - ) (gen (depth - 1)) (gen (depth - 1))
+          | 3 -> Expr.cos (gen (depth - 1))
+          | 4 -> Expr.neg (gen (depth - 1))
+          | _ -> Expr.pow (gen (depth - 1)) 2
+        end
+      in
+      let e = gen 4 in
+      let s = Expr.simplify e in
+      let a = Expr.eval_env [ ("d", v) ] e and b = Expr.eval_env [ ("d", v) ] s in
+      (not (Float.is_finite a)) || Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a))
+
+let test_dot () =
+  let open Expr in
+  let e = dot [ d; th ] [ const 2.0; const 3.0 ] in
+  check_float "dot" ((2.0 *. 1.5) +. (3.0 *. 0.3)) (eval_env (env2 1.5 0.3) e);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Expr.dot: length mismatch")
+    (fun () -> ignore (dot [ d ] []))
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "algebraic identities" `Quick test_identities;
+          Alcotest.test_case "dot product" `Quick test_dot;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "all operations" `Quick test_eval_all_ops;
+          QCheck_alcotest.to_alcotest prop_ieval_contains_eval;
+        ] );
+      ( "differentiation",
+        [
+          Alcotest.test_case "known cases vs finite diff" `Quick test_diff_cases;
+          Alcotest.test_case "partial derivatives" `Quick test_diff_partial;
+          QCheck_alcotest.to_alcotest prop_diff_matches_fd;
+        ] );
+      ( "manipulation",
+        [
+          Alcotest.test_case "substitution" `Quick test_subst;
+          QCheck_alcotest.to_alcotest prop_subst_then_eval;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves_semantics;
+          Alcotest.test_case "free variables" `Quick test_free_vars;
+          Alcotest.test_case "size and depth" `Quick test_size_depth;
+          Alcotest.test_case "printing" `Quick test_printing;
+        ] );
+    ]

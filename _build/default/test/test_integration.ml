@@ -1,0 +1,233 @@
+(* End-to-end integration tests of the full verification pipeline
+   (paper Figure 1), including failure injection with unsafe controllers
+   and validation of the produced certificates against the definition of a
+   strict barrier certificate. *)
+
+let reference_system = Case_study.system_of_network Case_study.reference_controller
+
+let verify ?config seed system =
+  Engine.verify ?config ~rng:(Rng.create seed) system
+
+let proved name report =
+  match report.Engine.outcome with
+  | Engine.Proved cert -> cert
+  | Engine.Failed reason ->
+    let msg =
+      match reason with
+      | Engine.Lp_failed s -> "LP failed: " ^ s
+      | Engine.Cex_budget_exhausted -> "CEX budget exhausted"
+      | Engine.Level_range_empty -> "level range empty"
+      | Engine.Level_budget_exhausted -> "level budget exhausted"
+      | Engine.Solver_inconclusive s -> "solver inconclusive: " ^ s
+    in
+    Alcotest.failf "%s: expected Proved, got %s" name msg
+
+(* --- The paper's case study ---------------------------------------------- *)
+
+let test_reference_controller_proved () =
+  let report = verify 2024 reference_system in
+  let cert = proved "reference" report in
+  Alcotest.(check bool) "positive level" true (cert.Engine.level > 0.0);
+  (* Certificate P must be positive definite (ellipsoidal level sets). *)
+  let p = Template.p_matrix cert.Engine.template cert.Engine.coeffs in
+  Alcotest.(check bool) "P SPD" true (Cholesky.is_positive_definite p)
+
+let test_certificate_satisfies_barrier_conditions () =
+  (* Spot-check the three strict-barrier conditions numerically on dense
+     samples (the SMT solver already proved them; this guards the glue). *)
+  let report = verify 2024 reference_system in
+  let cert = proved "reference" report in
+  let w = Template.w_eval cert.Engine.template cert.Engine.coeffs in
+  let level = cert.Engine.level in
+  let config = Engine.default_config in
+  let rng = Rng.create 555 in
+  (* (1) B <= 0 on X0. *)
+  for _ = 1 to 2000 do
+    let x = [| Rng.uniform rng (-1.0) 1.0; Rng.uniform rng (-.Float.pi /. 16.0) (Float.pi /. 16.0) |] in
+    if w x -. level > 1e-9 then Alcotest.failf "B > 0 inside X0 at (%g, %g)" x.(0) x.(1)
+  done;
+  (* (2) B > 0 on (sampled) U: just outside the safe rect. *)
+  let half_pi = Float.pi /. 2.0 in
+  for _ = 1 to 2000 do
+    let on_x_face = Rng.float rng < 0.5 in
+    let x =
+      if on_x_face then
+        [| (if Rng.float rng < 0.5 then -5.001 else 5.001); Rng.uniform rng (-.(half_pi -. 0.05)) (half_pi -. 0.05) |]
+      else [| Rng.uniform rng (-5.0) 5.0; (if Rng.float rng < 0.5 then -1.0 else 1.0) *. (half_pi -. 0.0499) |]
+    in
+    if w x -. level <= 0.0 then Alcotest.failf "B <= 0 on U at (%g, %g)" x.(0) x.(1)
+  done;
+  (* (3) ∇W·f < 0 on a dense grid over D \ X0. *)
+  let grads = Template.grad_exprs cert.Engine.template cert.Engine.coeffs in
+  let lie d th =
+    let env = [ (Error_dynamics.var_derr, d); (Error_dynamics.var_theta_err, th) ] in
+    let f = reference_system.Engine.numeric_field 0.0 [| d; th |] in
+    (Expr.eval_env env grads.(0) *. f.(0)) +. (Expr.eval_env env grads.(1) *. f.(1))
+  in
+  let inside_x0 d th = Float.abs d <= 1.0 && Float.abs th <= Float.pi /. 16.0 in
+  Array.iter
+    (fun d ->
+      Array.iter
+        (fun th ->
+          if not (inside_x0 d th) then begin
+            let v = lie d th in
+            if v >= -.config.Engine.gamma then
+              Alcotest.failf "∇W·f = %g >= -γ at (%g, %g)" v d th
+          end)
+        (Floatx.linspace (-.(half_pi -. 0.05)) (half_pi -. 0.05) 41))
+    (Floatx.linspace (-5.0) 5.0 41)
+
+let test_widened_controllers_proved () =
+  List.iter
+    (fun width ->
+      let system = Case_study.system_of_network (Case_study.controller_of_width width) in
+      let report = verify 11 system in
+      ignore (proved (Printf.sprintf "width %d" width) report))
+    [ 10; 40 ]
+
+let test_pretrained_controller_proved () =
+  (* The CMA-ES-trained controller shipped with the repository. *)
+  let path = "../data/trained_nh10.nn" in
+  if Sys.file_exists path then begin
+    let net = Nn.load path in
+    let system = Case_study.system_of_network net in
+    let report = verify 7 system in
+    let cert = proved "pretrained" report in
+    Alcotest.(check bool) "level positive" true (cert.Engine.level > 0.0)
+  end
+
+let test_determinism () =
+  let r1 = verify 99 reference_system and r2 = verify 99 reference_system in
+  match (r1.Engine.outcome, r2.Engine.outcome) with
+  | Engine.Proved c1, Engine.Proved c2 ->
+    Alcotest.(check (float 1e-12)) "same level" c1.Engine.level c2.Engine.level;
+    Alcotest.(check bool) "same coeffs" true (c1.Engine.coeffs = c2.Engine.coeffs)
+  | _ -> Alcotest.fail "both runs should prove"
+
+let test_stats_populated () =
+  let report = verify 2024 reference_system in
+  let st = report.Engine.stats in
+  Alcotest.(check bool) "iterations >= 1" true (st.Engine.candidate_iterations >= 1);
+  Alcotest.(check bool) "level iterations >= 1" true (st.Engine.level_iterations >= 1);
+  Alcotest.(check bool) "lp time > 0" true (st.Engine.lp_time > 0.0);
+  Alcotest.(check bool) "smt5 called" true (st.Engine.smt5_calls >= 1);
+  Alcotest.(check bool) "rows recorded" true (st.Engine.lp_rows > 0);
+  Alcotest.(check bool) "total covers parts" true
+    (st.Engine.total_time >= st.Engine.lp_time +. st.Engine.smt5_time)
+
+(* --- Failure injection ----------------------------------------------------- *)
+
+let constant_controller c =
+  Nn.of_layers ~input_dim:2
+    [ { Nn.weights = [| [| 0.0; 0.0 |] |]; biases = [| c |]; activation = Nn.Linear } ]
+
+let test_unsafe_zero_controller () =
+  (* u = 0: θerr never changes, derr drifts — nothing decreases.  The
+     pipeline must fail, not prove. *)
+  let system = Case_study.system_of_network (constant_controller 0.0) in
+  let report = verify 5 system in
+  (match report.Engine.outcome with
+  | Engine.Proved _ -> Alcotest.fail "proved an unsafe (zero) controller"
+  | Engine.Failed _ -> ())
+
+let test_unsafe_destabilizing_controller () =
+  (* u = -0.5·tanh(derr) - 0.5·tanh(θerr): positive feedback. *)
+  let bad =
+    Nn.of_layers ~input_dim:2
+      [
+        {
+          Nn.weights = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |];
+          biases = [| 0.0; 0.0 |];
+          activation = Nn.Tansig;
+        };
+        { Nn.weights = [| [| -0.5; -0.5 |] |]; biases = [| 0.0 |]; activation = Nn.Linear };
+      ]
+  in
+  let system = Case_study.system_of_network bad in
+  let report = verify 5 system in
+  (match report.Engine.outcome with
+  | Engine.Proved _ -> Alcotest.fail "proved a destabilizing controller"
+  | Engine.Failed _ -> ())
+
+let test_saturated_controller_rejected () =
+  (* u = +1 constant: rotates forever, no barrier. *)
+  let system = Case_study.system_of_network (constant_controller 1.0) in
+  let report = verify 5 system in
+  match report.Engine.outcome with
+  | Engine.Proved _ -> Alcotest.fail "proved a constant-turn controller"
+  | Engine.Failed _ -> ()
+
+(* --- Config variations ------------------------------------------------------ *)
+
+let test_lie_mode_pipeline () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.synthesis =
+        {
+          Engine.default_config.Engine.synthesis with
+          Synthesis.mode = Synthesis.Lie_derivative;
+        };
+    }
+  in
+  let report = verify 2024 ~config reference_system in
+  ignore (proved "lie mode" report)
+
+let test_quadratic_linear_template () =
+  let config = { Engine.default_config with Engine.template_kind = Template.Quadratic_linear } in
+  let report = verify 2024 ~config reference_system in
+  (* The augmented template must also succeed (linear terms may be ~0). *)
+  let cert = proved "quadratic+linear" report in
+  Alcotest.(check int) "five coefficients" 5 (Array.length cert.Engine.coeffs)
+
+let test_forward_only_smt_pipeline () =
+  (* Ablation A2: the pipeline still proves with contraction disabled, at
+     higher branch counts. *)
+  let config =
+    {
+      Engine.default_config with
+      Engine.smt = { Solver.default_options with Solver.use_backward = false };
+    }
+  in
+  let report = verify 2024 ~config reference_system in
+  ignore (proved "forward-only" report)
+
+let test_tight_cex_budget_inconclusive () =
+  (* With zero CEX iterations allowed the pipeline cannot even run one LP:
+     expect a failure, never a bogus proof. *)
+  let config = { Engine.default_config with Engine.max_candidate_iters = 0 } in
+  let report = verify 2024 ~config reference_system in
+  match report.Engine.outcome with
+  | Engine.Failed Engine.Cex_budget_exhausted -> ()
+  | Engine.Failed _ -> ()
+  | Engine.Proved _ -> Alcotest.fail "proved with zero budget"
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "reference controller proved" `Quick test_reference_controller_proved;
+          Alcotest.test_case "certificate conditions hold" `Quick
+            test_certificate_satisfies_barrier_conditions;
+          Alcotest.test_case "widened controllers proved" `Slow test_widened_controllers_proved;
+          Alcotest.test_case "pretrained controller proved" `Slow test_pretrained_controller_proved;
+          Alcotest.test_case "determinism" `Slow test_determinism;
+          Alcotest.test_case "stats populated" `Quick test_stats_populated;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "zero controller rejected" `Quick test_unsafe_zero_controller;
+          Alcotest.test_case "destabilizing controller rejected" `Quick
+            test_unsafe_destabilizing_controller;
+          Alcotest.test_case "constant-turn controller rejected" `Quick
+            test_saturated_controller_rejected;
+        ] );
+      ( "config variants",
+        [
+          Alcotest.test_case "lie-derivative mode" `Slow test_lie_mode_pipeline;
+          Alcotest.test_case "quadratic+linear template" `Slow test_quadratic_linear_template;
+          Alcotest.test_case "forward-only smt" `Slow test_forward_only_smt_pipeline;
+          Alcotest.test_case "zero budget fails safely" `Quick test_tight_cex_budget_inconclusive;
+        ] );
+    ]

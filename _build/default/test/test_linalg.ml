@@ -1,0 +1,233 @@
+(* Tests for dense linear algebra: vectors, matrices, LU, Cholesky,
+   Jacobi eigendecomposition. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let vec = Alcotest.testable Vec.pp (Vec.approx_equal ~tol:1e-9)
+
+(* --- Vec ------------------------------------------------------------- *)
+
+let test_vec_basic () =
+  let x = Vec.of_list [ 1.0; 2.0; 3.0 ] and y = Vec.of_list [ 4.0; 5.0; 6.0 ] in
+  Alcotest.check vec "add" (Vec.of_list [ 5.0; 7.0; 9.0 ]) (Vec.add x y);
+  Alcotest.check vec "sub" (Vec.of_list [ -3.0; -3.0; -3.0 ]) (Vec.sub x y);
+  Alcotest.check vec "scale" (Vec.of_list [ 2.0; 4.0; 6.0 ]) (Vec.scale 2.0 x);
+  check_float "dot" 32.0 (Vec.dot x y);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 x);
+  check_float "norm_inf" 3.0 (Vec.norm_inf x);
+  check_float "dist" (sqrt 27.0) (Vec.dist2 x y);
+  Alcotest.check vec "axpy" (Vec.of_list [ 6.0; 9.0; 12.0 ]) (Vec.axpy 2.0 x y);
+  Alcotest.check vec "hadamard" (Vec.of_list [ 4.0; 10.0; 18.0 ]) (Vec.hadamard x y)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)")
+    (fun () -> ignore (Vec.add [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_vec_inplace () =
+  let x = Vec.of_list [ 1.0; 2.0 ] in
+  Vec.add_inplace x [| 10.0; 20.0 |];
+  Alcotest.check vec "add_inplace" (Vec.of_list [ 11.0; 22.0 ]) x;
+  Vec.scale_inplace 0.5 x;
+  Alcotest.check vec "scale_inplace" (Vec.of_list [ 5.5; 11.0 ]) x
+
+(* --- Mat ------------------------------------------------------------- *)
+
+let a33 = [| [| 2.0; 1.0; 1.0 |]; [| 1.0; 3.0; 2.0 |]; [| 1.0; 0.0; 0.0 |] |]
+
+let test_mat_mul () =
+  let i = Mat.identity 3 in
+  Alcotest.(check bool) "A * I = A" true (Mat.approx_equal (Mat.mul a33 i) a33);
+  Alcotest.(check bool) "I * A = A" true (Mat.approx_equal (Mat.mul i a33) a33);
+  let b = Mat.init 3 2 (fun i j -> float_of_int ((i * 2) + j)) in
+  let c = Mat.mul a33 b in
+  Alcotest.(check int) "rows" 3 (Mat.rows c);
+  Alcotest.(check int) "cols" 2 (Mat.cols c);
+  check_float "c00" ((2.0 *. 0.0) +. (1.0 *. 2.0) +. (1.0 *. 4.0)) c.(0).(0)
+
+let test_mat_vec () =
+  let x = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.check vec "mul_vec" (Vec.of_list [ 7.0; 13.0; 1.0 ]) (Mat.mul_vec a33 x);
+  Alcotest.check vec "vec_mul" (Vec.of_list [ 7.0; 7.0; 5.0 ]) (Mat.vec_mul x a33)
+
+let test_mat_transpose_outer () =
+  let t = Mat.transpose a33 in
+  Alcotest.(check bool) "transpose twice" true (Mat.approx_equal (Mat.transpose t) a33);
+  let o = Mat.outer [| 1.0; 2.0 |] [| 3.0; 4.0; 5.0 |] in
+  check_float "outer(1,2)" 10.0 o.(1).(2);
+  check_float "trace" 5.0 (Mat.trace a33)
+
+let test_quadratic_form () =
+  let p = [| [| 2.0; 0.5 |]; [| 0.5; 1.0 |] |] in
+  let x = [| 1.0; 2.0 |] in
+  (* x'Px = 2 + 0.5*2*2 + 4 = 8 *)
+  check_float "x'Px" 8.0 (Mat.quadratic_form p x)
+
+let test_symmetrize () =
+  let m = [| [| 1.0; 2.0 |]; [| 4.0; 3.0 |] |] in
+  let s = Mat.symmetrize m in
+  Alcotest.(check bool) "symmetric" true (Mat.is_symmetric s);
+  check_float "averaged" 3.0 s.(0).(1)
+
+(* --- LU -------------------------------------------------------------- *)
+
+let test_lu_solve () =
+  let b = [| 5.0; 10.0; 1.0 |] in
+  let x = Lu.solve a33 b in
+  Alcotest.check vec "A x = b" (Vec.of_list (Array.to_list b)) (Mat.mul_vec a33 x)
+
+let test_lu_det () =
+  check_float "det identity" 1.0 (Lu.det (Mat.identity 4));
+  (* det a33 = expand: 2*(0-0) - 1*(0-2) + 1*(0-3) = -1 *)
+  check_float "det a33" (-1.0) (Lu.det a33);
+  check_float "det singular" 0.0 (Lu.det [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |])
+
+let test_lu_inverse () =
+  let inv = Lu.inverse a33 in
+  Alcotest.(check bool) "A * A^-1 = I" true
+    (Mat.approx_equal ~tol:1e-9 (Mat.mul a33 inv) (Mat.identity 3))
+
+let test_lu_singular_raises () =
+  Alcotest.check_raises "singular" Lu.Singular (fun () ->
+      ignore (Lu.factorize [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]))
+
+let prop_lu_roundtrip =
+  QCheck.Test.make ~name:"LU solve then multiply round-trips" ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      (* Diagonally dominant => well-conditioned and nonsingular. *)
+      let a =
+        Mat.init n n (fun i j ->
+            if i = j then 10.0 +. Rng.uniform rng 0.0 1.0 else Rng.uniform rng (-1.0) 1.0)
+      in
+      let b = Vec.init n (fun _ -> Rng.uniform rng (-5.0) 5.0) in
+      let x = Lu.solve a b in
+      Vec.approx_equal ~tol:1e-7 (Mat.mul_vec a x) b)
+
+(* --- Cholesky -------------------------------------------------------- *)
+
+let spd22 = [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |]
+
+let test_cholesky_factor () =
+  let l = Cholesky.factorize spd22 in
+  Alcotest.(check bool) "L L' = A" true
+    (Mat.approx_equal ~tol:1e-12 (Mat.mul l (Mat.transpose l)) spd22)
+
+let test_cholesky_solve () =
+  let b = [| 1.0; 2.0 |] in
+  let x = Cholesky.solve spd22 b in
+  Alcotest.check vec "A x = b" (Vec.of_list [ 1.0; 2.0 ]) (Mat.mul_vec spd22 x)
+
+let test_cholesky_rejects_indefinite () =
+  Alcotest.(check bool) "indefinite detected" false
+    (Cholesky.is_positive_definite [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |]);
+  Alcotest.(check bool) "spd detected" true (Cholesky.is_positive_definite spd22)
+
+let test_cholesky_log_det () =
+  check_float "log det" (log ((4.0 *. 3.0) -. 1.0)) (Cholesky.log_det spd22)
+
+let prop_cholesky_spd =
+  QCheck.Test.make ~name:"Cholesky reconstructs random SPD matrices" ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Mat.init n n (fun _ _ -> Rng.normal rng) in
+      (* G G' + n I is SPD. *)
+      let a = Mat.add (Mat.mul g (Mat.transpose g)) (Mat.scale (float_of_int n) (Mat.identity n)) in
+      let l = Cholesky.factorize a in
+      Mat.approx_equal ~tol:1e-7 (Mat.mul l (Mat.transpose l)) a)
+
+(* --- Eigendecomposition ---------------------------------------------- *)
+
+let test_eig_diagonal () =
+  let d = [| [| 3.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let eigenvalues, v = Eig.symmetric d in
+  check_float "lambda_0" 1.0 eigenvalues.(0);
+  check_float "lambda_1" 3.0 eigenvalues.(1);
+  Alcotest.(check bool) "orthogonal" true
+    (Mat.approx_equal ~tol:1e-9 (Mat.mul v (Mat.transpose v)) (Mat.identity 2))
+
+let test_eig_known () =
+  (* [[2,1],[1,2]] has eigenvalues 1 and 3. *)
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let eigenvalues, _ = Eig.symmetric a in
+  check_float "lambda_0" 1.0 eigenvalues.(0);
+  check_float "lambda_1" 3.0 eigenvalues.(1)
+
+let prop_eig_reconstruction =
+  QCheck.Test.make ~name:"V diag(l) V' reconstructs the matrix" ~count:60
+    QCheck.(pair (int_range 1 7) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Mat.init n n (fun _ _ -> Rng.normal rng) in
+      let a = Mat.symmetrize g in
+      let eigenvalues, v = Eig.symmetric a in
+      let recon =
+        Mat.init n n (fun i j ->
+            let acc = ref 0.0 in
+            for k = 0 to n - 1 do
+              acc := !acc +. (v.(i).(k) *. eigenvalues.(k) *. v.(j).(k))
+            done;
+            !acc)
+      in
+      Mat.approx_equal ~tol:1e-7 recon a)
+
+let prop_eig_sorted =
+  QCheck.Test.make ~name:"eigenvalues ascend" ~count:60
+    QCheck.(pair (int_range 2 7) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let a = Mat.symmetrize (Mat.init n n (fun _ _ -> Rng.normal rng)) in
+      let eigenvalues, _ = Eig.symmetric a in
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        if eigenvalues.(i) > eigenvalues.(i + 1) +. 1e-12 then ok := false
+      done;
+      !ok)
+
+let test_sqrt_spd () =
+  let s = Eig.sqrt_spd spd22 in
+  Alcotest.(check bool) "S S = A" true (Mat.approx_equal ~tol:1e-9 (Mat.mul s s) spd22)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_dim_mismatch;
+          Alcotest.test_case "inplace ops" `Quick test_vec_inplace;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "matrix product" `Quick test_mat_mul;
+          Alcotest.test_case "matrix-vector" `Quick test_mat_vec;
+          Alcotest.test_case "transpose/outer/trace" `Quick test_mat_transpose_outer;
+          Alcotest.test_case "quadratic form" `Quick test_quadratic_form;
+          Alcotest.test_case "symmetrize" `Quick test_symmetrize;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "determinant" `Quick test_lu_det;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "singular raises" `Quick test_lu_singular_raises;
+          QCheck_alcotest.to_alcotest prop_lu_roundtrip;
+        ] );
+      ( "cholesky",
+        [
+          Alcotest.test_case "factorization" `Quick test_cholesky_factor;
+          Alcotest.test_case "solve" `Quick test_cholesky_solve;
+          Alcotest.test_case "definiteness detection" `Quick test_cholesky_rejects_indefinite;
+          Alcotest.test_case "log_det" `Quick test_cholesky_log_det;
+          QCheck_alcotest.to_alcotest prop_cholesky_spd;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "diagonal" `Quick test_eig_diagonal;
+          Alcotest.test_case "known eigenvalues" `Quick test_eig_known;
+          Alcotest.test_case "sqrt_spd" `Quick test_sqrt_spd;
+          QCheck_alcotest.to_alcotest prop_eig_reconstruction;
+          QCheck_alcotest.to_alcotest prop_eig_sorted;
+        ] );
+    ]

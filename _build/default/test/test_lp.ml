@@ -1,0 +1,280 @@
+(* Tests for the simplex LP solver: textbook instances, degenerate and
+   infeasible/unbounded cases, and a property test against brute-force
+   vertex enumeration on random 2-variable problems. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let optimal = function
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+   Classic Dantzig example: optimum (2, 6), value 36. *)
+let test_textbook_max () =
+  let p =
+    {
+      Lp.objective = [| 3.0; 5.0 |];
+      constraints =
+        [
+          { Lp.coeffs = [| 1.0; 0.0 |]; relation = Lp.Le; rhs = 4.0 };
+          { Lp.coeffs = [| 0.0; 2.0 |]; relation = Lp.Le; rhs = 12.0 };
+          { Lp.coeffs = [| 3.0; 2.0 |]; relation = Lp.Le; rhs = 18.0 };
+        ];
+      bounds = [| Lp.nonneg; Lp.nonneg |];
+    }
+  in
+  let s = optimal (Lp.maximize p) in
+  check_float "value" 36.0 s.Lp.objective_value;
+  check_float "x" 2.0 s.Lp.x.(0);
+  check_float "y" 6.0 s.Lp.x.(1)
+
+(* min x + y s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0 -> (1.6, 1.2), 2.8. *)
+let test_textbook_min_ge () =
+  let p =
+    {
+      Lp.objective = [| 1.0; 1.0 |];
+      constraints =
+        [
+          { Lp.coeffs = [| 1.0; 2.0 |]; relation = Lp.Ge; rhs = 4.0 };
+          { Lp.coeffs = [| 3.0; 1.0 |]; relation = Lp.Ge; rhs = 6.0 };
+        ];
+      bounds = [| Lp.nonneg; Lp.nonneg |];
+    }
+  in
+  let s = optimal (Lp.minimize p) in
+  check_float "value" 2.8 s.Lp.objective_value;
+  Alcotest.(check bool) "feasible" true (Lp.check_feasible p s.Lp.x)
+
+let test_equality_constraint () =
+  (* min x - y s.t. x + y = 2, x,y in [0, 2] -> x=0, y=2, value -2. *)
+  let p =
+    {
+      Lp.objective = [| 1.0; -1.0 |];
+      constraints = [ { Lp.coeffs = [| 1.0; 1.0 |]; relation = Lp.Eq; rhs = 2.0 } ];
+      bounds = [| (0.0, 2.0); (0.0, 2.0) |];
+    }
+  in
+  let s = optimal (Lp.minimize p) in
+  check_float "value" (-2.0) s.Lp.objective_value;
+  check_float "sum" 2.0 (s.Lp.x.(0) +. s.Lp.x.(1))
+
+let test_free_variables () =
+  (* min x s.t. x >= -5 encoded through a constraint, x free. *)
+  let p =
+    {
+      Lp.objective = [| 1.0 |];
+      constraints = [ { Lp.coeffs = [| 1.0 |]; relation = Lp.Ge; rhs = -5.0 } ];
+      bounds = [| Lp.free |];
+    }
+  in
+  let s = optimal (Lp.minimize p) in
+  check_float "free var reaches -5" (-5.0) s.Lp.x.(0)
+
+let test_negative_rhs () =
+  (* min -x s.t. -x >= -3 (i.e. x <= 3), x >= 0 -> x = 3. *)
+  let p =
+    {
+      Lp.objective = [| -1.0 |];
+      constraints = [ { Lp.coeffs = [| -1.0 |]; relation = Lp.Ge; rhs = -3.0 } ];
+      bounds = [| Lp.nonneg |];
+    }
+  in
+  let s = optimal (Lp.minimize p) in
+  check_float "x" 3.0 s.Lp.x.(0)
+
+let test_infeasible () =
+  let p =
+    {
+      Lp.objective = [| 1.0 |];
+      constraints =
+        [
+          { Lp.coeffs = [| 1.0 |]; relation = Lp.Ge; rhs = 5.0 };
+          { Lp.coeffs = [| 1.0 |]; relation = Lp.Le; rhs = 1.0 };
+        ];
+      bounds = [| Lp.nonneg |];
+    }
+  in
+  (match Lp.minimize p with
+  | Lp.Infeasible -> ()
+  | Lp.Optimal _ | Lp.Unbounded -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let p =
+    {
+      Lp.objective = [| -1.0 |];
+      constraints = [ { Lp.coeffs = [| 1.0 |]; relation = Lp.Ge; rhs = 0.0 } ];
+      bounds = [| Lp.nonneg |];
+    }
+  in
+  (match Lp.minimize p with
+  | Lp.Unbounded -> ()
+  | Lp.Optimal _ | Lp.Infeasible -> Alcotest.fail "expected unbounded")
+
+let test_no_constraints () =
+  let p = { Lp.objective = [| 1.0; -2.0 |]; constraints = []; bounds = [| (0.0, 4.0); (0.0, 4.0) |] } in
+  let s = optimal (Lp.minimize p) in
+  check_float "x at lower" 0.0 s.Lp.x.(0);
+  check_float "y at upper" 4.0 s.Lp.x.(1);
+  let p2 = { p with bounds = [| Lp.free; (0.0, 4.0) |] } in
+  (match Lp.minimize p2 with
+  | Lp.Unbounded -> ()
+  | Lp.Optimal _ | Lp.Infeasible -> Alcotest.fail "expected unbounded without constraints")
+
+let test_degenerate () =
+  (* Multiple redundant constraints through the same vertex. *)
+  let p =
+    {
+      Lp.objective = [| -1.0; -1.0 |];
+      constraints =
+        [
+          { Lp.coeffs = [| 1.0; 1.0 |]; relation = Lp.Le; rhs = 2.0 };
+          { Lp.coeffs = [| 2.0; 2.0 |]; relation = Lp.Le; rhs = 4.0 };
+          { Lp.coeffs = [| 1.0; 0.0 |]; relation = Lp.Le; rhs = 2.0 };
+          { Lp.coeffs = [| 0.0; 1.0 |]; relation = Lp.Le; rhs = 2.0 };
+        ];
+      bounds = [| Lp.nonneg; Lp.nonneg |];
+    }
+  in
+  let s = optimal (Lp.minimize p) in
+  check_float "value" (-2.0) s.Lp.objective_value
+
+let test_all_zero_rhs_degenerate () =
+  (* The barrier-synthesis shape: homogeneous rows, maximize the margin. *)
+  let p =
+    {
+      Lp.objective = [| 0.0; -1.0 |];
+      (* max m s.t. x - m >= 0, -x + 2m <= 0 with x in [-1, 1], m in [-1, 1]:
+         optimal m = 0.5 at x = 1. *)
+      constraints =
+        [
+          { Lp.coeffs = [| 1.0; -1.0 |]; relation = Lp.Ge; rhs = 0.0 };
+          { Lp.coeffs = [| -1.0; 2.0 |]; relation = Lp.Le; rhs = 0.0 };
+        ];
+      bounds = [| (-1.0, 1.0); (-1.0, 1.0) |];
+    }
+  in
+  let s = optimal (Lp.minimize p) in
+  check_float "margin" 0.5 s.Lp.x.(1)
+
+(* Brute-force reference for 2-variable LPs: evaluate all vertices formed by
+   pairs of active constraints (including bounds). *)
+let brute_force_2d objective rows bounds =
+  let lines =
+    rows
+    @ [
+        ([| 1.0; 0.0 |], fst bounds.(0));
+        ([| 1.0; 0.0 |], snd bounds.(0));
+        ([| 0.0; 1.0 |], fst bounds.(1));
+        ([| 0.0; 1.0 |], snd bounds.(1));
+      ]
+  in
+  let feasible (x, y) =
+    x >= fst bounds.(0) -. 1e-7
+    && x <= snd bounds.(0) +. 1e-7
+    && y >= fst bounds.(1) -. 1e-7
+    && y <= snd bounds.(1) +. 1e-7
+    && List.for_all (fun (a, b) -> (a.(0) *. x) +. (a.(1) *. y) <= b +. 1e-7) rows
+  in
+  let best = ref None in
+  List.iteri
+    (fun i (a1, b1) ->
+      List.iteri
+        (fun j (a2, b2) ->
+          if i < j then begin
+            let det = (a1.(0) *. a2.(1)) -. (a1.(1) *. a2.(0)) in
+            if Float.abs det > 1e-9 then begin
+              let x = ((b1 *. a2.(1)) -. (b2 *. a1.(1))) /. det in
+              let y = ((a1.(0) *. b2) -. (a2.(0) *. b1)) /. det in
+              if feasible (x, y) then begin
+                let v = (objective.(0) *. x) +. (objective.(1) *. y) in
+                match !best with
+                | Some bv when bv <= v -> ()
+                | _ -> best := Some v
+              end
+            end
+          end)
+        lines)
+    lines;
+  !best
+
+let prop_simplex_matches_brute_force =
+  QCheck.Test.make ~name:"simplex matches brute-force vertex enumeration (2D)" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_rows = 1 + Rng.int rng 5 in
+      let rows =
+        List.init n_rows (fun _ ->
+            ([| Rng.uniform rng (-2.0) 2.0; Rng.uniform rng (-2.0) 2.0 |], Rng.uniform rng 0.5 4.0))
+      in
+      let objective = [| Rng.uniform rng (-2.0) 2.0; Rng.uniform rng (-2.0) 2.0 |] in
+      let bounds = [| (-3.0, 3.0); (-3.0, 3.0) |] in
+      let p =
+        {
+          Lp.objective;
+          constraints =
+            List.map (fun (a, b) -> { Lp.coeffs = a; relation = Lp.Le; rhs = b }) rows;
+          bounds;
+        }
+      in
+      match (Lp.minimize p, brute_force_2d objective rows bounds) with
+      | Lp.Optimal s, Some v ->
+        Lp.check_feasible p s.Lp.x && Float.abs (s.Lp.objective_value -. v) < 1e-5
+      | Lp.Infeasible, None -> true
+      | Lp.Optimal _, None -> false
+      | Lp.Infeasible, Some _ -> false
+      | Lp.Unbounded, _ -> false (* impossible: box-bounded *))
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"returned solutions are always feasible" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 4 in
+      let n_rows = 1 + Rng.int rng 8 in
+      let rows =
+        List.init n_rows (fun _ ->
+            {
+              Lp.coeffs = Array.init n (fun _ -> Rng.uniform rng (-2.0) 2.0);
+              relation = (match Rng.int rng 3 with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq);
+              rhs = Rng.uniform rng (-2.0) 2.0;
+            })
+      in
+      let p =
+        {
+          Lp.objective = Array.init n (fun _ -> Rng.uniform rng (-1.0) 1.0);
+          constraints = rows;
+          bounds = Array.init n (fun _ -> (-5.0, 5.0));
+        }
+      in
+      match Lp.minimize p with
+      | Lp.Optimal s -> Lp.check_feasible ~tol:1e-5 p s.Lp.x
+      | Lp.Infeasible -> true
+      | Lp.Unbounded -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "textbook",
+        [
+          Alcotest.test_case "dantzig max" `Quick test_textbook_max;
+          Alcotest.test_case "min with >=" `Quick test_textbook_min_ge;
+          Alcotest.test_case "equality" `Quick test_equality_constraint;
+          Alcotest.test_case "free variables" `Quick test_free_variables;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "no constraints" `Quick test_no_constraints;
+          Alcotest.test_case "degenerate redundancy" `Quick test_degenerate;
+          Alcotest.test_case "homogeneous margin LP" `Quick test_all_zero_rhs_degenerate;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_simplex_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_solution_feasible;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Tests for the ODE integrators: convergence order on systems with known
+   closed-form solutions, adaptive error control, trace utilities. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ẋ = -x, x(0) = 1: x(t) = e^{-t}. *)
+let decay _t x = [| -.x.(0) |]
+
+(* Harmonic oscillator: ẋ = y, ẏ = -x; energy x² + y² is conserved. *)
+let oscillator _t x = [| x.(1); -.x.(0) |]
+
+let test_euler_decay () =
+  let tr = Ode.simulate ~method_:`Euler decay ~t0:0.0 ~x0:[| 1.0 |] ~dt:1e-4 ~steps:10_000 in
+  let final = Ode.final_state tr in
+  Alcotest.(check bool) "euler close" true (Float.abs (final.(0) -. Float.exp (-1.0)) < 1e-3)
+
+let test_rk4_decay () =
+  let tr = Ode.simulate decay ~t0:0.0 ~x0:[| 1.0 |] ~dt:0.01 ~steps:100 in
+  let final = Ode.final_state tr in
+  Alcotest.(check bool) "rk4 close" true (Float.abs (final.(0) -. Float.exp (-1.0)) < 1e-9)
+
+let global_error method_ dt =
+  let steps = int_of_float (1.0 /. dt) in
+  let tr = Ode.simulate ~method_ decay ~t0:0.0 ~x0:[| 1.0 |] ~dt ~steps in
+  Float.abs ((Ode.final_state tr).(0) -. Float.exp (-1.0))
+
+let test_euler_order1 () =
+  (* Halving dt should roughly halve the global error. *)
+  let e1 = global_error `Euler 0.01 and e2 = global_error `Euler 0.005 in
+  let ratio = e1 /. e2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [1.7, 2.3]" ratio)
+    true
+    (ratio > 1.7 && ratio < 2.3)
+
+let test_rk4_order4 () =
+  let e1 = global_error `Rk4 0.1 and e2 = global_error `Rk4 0.05 in
+  let ratio = e1 /. e2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.1f in [12, 20]" ratio)
+    true
+    (ratio > 12.0 && ratio < 20.0)
+
+let test_rk4_energy_conservation () =
+  let tr = Ode.simulate oscillator ~t0:0.0 ~x0:[| 1.0; 0.0 |] ~dt:0.01 ~steps:1000 in
+  Array.iter
+    (fun s ->
+      let energy = (s.(0) *. s.(0)) +. (s.(1) *. s.(1)) in
+      if Float.abs (energy -. 1.0) > 1e-6 then
+        Alcotest.failf "energy drifted to %.8f" energy)
+    tr.Ode.states
+
+let test_trace_shape () =
+  let tr = Ode.simulate decay ~t0:0.0 ~x0:[| 1.0 |] ~dt:0.1 ~steps:10 in
+  Alcotest.(check int) "length" 11 (Ode.trace_length tr);
+  check_float "t0" 0.0 tr.Ode.times.(0);
+  Alcotest.(check bool) "t_end" true (Float.abs (tr.Ode.times.(10) -. 1.0) < 1e-12);
+  check_float "x0 kept" 1.0 tr.Ode.states.(0).(0)
+
+let test_simulate_until_stop () =
+  let tr =
+    Ode.simulate_until
+      ~stop:(fun _ x -> x.(0) < 0.5)
+      decay ~t0:0.0 ~x0:[| 1.0 |] ~dt:0.01 ~t_end:10.0
+  in
+  let final = Ode.final_state tr in
+  Alcotest.(check bool) "stopped below threshold" true (final.(0) < 0.5);
+  Alcotest.(check bool) "stopped promptly" true (final.(0) > 0.48)
+
+let test_rk45_accuracy () =
+  let tr = Ode.simulate_rk45 decay ~t0:0.0 ~x0:[| 1.0 |] ~t_end:1.0 in
+  let final = Ode.final_state tr in
+  Alcotest.(check bool) "rk45 meets tolerance" true
+    (Float.abs (final.(0) -. Float.exp (-1.0)) < 1e-6);
+  let t_last = tr.Ode.times.(Ode.trace_length tr - 1) in
+  Alcotest.(check bool) "lands on t_end" true (Float.abs (t_last -. 1.0) < 1e-9)
+
+let test_rk45_oscillator_long () =
+  let tr = Ode.simulate_rk45 oscillator ~t0:0.0 ~x0:[| 1.0; 0.0 |] ~t_end:(4.0 *. Float.pi) in
+  let final = Ode.final_state tr in
+  (* Two full periods: back to the start. *)
+  Alcotest.(check bool) "periodic return" true
+    (Float.abs (final.(0) -. 1.0) < 1e-5 && Float.abs final.(1) < 1e-5)
+
+let test_rk45_adapts_step () =
+  (* A field with a fast transient then slow decay should use varied steps. *)
+  let stiff _t x = [| -50.0 *. x.(0) |] in
+  let tr = Ode.simulate_rk45 stiff ~t0:0.0 ~x0:[| 1.0 |] ~t_end:1.0 in
+  let n = Ode.trace_length tr in
+  let early = tr.Ode.times.(1) -. tr.Ode.times.(0) in
+  let late = tr.Ode.times.(n - 1) -. tr.Ode.times.(n - 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "late step %.4g > early %.4g" late early)
+    true (late > early)
+
+let test_resample () =
+  let tr = Ode.simulate_rk45 decay ~t0:0.0 ~x0:[| 1.0 |] ~t_end:1.0 in
+  let rs = Ode.resample tr ~dt:0.1 in
+  Alcotest.(check int) "sample count" 11 (Ode.trace_length rs);
+  Array.iteri
+    (fun i t ->
+      let expected = Float.exp (-.t) in
+      if Float.abs (rs.Ode.states.(i).(0) -. expected) > 1e-3 then
+        Alcotest.failf "resample at %.2f: %g vs %g" t rs.Ode.states.(i).(0) expected)
+    rs.Ode.times
+
+let test_negative_steps_rejected () =
+  Alcotest.check_raises "negative steps" (Invalid_argument "Ode.simulate: negative step count")
+    (fun () -> ignore (Ode.simulate decay ~t0:0.0 ~x0:[| 1.0 |] ~dt:0.1 ~steps:(-1)))
+
+let prop_rk4_decay_2d =
+  QCheck.Test.make ~name:"rk4 matches exp decay for random rates" ~count:100
+    QCheck.(pair (float_range 0.1 3.0) (float_range 0.1 3.0))
+    (fun (a, b) ->
+      let field _t x = [| -.a *. x.(0); -.b *. x.(1) |] in
+      let tr = Ode.simulate field ~t0:0.0 ~x0:[| 1.0; 2.0 |] ~dt:0.01 ~steps:100 in
+      let final = Ode.final_state tr in
+      Float.abs (final.(0) -. Float.exp (-.a)) < 1e-6
+      && Float.abs (final.(1) -. (2.0 *. Float.exp (-.b))) < 1e-6)
+
+let prop_rk45_times_increase =
+  QCheck.Test.make ~name:"rk45 trace times strictly increase" ~count:50
+    QCheck.(float_range 0.5 5.0)
+    (fun t_end ->
+      let tr = Ode.simulate_rk45 oscillator ~t0:0.0 ~x0:[| 1.0; 0.5 |] ~t_end in
+      let ok = ref true in
+      for i = 0 to Ode.trace_length tr - 2 do
+        if tr.Ode.times.(i + 1) <= tr.Ode.times.(i) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "ode"
+    [
+      ( "fixed-step",
+        [
+          Alcotest.test_case "euler decay" `Quick test_euler_decay;
+          Alcotest.test_case "rk4 decay" `Quick test_rk4_decay;
+          Alcotest.test_case "euler is first order" `Quick test_euler_order1;
+          Alcotest.test_case "rk4 is fourth order" `Quick test_rk4_order4;
+          Alcotest.test_case "rk4 energy conservation" `Quick test_rk4_energy_conservation;
+          Alcotest.test_case "trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "stop predicate" `Quick test_simulate_until_stop;
+          Alcotest.test_case "rejects negative steps" `Quick test_negative_steps_rejected;
+          QCheck_alcotest.to_alcotest prop_rk4_decay_2d;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "rk45 accuracy" `Quick test_rk45_accuracy;
+          Alcotest.test_case "rk45 long-horizon oscillator" `Quick test_rk45_oscillator_long;
+          Alcotest.test_case "rk45 adapts the step" `Quick test_rk45_adapts_step;
+          Alcotest.test_case "resample" `Quick test_resample;
+          QCheck_alcotest.to_alcotest prop_rk45_times_increase;
+        ] );
+    ]

@@ -1,0 +1,411 @@
+(* Tests for the δ-SAT solver stack: boxes, formulas/DNF, HC4 contraction
+   soundness, and end-to-end satisfiability verdicts. *)
+
+let x = Expr.var "x"
+
+let y = Expr.var "y"
+
+let solve ?options bounds f = fst (Solver.solve ?options ~bounds f)
+
+let expect_unsat name v =
+  match v with
+  | Solver.Unsat -> ()
+  | Solver.Delta_sat w ->
+    Alcotest.failf "%s: expected unsat, got witness %s" name
+      (String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "%s=%g" n v) w))
+  | Solver.Unknown -> Alcotest.failf "%s: expected unsat, got unknown" name
+
+let expect_sat name v =
+  match v with
+  | Solver.Delta_sat w -> w
+  | Solver.Unsat -> Alcotest.failf "%s: expected sat, got unsat" name
+  | Solver.Unknown -> Alcotest.failf "%s: expected sat, got unknown" name
+
+(* --- Box --------------------------------------------------------------- *)
+
+let test_box_basics () =
+  let b = Box.of_list [ ("x", Interval.make 0.0 2.0); ("y", Interval.make (-1.0) 3.0) ] in
+  Alcotest.(check int) "dim" 2 (Box.dim b);
+  Alcotest.(check bool) "get" true (Interval.equal (Box.get b "y") (Interval.make (-1.0) 3.0));
+  Alcotest.(check int) "widest" 1 (Box.widest_var b);
+  Alcotest.(check (float 1e-12)) "max width" 4.0 (Box.max_width b);
+  Alcotest.(check (float 1e-12)) "total width" 6.0 (Box.total_width b);
+  let l, r = Box.split b 1 in
+  Alcotest.(check (float 1e-12)) "left hi" 1.0 (Interval.hi (Box.get l "y"));
+  Alcotest.(check (float 1e-12)) "right lo" 1.0 (Interval.lo (Box.get r "y"));
+  Alcotest.(check bool) "contains mid" true (Box.contains b (Box.midpoint b));
+  Alcotest.(check bool) "not empty" false (Box.is_empty b);
+  let e = Box.set_idx b 0 Interval.empty in
+  Alcotest.(check bool) "empty detected" true (Box.is_empty e)
+
+let test_box_duplicate () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Box.of_list: duplicate variable")
+    (fun () -> ignore (Box.of_list [ ("x", Interval.entire); ("x", Interval.entire) ]))
+
+(* --- Formula ----------------------------------------------------------- *)
+
+let test_formula_eval () =
+  let f = Formula.and_ [ Formula.le x (Expr.const 1.0); Formula.gt y (Expr.const 0.0) ] in
+  Alcotest.(check bool) "sat point" true (Formula.eval [ ("x", 0.5); ("y", 0.5) ] f);
+  Alcotest.(check bool) "unsat point" false (Formula.eval [ ("x", 2.0); ("y", 0.5) ] f);
+  let nf = Formula.not_ f in
+  Alcotest.(check bool) "negation flips" true (Formula.eval [ ("x", 2.0); ("y", 0.5) ] nf)
+
+let test_formula_simplification () =
+  Alcotest.(check bool) "and [] = true" true (Formula.and_ [] = Formula.True);
+  Alcotest.(check bool) "or [] = false" true (Formula.or_ [] = Formula.False);
+  Alcotest.(check bool) "and false" true (Formula.and_ [ Formula.False; Formula.True ] = Formula.False);
+  Alcotest.(check bool) "or true" true (Formula.or_ [ Formula.False; Formula.True ] = Formula.True);
+  Alcotest.(check bool) "not not" true (Formula.not_ (Formula.not_ Formula.True) = Formula.True)
+
+let test_dnf () =
+  (* (a or b) and c -> [a;c], [b;c] *)
+  let a = Formula.le x (Expr.const 0.0)
+  and b = Formula.le y (Expr.const 0.0)
+  and c = Formula.le (Expr.( + ) x y) (Expr.const 1.0) in
+  let dnf = Formula.to_dnf (Formula.and_ [ Formula.or_ [ a; b ]; c ]) in
+  Alcotest.(check int) "two disjuncts" 2 (List.length dnf);
+  List.iter (fun conj -> Alcotest.(check int) "two atoms each" 2 (List.length conj)) dnf;
+  Alcotest.(check int) "true" 1 (List.length (Formula.to_dnf Formula.True));
+  Alcotest.(check int) "false" 0 (List.length (Formula.to_dnf Formula.False))
+
+let test_dnf_negation () =
+  (* not (x <= 0 and y <= 0) = x > 0 or y > 0: two disjuncts. *)
+  let f =
+    Formula.not_ (Formula.and_ [ Formula.le x (Expr.const 0.0); Formula.le y (Expr.const 0.0) ])
+  in
+  Alcotest.(check int) "two disjuncts" 2 (List.length (Formula.to_dnf f))
+
+let test_free_vars () =
+  let f = Formula.and_ [ Formula.le x y; Formula.le y (Expr.const 1.0) ] in
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (Formula.free_vars f)
+
+let test_holds_delta () =
+  let f = Formula.le x (Expr.const 0.0) in
+  Alcotest.(check bool) "slack accepted" true (Formula.holds_delta 0.01 [ ("x", 0.005) ] f);
+  Alcotest.(check bool) "beyond slack" false (Formula.holds_delta 0.01 [ ("x", 0.02) ] f)
+
+(* --- HC4 --------------------------------------------------------------- *)
+
+let compile_atom bounds_vars atom =
+  let index_of v =
+    let rec find i = function
+      | [] -> raise Not_found
+      | n :: _ when String.equal n v -> i
+      | _ :: tl -> find (i + 1) tl
+    in
+    find 0 bounds_vars
+  in
+  Hc4.compile ~index_of atom
+
+let atom_of f =
+  match f with Formula.Atom a -> a | _ -> Alcotest.fail "expected atom"
+
+let test_hc4_linear_contraction () =
+  (* x + y <= 0 with x in [2, 10]: y must be <= -2. *)
+  let c = compile_atom [ "x"; "y" ] (atom_of (Formula.le (Expr.( + ) x y) (Expr.const 0.0))) in
+  let domains = [| Interval.make 2.0 10.0; Interval.make (-100.0) 100.0 |] in
+  let changed = Hc4.revise domains c in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check bool) "y upper contracted" true (Interval.hi domains.(1) <= -2.0 +. 1e-9);
+  Alcotest.(check bool) "x untouched lower" true (Interval.lo domains.(0) = 2.0)
+
+let test_hc4_empty () =
+  (* x^2 <= -1 is infeasible. *)
+  let c =
+    compile_atom [ "x" ]
+      (atom_of (Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.const 1.0)) (Expr.const 0.0)))
+  in
+  let domains = [| Interval.make (-5.0) 5.0 |] in
+  Alcotest.check_raises "empty" Hc4.Empty_box (fun () -> ignore (Hc4.revise domains c))
+
+let test_hc4_tanh_inversion () =
+  (* tanh(x) = 0.5 -> x = atanh(0.5) ~ 0.5493. *)
+  let c = compile_atom [ "x" ] (atom_of (Formula.eq (Expr.tanh x) (Expr.const 0.5))) in
+  let domains = [| Interval.make (-10.0) 10.0 |] in
+  let rec fix n = if n > 0 && (try Hc4.revise domains c with Hc4.Empty_box -> false) then fix (n - 1) in
+  fix 20;
+  Alcotest.(check bool) "x contracted near atanh(0.5)" true
+    (Interval.lo domains.(0) > 0.54 && Interval.hi domains.(0) < 0.56)
+
+let test_hc4_certainly_true () =
+  let c = compile_atom [ "x" ] (atom_of (Formula.le (Expr.pow x 2) (Expr.const 100.0))) in
+  let domains = [| Interval.make (-2.0) 2.0 |] in
+  Alcotest.(check bool) "whole box satisfies" true (Hc4.certainly_true domains c);
+  let c2 = compile_atom [ "x" ] (atom_of (Formula.le (Expr.pow x 2) (Expr.const 1.0))) in
+  Alcotest.(check bool) "not certain" false (Hc4.certainly_true domains c2)
+
+let prop_hc4_sound =
+  (* HC4 never removes points that satisfy the constraint. *)
+  QCheck.Test.make ~name:"HC4 contraction keeps all solutions" ~count:300
+    QCheck.(pair (int_range 0 100_000) (pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0)))
+    (fun (seed, (px, py)) ->
+      let rng = Rng.create seed in
+      let rec gen depth =
+        if depth = 0 then begin
+          match Rng.int rng 3 with
+          | 0 -> Expr.var "x"
+          | 1 -> Expr.var "y"
+          | _ -> Expr.const (Rng.uniform rng (-2.0) 2.0)
+        end
+        else begin
+          match Rng.int rng 8 with
+          | 0 -> Expr.( + ) (gen (depth - 1)) (gen (depth - 1))
+          | 1 -> Expr.( - ) (gen (depth - 1)) (gen (depth - 1))
+          | 2 -> Expr.( * ) (gen (depth - 1)) (gen (depth - 1))
+          | 3 -> Expr.sin (gen (depth - 1))
+          | 4 -> Expr.tanh (gen (depth - 1))
+          | 5 -> Expr.pow (gen (depth - 1)) 2
+          | 6 -> Expr.abs (gen (depth - 1))
+          | _ -> Expr.neg (gen (depth - 1))
+        end
+      in
+      let e = gen 3 in
+      let value = Expr.eval_env [ ("x", px); ("y", py) ] e in
+      if not (Float.is_finite value) then true
+      else begin
+        (* Build a constraint satisfied at (px, py): e <= value (+1). *)
+        let atom = atom_of (Formula.le e (Expr.const (value +. 1.0))) in
+        let c = compile_atom [ "x"; "y" ] atom in
+        let domains = [| Interval.make (-3.0) 3.0; Interval.make (-3.0) 3.0 |] in
+        match Hc4.revise domains c with
+        | _ -> Interval.mem px domains.(0) && Interval.mem py domains.(1)
+        | exception Hc4.Empty_box -> false
+      end)
+
+(* --- Solver ------------------------------------------------------------ *)
+
+let bounds2 = [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ]
+
+let test_solver_circle_unsat () =
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.6);
+      ]
+  in
+  expect_unsat "circle" (solve bounds2 f)
+
+let test_solver_circle_sat () =
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.3);
+      ]
+  in
+  let w = expect_sat "circle sat" (solve bounds2 f) in
+  (* The witness satisfies the δ-weakened formula. *)
+  Alcotest.(check bool) "witness delta-holds" true (Formula.holds_delta 1e-2 w f)
+
+let test_solver_trig_root () =
+  let f = Formula.eq (Expr.sin x) (Expr.const 0.5) in
+  let w = expect_sat "sin root" (solve [ ("x", 0.0, 1.5707) ] f) in
+  let xv = List.assoc "x" w in
+  Alcotest.(check bool) "near asin(0.5)" true (Float.abs (xv -. Float.asin 0.5) < 1e-2)
+
+let test_solver_tanh_bound () =
+  expect_unsat "tanh > 1.01"
+    (solve [ ("x", -100.0, 100.0) ] (Formula.gt (Expr.tanh x) (Expr.const 1.01)))
+
+let test_solver_disjunction () =
+  (* (x <= -1.5 or x >= 1.5) and x^2 <= 1: unsat. *)
+  let f =
+    Formula.and_
+      [
+        Formula.or_ [ Formula.le x (Expr.const (-1.5)); Formula.ge x (Expr.const 1.5) ];
+        Formula.le (Expr.pow x 2) (Expr.const 1.0);
+      ]
+  in
+  expect_unsat "disjunct" (solve [ ("x", -2.0, 2.0) ] f);
+  (* Loosen the circle: sat through the second disjunct. *)
+  let f2 =
+    Formula.and_
+      [
+        Formula.or_ [ Formula.le x (Expr.const (-1.5)); Formula.ge x (Expr.const 1.5) ];
+        Formula.le (Expr.pow x 2) (Expr.const 4.0);
+      ]
+  in
+  ignore (expect_sat "disjunct sat" (solve [ ("x", -2.0, 2.0) ] f2))
+
+let test_solver_rect_helpers () =
+  let outside = Formula.outside_rect [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] in
+  (* Outside the unit square but inside [-0.5, 0.5]^2: unsat. *)
+  expect_unsat "outside small box"
+    (solve [ ("x", -0.5, 0.5); ("y", -0.5, 0.5) ] outside);
+  let w = expect_sat "outside reachable" (solve bounds2 outside) in
+  let xv = List.assoc "x" w and yv = List.assoc "y" w in
+  Alcotest.(check bool) "witness outside" true
+    (Float.abs xv > 1.0 -. 1e-2 || Float.abs yv > 1.0 -. 1e-2);
+  let inside = Formula.in_rect [ ("x", -1.0, 1.0) ] in
+  ignore (expect_sat "inside" (solve [ ("x", -2.0, 2.0) ] inside))
+
+let test_solver_unknown_budget () =
+  (* A hard equality with a tiny branch budget must return Unknown, not a
+     wrong verdict. *)
+  let opts = { Solver.default_options with Solver.max_branches = 3; delta = 1e-12 } in
+  let f = Formula.eq (Expr.( + ) (Expr.sin x) (Expr.( * ) x (Expr.cos y))) (Expr.const 0.37) in
+  match solve ~options:opts bounds2 f with
+  | Solver.Unknown -> ()
+  | Solver.Unsat -> Alcotest.fail "tiny budget should not conclude unsat"
+  | Solver.Delta_sat _ -> () (* may legitimately find a witness quickly *)
+
+let test_prove_universal () =
+  (* ∀x ∈ [-1,1]: x² <= 1.01 — proved (note the margin: a property that
+     holds with *zero* margin, like x² <= 1 on exactly [-1,1], is refutable
+     in the δ-weakened sense — dReal's contract). *)
+  let f = Formula.le (Expr.pow x 2) (Expr.const 1.01) in
+  (match fst (Solver.prove ~bounds:[ ("x", -1.0, 1.0) ] f) with
+  | Solver.Proved -> ()
+  | Solver.Refuted _ | Solver.Not_decided -> Alcotest.fail "x^2 <= 1.01 on [-1,1] must prove");
+  let f = Formula.le (Expr.pow x 2) (Expr.const 1.0) in
+  (* ∀x ∈ [-2,2]: x² <= 1 — refuted with a witness beyond |x| = 1. *)
+  (match fst (Solver.prove ~bounds:[ ("x", -2.0, 2.0) ] f) with
+  | Solver.Refuted w ->
+    let xv = List.assoc "x" w in
+    Alcotest.(check bool) "witness violates" true (Float.abs xv > 1.0 -. 1e-2)
+  | Solver.Proved -> Alcotest.fail "x^2 <= 1 on [-2,2] must refute"
+  | Solver.Not_decided -> Alcotest.fail "should decide");
+  (* A transcendental universal: ∀x ∈ [-3,3]: tanh(x)² < 1. *)
+  match
+    fst (Solver.prove ~bounds:[ ("x", -3.0, 3.0) ] (Formula.lt (Expr.pow (Expr.tanh x) 2) (Expr.const 1.0)))
+  with
+  | Solver.Proved -> ()
+  | Solver.Refuted _ | Solver.Not_decided -> Alcotest.fail "tanh² < 1 must prove"
+
+let test_solver_unbound_var_rejected () =
+  Alcotest.check_raises "missing bounds"
+    (Invalid_argument "Solver.solve: variable y has no bounds") (fun () ->
+      ignore (Solver.solve ~bounds:[ ("x", 0.0, 1.0) ] (Formula.le y (Expr.const 0.0))))
+
+let test_solver_mvf_ablation () =
+  (* Mean-value-form bounds must preserve verdicts and reduce branching on
+     smooth tight-margin queries. *)
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.43);
+      ]
+  in
+  let solve_with use_mvf =
+    Solver.solve ~options:{ Solver.default_options with Solver.use_mvf } ~bounds:bounds2 f
+  in
+  let v_on, st_on = solve_with true in
+  let v_off, st_off = solve_with false in
+  expect_unsat "mvf on" v_on;
+  expect_unsat "mvf off" v_off;
+  Alcotest.(check bool)
+    (Printf.sprintf "mvf branches %d <= plain %d" st_on.Solver.branches st_off.Solver.branches)
+    true
+    (st_on.Solver.branches <= st_off.Solver.branches)
+
+let test_solver_branching_heuristics_agree () =
+  (* Widest-first and smear must agree on verdicts. *)
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.( * ) (Expr.const 4.0) (Expr.pow y 2)))
+          (Expr.const 1.0);
+        Formula.ge (Expr.( - ) (Expr.sin x) y) (Expr.const 0.9);
+      ]
+  in
+  let run branching =
+    fst (Solver.solve ~options:{ Solver.default_options with Solver.branching } ~bounds:bounds2 f)
+  in
+  match (run Solver.Widest, run Solver.Smear) with
+  | Solver.Unsat, Solver.Unsat | Solver.Delta_sat _, Solver.Delta_sat _ -> ()
+  | _ -> Alcotest.fail "branching heuristics disagree on the verdict"
+
+let test_solver_forward_only_ablation () =
+  (* Forward-only mode must agree on verdicts (it is still sound), just
+     with more branching. *)
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.6);
+      ]
+  in
+  let opts = { Solver.default_options with Solver.use_backward = false } in
+  let v, st = Solver.solve ~options:opts ~bounds:bounds2 f in
+  expect_unsat "forward-only" v;
+  let _, st_hc4 = Solver.solve ~bounds:bounds2 f in
+  Alcotest.(check bool)
+    (Printf.sprintf "forward-only branches %d >= hc4 branches %d" st.Solver.branches
+       st_hc4.Solver.branches)
+    true
+    (st.Solver.branches >= st_hc4.Solver.branches)
+
+let prop_solver_sound_on_linear =
+  (* For random linear constraints the exact answer is checkable: a
+     conjunction a1·x + b1·y <= c1 ∧ a2·x + b2·y <= c2 over a box is
+     satisfiable iff some corner/vertex candidate satisfies it (linear,
+     so the feasible set, if nonempty, touches the box of candidates
+     densely; we just sample). *)
+  QCheck.Test.make ~name:"no unsat verdict when a solution point exists" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let a1 = Rng.uniform rng (-1.0) 1.0
+      and b1 = Rng.uniform rng (-1.0) 1.0
+      and c1 = Rng.uniform rng (-1.0) 1.0 in
+      let a2 = Rng.uniform rng (-1.0) 1.0
+      and b2 = Rng.uniform rng (-1.0) 1.0
+      and c2 = Rng.uniform rng (-1.0) 1.0 in
+      let lhs1 = Expr.( + ) (Expr.( * ) (Expr.const a1) x) (Expr.( * ) (Expr.const b1) y) in
+      let lhs2 = Expr.( + ) (Expr.( * ) (Expr.const a2) x) (Expr.( * ) (Expr.const b2) y) in
+      let f = Formula.and_ [ Formula.le lhs1 (Expr.const c1); Formula.le lhs2 (Expr.const c2) ] in
+      (* Sample candidate solutions. *)
+      let found = ref false in
+      for _ = 1 to 200 do
+        let px = Rng.uniform rng (-2.0) 2.0 and py = Rng.uniform rng (-2.0) 2.0 in
+        if (a1 *. px) +. (b1 *. py) <= c1 && (a2 *. px) +. (b2 *. py) <= c2 then found := true
+      done;
+      match solve bounds2 f with
+      | Solver.Unsat -> not !found
+      | Solver.Delta_sat _ | Solver.Unknown -> true)
+
+let () =
+  Alcotest.run "smt"
+    [
+      ( "box",
+        [
+          Alcotest.test_case "basics" `Quick test_box_basics;
+          Alcotest.test_case "duplicate rejected" `Quick test_box_duplicate;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "evaluation" `Quick test_formula_eval;
+          Alcotest.test_case "simplification" `Quick test_formula_simplification;
+          Alcotest.test_case "dnf" `Quick test_dnf;
+          Alcotest.test_case "dnf with negation" `Quick test_dnf_negation;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "delta-weakened truth" `Quick test_holds_delta;
+        ] );
+      ( "hc4",
+        [
+          Alcotest.test_case "linear contraction" `Quick test_hc4_linear_contraction;
+          Alcotest.test_case "empty detection" `Quick test_hc4_empty;
+          Alcotest.test_case "tanh inversion" `Quick test_hc4_tanh_inversion;
+          Alcotest.test_case "certainly true" `Quick test_hc4_certainly_true;
+          QCheck_alcotest.to_alcotest prop_hc4_sound;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "circle unsat" `Quick test_solver_circle_unsat;
+          Alcotest.test_case "circle sat" `Quick test_solver_circle_sat;
+          Alcotest.test_case "trig root" `Quick test_solver_trig_root;
+          Alcotest.test_case "tanh bound" `Quick test_solver_tanh_bound;
+          Alcotest.test_case "disjunction" `Quick test_solver_disjunction;
+          Alcotest.test_case "rect helpers" `Quick test_solver_rect_helpers;
+          Alcotest.test_case "unknown under budget" `Quick test_solver_unknown_budget;
+          Alcotest.test_case "unbound var rejected" `Quick test_solver_unbound_var_rejected;
+          Alcotest.test_case "universal prove wrapper" `Quick test_prove_universal;
+          Alcotest.test_case "forward-only ablation" `Quick test_solver_forward_only_ablation;
+          Alcotest.test_case "mean-value-form ablation" `Quick test_solver_mvf_ablation;
+          Alcotest.test_case "branching heuristics agree" `Quick test_solver_branching_heuristics_agree;
+          QCheck_alcotest.to_alcotest prop_solver_sound_on_linear;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Unit and property tests for the util library: PRNG determinism and
+   statistics, float helpers. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = Array.init 32 (fun _ -> Rng.float a) in
+  let ys = Array.init 32 (fun _ -> Rng.float b) in
+  Alcotest.(check bool) "different streams" false (xs = ys)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 7 in
+  ignore (Rng.float a);
+  let b = Rng.copy a in
+  let xs = Array.init 16 (fun _ -> Rng.float a) in
+  let ys = Array.init 16 (fun _ -> Rng.float b) in
+  Alcotest.(check bool) "copy replays" true (xs = ys)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  let xs = Array.init 64 (fun _ -> Rng.float a) in
+  let ys = Array.init 64 (fun _ -> Rng.float c) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng 2.0 5.0 in
+    Alcotest.(check bool) "in range" true (x >= 2.0 && x < 5.0)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 4 in
+  let xs = Array.init 20_000 (fun _ -> Rng.uniform rng 0.0 1.0) in
+  let m = Floatx.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 50_000 (fun _ -> Rng.normal rng) in
+  let m = Floatx.mean xs and s = Floatx.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs m < 0.03);
+  Alcotest.(check bool) "std near 1" true (Float.abs (s -. 1.0) < 0.03)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 6 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2000 do
+    let k = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (k >= 0 && k < 10);
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true (sorted = Array.init 50 Fun.id);
+  Alcotest.(check bool) "actually shuffled" false (a = Array.init 50 Fun.id)
+
+let test_approx () =
+  Alcotest.(check bool) "close" true (Floatx.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Floatx.approx 1.0 1.1);
+  Alcotest.(check bool) "absolute tolerance near zero" true (Floatx.approx 0.0 1e-13)
+
+let test_clamp () =
+  check_float "below" 0.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 (-3.0));
+  check_float "above" 1.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 3.0);
+  check_float "inside" 0.5 (Floatx.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let test_linspace () =
+  let xs = Floatx.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "count" 5 (Array.length xs);
+  check_float "first" 0.0 xs.(0);
+  check_float "last" 1.0 xs.(4);
+  check_float "middle" 0.5 xs.(2)
+
+let test_wrap_angle () =
+  check_float "identity" 1.0 (Floatx.wrap_angle 1.0);
+  check_float "wrap positive" (-.Floatx.pi /. 2.0) (Floatx.wrap_angle (1.5 *. Floatx.pi));
+  check_float "wrap negative" (Floatx.pi /. 2.0) (Floatx.wrap_angle (-1.5 *. Floatx.pi));
+  Alcotest.(check bool) "pi stays pi" true
+    (Float.abs (Floatx.wrap_angle Floatx.pi -. Floatx.pi) < 1e-12)
+
+let test_stats () =
+  check_float "mean" 2.0 (Floatx.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "mean empty" 0.0 (Floatx.mean [||]);
+  check_float "sum" 6.0 (Floatx.sum [| 1.0; 2.0; 3.0 |]);
+  check_float "stddev constant" 0.0 (Floatx.stddev [| 5.0; 5.0; 5.0 |]);
+  check_float "max" 3.0 (Floatx.max_elt [| 1.0; 3.0; 2.0 |]);
+  check_float "min" 1.0 (Floatx.min_elt [| 1.0; 3.0; 2.0 |])
+
+let test_timing_accumulator () =
+  let acc = Timing.accumulator () in
+  let r = Timing.record acc (fun () -> 42) in
+  Alcotest.(check int) "result passes through" 42 r;
+  Alcotest.(check int) "count" 1 (Timing.count acc);
+  Alcotest.(check bool) "nonnegative time" true (Timing.total acc >= 0.0);
+  Timing.reset acc;
+  Alcotest.(check int) "reset count" 0 (Timing.count acc)
+
+let prop_wrap_angle_range =
+  QCheck.Test.make ~name:"wrap_angle lands in (-pi, pi]" ~count:500
+    QCheck.(float_range (-100.0) 100.0)
+    (fun a ->
+      let w = Floatx.wrap_angle a in
+      w > -.Floatx.pi -. 1e-9 && w <= Floatx.pi +. 1e-9)
+
+let prop_wrap_angle_equivalent =
+  QCheck.Test.make ~name:"wrap_angle preserves the angle mod 2pi" ~count:500
+    QCheck.(float_range (-50.0) 50.0)
+    (fun a ->
+      let w = Floatx.wrap_angle a in
+      Float.abs (Float.sin (a -. w)) < 1e-9 && Float.abs (1.0 -. Float.cos (a -. w)) < 1e-9)
+
+let prop_clamp_idempotent =
+  QCheck.Test.make ~name:"clamp is idempotent" ~count:500
+    QCheck.(triple (float_range (-10.) 10.) (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (a, b, x) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let c = Floatx.clamp ~lo ~hi x in
+      Floatx.clamp ~lo ~hi c = c && c >= lo && c <= hi)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "distinct seeds" `Quick test_rng_distinct_seeds;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "floatx",
+        [
+          Alcotest.test_case "approx" `Quick test_approx;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "wrap_angle" `Quick test_wrap_angle;
+          Alcotest.test_case "stats" `Quick test_stats;
+          QCheck_alcotest.to_alcotest prop_wrap_angle_range;
+          QCheck_alcotest.to_alcotest prop_wrap_angle_equivalent;
+          QCheck_alcotest.to_alcotest prop_clamp_idempotent;
+        ] );
+      ( "timing",
+        [ Alcotest.test_case "accumulator" `Quick test_timing_accumulator ] );
+    ]
