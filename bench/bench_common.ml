@@ -16,6 +16,9 @@ let reason_string = function
   | Engine.Level_range_empty -> "level range empty"
   | Engine.Level_budget_exhausted -> "level budget exhausted"
   | Engine.Solver_inconclusive s -> "solver inconclusive: " ^ s
+  | Engine.Timeout stage -> "deadline exceeded during " ^ stage
+  | Engine.Seed_shortfall (got, wanted) ->
+    Printf.sprintf "seed shortfall: %d of %d" got wanted
 
 (* Load the CMA-ES-trained controller shipped with the repo, looking both
    from the source tree and from _build. *)

@@ -14,6 +14,13 @@ let reason_string = function
   | Engine.Level_range_empty -> "no level separates X0 from U"
   | Engine.Level_budget_exhausted -> "level-set search budget exhausted"
   | Engine.Solver_inconclusive s -> "SMT solver inconclusive on " ^ s
+  | Engine.Timeout stage -> "deadline exceeded during " ^ stage
+  | Engine.Seed_shortfall (got, wanted) ->
+    Printf.sprintf "only %d of %d seed states could be sampled" got wanted
+
+let outcome_string = function
+  | Engine.Proved _ -> "proved"
+  | Engine.Failed reason -> reason_string reason
 
 let load_controller network width =
   match network with
@@ -38,7 +45,10 @@ let print_report report =
   Format.printf
     "  timing: LP %.3fs (%d calls)  SMT(5) %.3fs (%d calls, %d branches)  SMT(6,7) %.3fs  sim %.3fs  total %.3fs@."
     st.Engine.lp_time st.Engine.lp_calls st.Engine.smt5_time st.Engine.smt5_calls
-    st.Engine.smt5_branches st.Engine.smt67_time st.Engine.sim_time st.Engine.total_time
+    st.Engine.smt5_branches st.Engine.smt67_time st.Engine.sim_time st.Engine.total_time;
+  match st.Engine.budget_stop with
+  | Some stop -> Format.printf "  budget stop: %s@." (Budget.string_of_stop stop)
+  | None -> ()
 
 (* --- verify ---------------------------------------------------------- *)
 
@@ -66,8 +76,30 @@ let gamma_arg =
   let doc = "Slack of the decrease condition (paper: 1e-6)." in
   Arg.(value & opt float 1e-6 & info [ "gamma" ] ~docv:"G" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline in seconds for the whole verification; on expiry every stage returns \
+     a structured timeout instead of hanging."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let restarts_arg =
+  let doc =
+    "On failure, retry up to $(docv) more times, escalating through the degradation ladder \
+     (fresh seed traces, delta widened, LP subsample tightened, richer template).  The \
+     deadline, if any, is shared across all attempts."
+  in
+  Arg.(value & opt int 0 & info [ "restarts" ] ~docv:"N" ~doc)
+
+let seed_retry_arg =
+  let doc =
+    "Restrict restarts to fresh-seed retries only: re-run with new seed traces but without \
+     widening delta, tightening the subsample, or escalating the template."
+  in
+  Arg.(value & flag & info [ "seed-retry" ] ~doc)
+
 let verify_cmd =
-  let run width network seed lie linear_terms gamma =
+  let run width network seed lie linear_terms gamma deadline restarts seed_retry =
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
     let base = Engine.default_config in
@@ -84,14 +116,41 @@ let verify_cmd =
         template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
       }
     in
-    let report = Engine.verify ~config ~rng:(Rng.create seed) system in
-    print_report report
+    let budget =
+      match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
+    in
+    let rng = Rng.create seed in
+    if restarts = 0 then print_report (Engine.verify ~config ~budget ~rng system)
+    else if seed_retry then begin
+      (* Plain fresh-seed restarts: same config every time, new seed traces. *)
+      let rec go attempt =
+        let report = Engine.verify ~config ~budget ~rng:(Rng.split rng) system in
+        Format.printf "attempt %d (fresh seed traces): %s@." (attempt + 1)
+          (outcome_string report.Engine.outcome);
+        match report.Engine.outcome with
+        | Engine.Proved _ -> report
+        | Engine.Failed _ when attempt < restarts && not (Budget.expired budget) ->
+          go (attempt + 1)
+        | Engine.Failed _ -> report
+      in
+      print_report (go 0)
+    end
+    else begin
+      let res = Engine.verify_resilient ~config ~budget ~restarts ~rng system in
+      List.iteri
+        (fun i a ->
+          Format.printf "attempt %d (%s): %s@." (i + 1) a.Engine.label
+            (outcome_string a.Engine.report.Engine.outcome))
+        res.Engine.attempts;
+      print_report res.Engine.best
+    end
   in
   let doc = "Verify safety of an NN-controlled Dubins car via a barrier certificate." in
   Cmd.v
     (Cmd.info "verify" ~doc)
     Term.(
-      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg)
+      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
+      $ deadline_arg $ restarts_arg $ seed_retry_arg)
 
 (* --- train ----------------------------------------------------------- *)
 

@@ -29,6 +29,9 @@ let describe name (report : Discrete.report) =
       | Discrete.Level_range_empty -> "no separating level"
       | Discrete.Level_budget_exhausted -> "level search exhausted"
       | Discrete.Solver_inconclusive s -> "solver inconclusive (" ^ s ^ ")"
+      | Discrete.Timeout stage -> "deadline exceeded during " ^ stage
+      | Discrete.Seed_shortfall (got, wanted) ->
+        Printf.sprintf "seed shortfall: %d of %d" got wanted
     in
     pf "%-22s no proof (%s), %.1f s@." name msg report.Discrete.total_time
 

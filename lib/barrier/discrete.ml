@@ -77,6 +77,8 @@ type failure_reason =
   | Level_range_empty
   | Level_budget_exhausted
   | Solver_inconclusive of string
+  | Timeout of string
+  | Seed_shortfall of int * int
 
 type outcome = Proved of certificate | Failed of failure_reason
 
@@ -88,6 +90,7 @@ type report = {
   lp_time : float;
   smt_time : float;
   total_time : float;
+  budget_stop : Budget.stop option;
 }
 
 let rect_bounds vars rect =
@@ -112,10 +115,19 @@ let in_rect rect x =
   Array.iteri (fun i (lo, hi) -> if x.(i) < lo || x.(i) > hi then ok := false) rect;
   !ok
 
-let iterate system config x0 =
+let iterate ?(budget = Budget.unlimited) system config x0 =
+  (* The budget check bounds the orbit even when [map_numeric] stalls, and
+     the finiteness check truncates divergent orbits before a NaN state can
+     reach the LP (NaN compares false against the rect bounds, so [in_rect]
+     alone would let it through). *)
   let rec go k x acc =
-    if k > config.horizon || Vec.norm2 x < 1e-6 || not (in_rect config.safe_rect x) then
-      List.rev acc
+    if
+      k > config.horizon
+      || Vec.norm2 x < 1e-6
+      || (not (in_rect config.safe_rect x))
+      || (not (Array.for_all Float.is_finite x))
+      || Budget.expired budget
+    then List.rev acc
     else go (k + 1) (system.map_numeric x) ((float_of_int k, x) :: acc)
   in
   let samples = go 0 x0 [] in
@@ -160,15 +172,20 @@ let sample_initial_states ~rng config n =
   in
   draw [] n 0
 
-let verify ?config ~rng system =
+let verify ?config ?(budget = Budget.unlimited) ~rng system =
   let config =
     match config with Some c -> c | None -> default_config ~dim:(Array.length system.vars)
   in
   let t_start = Timing.now () in
+  let budget_stop = ref None in
+  let timeout stage stop =
+    budget_stop := Some stop;
+    Error (Timeout stage)
+  in
   let synthesis_options = force_discrete_options config.synthesis config.x0_rect config.unsafe_rect in
   let template = Template.make config.template_kind system.vars in
   let seeds = sample_initial_states ~rng config config.n_seed in
-  let traces = ref (List.map (iterate system config) seeds) in
+  let traces = ref (List.map (iterate ~budget system config) seeds) in
   let shape_cuts = ref [] in
   (* One-step probe orbits scattered over D: long orbits cluster around the
      attractor, leaving the LP blind to off-manifold states (e.g. hidden
@@ -176,11 +193,16 @@ let verify ?config ~rng system =
      then fails.  Probes give the LP one-step decrease information
      everywhere. *)
   let probes = sample_initial_states ~rng config config.n_probes in
+  (* Each probe costs one [map_numeric] call, so poll the budget per probe:
+     a stalled map must not let this loop run past the deadline. *)
   let cut_traces =
     ref
-      (List.map
+      (List.filter_map
          (fun x ->
-           { Ode.times = [| 0.0; 1.0 |]; states = [| x; system.map_numeric x |] })
+           if Budget.expired budget then None
+           else
+             Some
+               { Ode.times = [| 0.0; 1.0 |]; states = [| x; system.map_numeric x |] })
          probes)
   in
   let cexs = ref [] in
@@ -188,6 +210,9 @@ let verify ?config ~rng system =
   let candidate_iterations = ref 0 in
   let field _t x = system.map_numeric x in
   let rec attempt iter =
+    match Budget.check budget with
+    | Some stop -> timeout "candidate loop" stop
+    | None ->
     if iter > config.max_candidate_iters then Error Cex_budget_exhausted
     else begin
       incr candidate_iterations;
@@ -196,14 +221,16 @@ let verify ?config ~rng system =
             (* CEX points are injected as exact two-point orbits rather than
                Lie cuts (the FD row of x_star and F(x_star) is the exact discrete
                decrease constraint at x_star). *)
-            Synthesis.synthesize ~options:synthesis_options ~exact_traces:!cut_traces
-              ~shape_cuts:!shape_cuts ~template ~field !traces)
+            Synthesis.synthesize ~options:synthesis_options ~budget
+              ~exact_traces:!cut_traces ~shape_cuts:!shape_cuts ~template ~field
+              !traces)
       in
       lp_time := !lp_time +. dt;
       match outcome with
       | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
       | Synthesis.Margin_too_small m ->
         Error (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+      | Synthesis.Lp_timed_out stop -> timeout "lp" stop
       | Synthesis.Candidate { coeffs; _ } -> (
         let formula = condition5_formula system config template coeffs in
         let bounds = rect_bounds system.vars config.safe_rect in
@@ -217,13 +244,16 @@ let verify ?config ~rng system =
           w (system.map_numeric x) -. w x >= -.config.gamma
         in
         let rec decide options refinements =
-          let (verdict, _), dt =
-            Timing.time (fun () -> Solver.solve ~options ~bounds formula)
+          let (verdict, st), dt =
+            Timing.time (fun () -> Solver.solve ~options ~budget ~bounds formula)
           in
           smt_time := !smt_time +. dt;
           match verdict with
           | Solver.Unsat -> `Unsat
-          | Solver.Unknown -> `Unknown
+          | Solver.Unknown -> (
+            match st.Solver.interrupted with
+            | Some ((Budget.Deadline | Budget.Cancelled) as stop) -> `Timeout stop
+            | Some Budget.Branch_budget | None -> `Unknown)
           | Solver.Delta_sat witness ->
             let x_star =
               Array.map
@@ -245,7 +275,7 @@ let verify ?config ~rng system =
             }
           in
           cut_traces := cut_trace :: !cut_traces;
-          traces := iterate system config x_star :: !traces;
+          traces := iterate ~budget system config x_star :: !traces;
           attempt (iter + 1)
         in
         let repeated x =
@@ -253,6 +283,7 @@ let verify ?config ~rng system =
         in
         match decide config.smt 0 with
         | `Unsat -> Ok coeffs
+        | `Timeout stop -> timeout "condition (5)" stop
         | `Unknown -> Error (Solver_inconclusive "condition (5)")
         | `Near_cex x_star ->
           if repeated x_star then
@@ -302,6 +333,11 @@ let verify ?config ~rng system =
     | exception Lu.Singular -> None
   in
   let rec outer round =
+    match Budget.check budget with
+    | Some stop ->
+      budget_stop := Some stop;
+      Failed (Timeout "level")
+    | None ->
     if round > config.max_level_iters then Failed Level_budget_exhausted
     else begin
       match attempt 1 with
@@ -317,7 +353,7 @@ let verify ?config ~rng system =
             max_iters = config.max_level_iters;
           }
         in
-        let result = Level_search.search spec template coeffs in
+        let result = Level_search.search ~budget spec template coeffs in
         smt_time := !smt_time +. result.Level_search.smt_time;
         level_iterations := !level_iterations + result.Level_search.iterations;
         match result.Level_search.level with
@@ -329,10 +365,17 @@ let verify ?config ~rng system =
             outer (round + 1)
           | None -> Failed Level_range_empty)
         | Error Level_search.Budget_exhausted -> Failed Level_budget_exhausted
-        | Error (Level_search.Inconclusive what) -> Failed (Solver_inconclusive what))
+        | Error (Level_search.Inconclusive what) -> Failed (Solver_inconclusive what)
+        | Error (Level_search.Timed_out stop) ->
+          budget_stop := Some stop;
+          Failed (Timeout "level"))
     end
   in
-  let outcome = outer 1 in
+  let outcome =
+    if List.length seeds < config.n_seed then
+      Failed (Seed_shortfall (List.length seeds, config.n_seed))
+    else outer 1
+  in
   {
     outcome;
     candidate_iterations = !candidate_iterations;
@@ -341,6 +384,7 @@ let verify ?config ~rng system =
     lp_time = !lp_time;
     smt_time = !smt_time;
     total_time = Timing.now () -. t_start;
+    budget_stop = !budget_stop;
   }
 
 (* --- Case-study closed loops ------------------------------------------ *)

@@ -69,6 +69,10 @@ type failure_reason =
   | Level_range_empty
   | Level_budget_exhausted
   | Solver_inconclusive of string
+  | Timeout of string
+      (** the threaded budget expired; the payload names the stage *)
+  | Seed_shortfall of int * int
+      (** [(got, wanted)] seed samples from [safe_rect \ x0_rect] *)
 
 type outcome = Proved of certificate | Failed of failure_reason
 
@@ -80,17 +84,24 @@ type report = {
   lp_time : float;
   smt_time : float;
   total_time : float;
+  budget_stop : Budget.stop option;
+      (** which budget limit ended the run, when the outcome is a
+          [Timeout] *)
 }
 
 val condition5_formula : system -> config -> Template.t -> float array -> Formula.t
 (** [∃x ∈ D \ X0: W(F(x)) − W(x) ≥ −γ] — UNSAT certifies the discrete
     decrease condition. *)
 
-val iterate : system -> config -> Vec.t -> Ode.trace
+val iterate : ?budget:Budget.t -> system -> config -> Vec.t -> Ode.trace
 (** Orbit of the map from an initial state (times are step indices),
-    truncated at the safe rectangle. *)
+    truncated at the safe rectangle, at the first non-finite state, and at
+    the budget's deadline. *)
 
-val verify : ?config:config -> rng:Rng.t -> system -> report
+val verify : ?config:config -> ?budget:Budget.t -> rng:Rng.t -> system -> report
+(** [budget] (default unlimited) bounds orbit iteration, the LP, and every
+    SMT query; on exhaustion the outcome is [Failed (Timeout stage)] with
+    the stop recorded in [budget_stop]. *)
 
 (** {1 Case-study closed loops} *)
 

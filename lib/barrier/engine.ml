@@ -55,6 +55,7 @@ type stats = {
   sim_time : float;
   total_time : float;
   lp_rows : int;
+  budget_stop : Budget.stop option;
 }
 
 type failure_reason =
@@ -63,6 +64,8 @@ type failure_reason =
   | Level_range_empty
   | Level_budget_exhausted
   | Solver_inconclusive of string
+  | Timeout of string
+  | Seed_shortfall of int * int
 
 type outcome = Proved of certificate | Failed of failure_reason
 
@@ -93,8 +96,7 @@ let condition5_formula system config cert =
 let condition6_formula cert =
   Formula.gt (Template.w_expr cert.template cert.coeffs) (Expr.const cert.level)
 
-let condition7_formula config cert =
-  ignore config;
+let condition7_formula cert =
   Formula.le (Template.w_expr cert.template cert.coeffs) (Expr.const cert.level)
 
 let in_rect rect x =
@@ -107,7 +109,11 @@ let in_rect rect x =
 let sample_initial_states ~rng config n =
   let dim = Array.length config.safe_rect in
   let rec draw acc k guard =
-    if k = 0 || guard > 100 * n then List.rev acc
+    if k = 0 then Ok (List.rev acc)
+    else if guard > 100 * n then
+      (* Rejection sampling stalled: X0 (nearly) covers the safe rectangle.
+         An explicit shortfall beats silently under-seeding the LP. *)
+      Error (n - k)
     else begin
       let x = Array.init dim (fun i ->
           let lo, hi = config.safe_rect.(i) in
@@ -123,8 +129,15 @@ let sample_initial_states ~rng config n =
    leaves the safe rectangle.  Samples outside the safe rectangle are
    dropped: condition (5) is only checked inside it, so constraining W
    there would needlessly over-constrain (or kill) the LP. *)
-let simulate_trace config system x0 =
-  let stop _t x = Vec.norm2 x < 1e-4 || not (in_rect config.safe_rect x) in
+let simulate_trace ?(budget = Budget.unlimited) config system x0 =
+  (* The budget check inside the stop predicate means even a stalled or
+     divergent field cannot keep a single trace running past the
+     deadline. *)
+  let stop _t x =
+    Vec.norm2 x < 1e-4
+    || (not (in_rect config.safe_rect x))
+    || Budget.expired budget
+  in
   let tr =
     Ode.simulate_until ~stop system.numeric_field ~t0:0.0 ~x0
       ~dt:config.sim_dt
@@ -154,6 +167,7 @@ type accounting = {
   mutable sim_time : float;
   mutable candidate_iterations : int;
   mutable level_iterations : int;
+  mutable budget_stop : Budget.stop option;
 }
 
 let fresh_accounting () =
@@ -168,6 +182,7 @@ let fresh_accounting () =
     sim_time = 0.0;
     candidate_iterations = 0;
     level_iterations = 0;
+    budget_stop = None;
   }
 
 let witness_to_state vars witness =
@@ -180,15 +195,23 @@ let witness_to_state vars witness =
 
 (* Phase 1 (Fig. 1 upper loop): LP candidate + condition (5) with CEX
    refinement.  Returns the accepted coefficients or a failure. *)
-let find_generator config system acc template traces_ref cexs_ref =
+let find_generator ~budget config system acc template traces_ref cexs_ref =
+  let timeout stage stop =
+    acc.budget_stop <- Some stop;
+    Error (Timeout stage)
+  in
   let rec attempt iter =
+    match Budget.check budget with
+    | Some stop -> timeout "candidate loop" stop
+    | None ->
     if iter > config.max_candidate_iters then Error Cex_budget_exhausted
     else begin
       acc.candidate_iterations <- acc.candidate_iterations + 1;
       let outcome, lp_dt =
         Timing.time (fun () ->
-            Synthesis.synthesize ~options:config.synthesis ~cex_points:!cexs_ref
-              ~template ~field:system.numeric_field !traces_ref)
+            Synthesis.synthesize ~options:config.synthesis ~budget
+              ~cex_points:!cexs_ref ~template ~field:system.numeric_field
+              !traces_ref)
       in
       acc.lp_time <- acc.lp_time +. lp_dt;
       acc.lp_calls <- acc.lp_calls + 1;
@@ -198,6 +221,7 @@ let find_generator config system acc template traces_ref cexs_ref =
       | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
       | Synthesis.Margin_too_small m ->
         Error (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+      | Synthesis.Lp_timed_out stop -> timeout "lp" stop
       | Synthesis.Candidate { coeffs; _ } ->
         let cert = { template; coeffs; level = 0.0 } in
         let formula = condition5_formula system config cert in
@@ -215,14 +239,17 @@ let find_generator config system acc template traces_ref cexs_ref =
         in
         let rec decide options refinements =
           let (verdict, st), smt_dt =
-            Timing.time (fun () -> Solver.solve ~options ~bounds formula)
+            Timing.time (fun () -> Solver.solve ~options ~budget ~bounds formula)
           in
           acc.smt5_time <- acc.smt5_time +. smt_dt;
           acc.smt5_calls <- acc.smt5_calls + 1;
           acc.smt5_branches <- acc.smt5_branches + st.Solver.branches;
           match verdict with
           | Solver.Unsat -> `Unsat
-          | Solver.Unknown -> `Unknown
+          | Solver.Unknown -> (
+            match st.Solver.interrupted with
+            | Some ((Budget.Deadline | Budget.Cancelled) as stop) -> `Timeout stop
+            | Some Budget.Branch_budget | None -> `Unknown)
           | Solver.Delta_sat witness ->
             let x_star = witness_to_state system.vars witness in
             if genuinely_violates x_star then `Cex x_star
@@ -240,7 +267,9 @@ let find_generator config system acc template traces_ref cexs_ref =
         in
         let continue_with x_star =
           cexs_ref := x_star :: !cexs_ref;
-          let trace, sim_dt = Timing.time (fun () -> simulate_trace config system x_star) in
+          let trace, sim_dt =
+            Timing.time (fun () -> simulate_trace ~budget config system x_star)
+          in
           acc.sim_time <- acc.sim_time +. sim_dt;
           traces_ref := trace :: !traces_ref;
           attempt (iter + 1)
@@ -252,6 +281,7 @@ let find_generator config system acc template traces_ref cexs_ref =
         in
         (match decide config.smt 0 with
         | `Unsat -> Ok coeffs
+        | `Timeout stop -> timeout "condition (5)" stop
         | `Unknown -> Error (Solver_inconclusive "condition (5)")
         | `Near_cex x_star ->
           if repeated x_star then
@@ -266,7 +296,7 @@ let find_generator config system acc template traces_ref cexs_ref =
   attempt 1
 
 (* Phase 2 (Fig. 1 lower loop) is shared with the discrete-time engine. *)
-let find_level config system acc template coeffs =
+let find_level ~budget config system acc template coeffs =
   let spec =
     {
       Level_search.vars = system.vars;
@@ -277,7 +307,7 @@ let find_level config system acc template coeffs =
       max_iters = config.max_level_iters;
     }
   in
-  let result = Level_search.search spec template coeffs in
+  let result = Level_search.search ~budget spec template coeffs in
   acc.smt67_time <- acc.smt67_time +. result.Level_search.smt_time;
   acc.level_iterations <- acc.level_iterations + result.Level_search.iterations;
   match result.Level_search.level with
@@ -285,8 +315,11 @@ let find_level config system acc template coeffs =
   | Error Level_search.Range_empty -> Error Level_range_empty
   | Error Level_search.Budget_exhausted -> Error Level_budget_exhausted
   | Error (Level_search.Inconclusive what) -> Error (Solver_inconclusive what)
+  | Error (Level_search.Timed_out stop) ->
+    acc.budget_stop <- Some stop;
+    Error (Timeout "level")
 
-let verify ?(config = default_config) ~rng system =
+let verify ?(config = default_config) ?(budget = Budget.unlimited) ~rng system =
   (* The LP constrains W only where condition (5) is checked: D \ X0. *)
   let config =
     let synthesis =
@@ -307,20 +340,32 @@ let verify ?(config = default_config) ~rng system =
   let t_start = Timing.now () in
   let acc = fresh_accounting () in
   let template = Template.make config.template_kind system.vars in
-  let seeds = sample_initial_states ~rng config config.n_seed in
-  let traces, seed_sim_dt =
-    Timing.time (fun () -> List.map (simulate_trace config system) seeds)
+  let traces_ref = ref [] and cexs_ref = ref [] in
+  let run_pipeline () =
+    match sample_initial_states ~rng config config.n_seed with
+    | Error got -> Failed (Seed_shortfall (got, config.n_seed))
+    | Ok seeds ->
+      let traces, seed_sim_dt =
+        Timing.time (fun () -> List.map (simulate_trace ~budget config system) seeds)
+      in
+      acc.sim_time <- acc.sim_time +. seed_sim_dt;
+      traces_ref := traces;
+      (* A stalled/divergent field truncates traces at the deadline (see
+         [simulate_trace]); catch the stop here so the LP never runs on a
+         partial seed set after time is up. *)
+      (match Budget.check budget with
+      | Some stop ->
+        acc.budget_stop <- Some stop;
+        Failed (Timeout "seed simulation")
+      | None -> (
+        match find_generator ~budget config system acc template traces_ref cexs_ref with
+        | Error reason -> Failed reason
+        | Ok coeffs -> (
+          match find_level ~budget config system acc template coeffs with
+          | Error reason -> Failed reason
+          | Ok level -> Proved { template; coeffs; level })))
   in
-  acc.sim_time <- acc.sim_time +. seed_sim_dt;
-  let traces_ref = ref traces and cexs_ref = ref [] in
-  let outcome =
-    match find_generator config system acc template traces_ref cexs_ref with
-    | Error reason -> Failed reason
-    | Ok coeffs -> (
-      match find_level config system acc template coeffs with
-      | Error reason -> Failed reason
-      | Ok level -> Proved { template; coeffs; level })
-  in
+  let outcome = run_pipeline () in
   let total_time = Timing.now () -. t_start in
   {
     outcome;
@@ -337,10 +382,90 @@ let verify ?(config = default_config) ~rng system =
         sim_time = acc.sim_time;
         total_time;
         lp_rows = acc.lp_rows;
+        budget_stop = acc.budget_stop;
       };
     traces = !traces_ref;
     counterexamples = !cexs_ref;
   }
+
+(* Retry/degradation ladder.  Each rung transforms the previous attempt's
+   config, so escalations accumulate: once δ is widened it stays widened
+   when the subsample is tightened next. *)
+type attempt = { label : string; report : report }
+
+type resilient_report = { best : report; attempts : attempt list }
+
+let escalation_rungs =
+  [
+    ("fresh seed traces", fun c -> c);
+    ( "delta widened x10",
+      fun c -> { c with smt = { c.smt with Solver.delta = c.smt.Solver.delta *. 10.0 } } );
+    ( "subsample tightened",
+      fun c ->
+        {
+          c with
+          synthesis =
+            {
+              c.synthesis with
+              Synthesis.subsample = max 1 (c.synthesis.Synthesis.subsample / 2);
+            };
+        } );
+    ("template escalated", fun c -> { c with template_kind = Template.Quadratic_linear });
+  ]
+
+(* How far through the pipeline an attempt got — used to pick the best
+   partial report when no attempt proves the certificate. *)
+let attempt_rank report =
+  match report.outcome with
+  | Proved _ -> 5
+  | Failed reason -> (
+    match reason with
+    | Seed_shortfall _ -> 0
+    | Timeout "seed simulation" -> 1
+    | Lp_failed _ | Timeout ("lp" | "candidate loop") -> 2
+    | Timeout "level" | Level_range_empty | Level_budget_exhausted -> 4
+    | Cex_budget_exhausted | Solver_inconclusive _ | Timeout _ -> 3)
+
+let verify_resilient ?(config = default_config) ?(budget = Budget.unlimited)
+    ?(restarts = 3) ~rng system =
+  (* A non-positive attempt count would make the per-attempt budget
+     fraction negative (an instantly-expired sub-budget); clamp instead. *)
+  let total_attempts = max 1 (restarts + 1) in
+  let finish attempts_rev =
+    let attempts = List.rev attempts_rev in
+    let best =
+      List.fold_left
+        (fun best a -> if attempt_rank a.report > attempt_rank best then a.report else best)
+        (List.hd attempts).report (List.tl attempts)
+    in
+    { best; attempts }
+  in
+  let rec loop attempt_no label cfg rungs attempts =
+    (* Divide the remaining wall-clock evenly over the attempts still
+       allowed; an attempt that finishes early donates its leftover time
+       to the later rungs. *)
+    let attempts_left = total_attempts - attempt_no + 1 in
+    let sub =
+      if Float.is_finite (Budget.remaining budget) then
+        Budget.sub_budget ~fraction:(1.0 /. float_of_int attempts_left) budget
+      else budget
+    in
+    let report = verify ~config:cfg ~budget:sub ~rng:(Rng.split rng) system in
+    let attempts = { label; report } :: attempts in
+    match report.outcome with
+    | Proved _ -> finish attempts
+    | Failed _ ->
+      if attempt_no >= total_attempts || Budget.expired budget then finish attempts
+      else begin
+        let label', cfg', rungs' =
+          match rungs with
+          | (l, f) :: rest -> (l, f cfg, rest)
+          | [] -> ("fresh seed traces", cfg, [])
+        in
+        loop (attempt_no + 1) label' cfg' rungs' attempts
+      end
+  in
+  loop 1 "initial" config escalation_rungs []
 
 let dump_smt2 ?(config = default_config) system cert ~dir =
   let vars = Template.vars cert.template in
@@ -371,7 +496,7 @@ let dump_smt2 ?(config = default_config) system cert ~dir =
   in
   let formula7 =
     Formula.and_
-      [ condition7_formula config cert; Formula.outside_rect (rect_bounds vars config.safe_rect) ]
+      [ condition7_formula cert; Formula.outside_rect (rect_bounds vars config.safe_rect) ]
   in
   let p7 = write "condition7.smt2" (rect_bounds vars query_rect) formula7 in
   [ p5; p6; p7 ]

@@ -57,6 +57,9 @@ type stats = {
   sim_time : float;  (** trace generation *)
   total_time : float;
   lp_rows : int;  (** rows in the last LP *)
+  budget_stop : Budget.stop option;
+      (** which budget limit ended the run, when the outcome is a
+          [Timeout] *)
 }
 
 type failure_reason =
@@ -65,6 +68,13 @@ type failure_reason =
   | Level_range_empty  (** X0 cannot be separated from U by any level *)
   | Level_budget_exhausted
   | Solver_inconclusive of string  (** an SMT query returned Unknown *)
+  | Timeout of string
+      (** the threaded budget expired; the payload names the stage
+          ("seed simulation", "lp", "candidate loop", "condition (5)",
+          "level") *)
+  | Seed_shortfall of int * int
+      (** [(got, wanted)]: rejection sampling could not draw enough seed
+          states from [safe_rect \ x0_rect] *)
 
 type outcome = Proved of certificate | Failed of failure_reason
 
@@ -82,15 +92,57 @@ val condition5_formula : system -> config -> certificate -> Formula.t
 val condition6_formula : certificate -> Formula.t
 (** [∃x ∈ X0 : W(x) − ℓ > 0] (bounds supplied separately). *)
 
-val condition7_formula : config -> certificate -> Formula.t
-(** [∃x : W(x) ≤ ℓ ∧ x ∈ U]. *)
+val condition7_formula : certificate -> Formula.t
+(** [∃x : W(x) ≤ ℓ] — the sublevel-set membership half of condition (7);
+    the [x ∈ U] half depends on the query rectangle and is conjoined by
+    the callers. *)
 
-val sample_initial_states : rng:Rng.t -> config -> int -> float array list
+val sample_initial_states :
+  rng:Rng.t -> config -> int -> (float array list, int) Result.t
 (** Uniform samples from [safe_rect \ x0_rect] (the paper samples seeds
-    from the domain of interest [D]). *)
+    from the domain of interest [D]).  [Ok seeds] has exactly the requested
+    length; [Error got] reports how many samples rejection sampling managed
+    before exhausting its guard (X0 covering essentially all of the safe
+    rectangle) — callers must not run the LP on a silently smaller seed
+    set. *)
 
-val verify : ?config:config -> rng:Rng.t -> system -> report
-(** Run the full procedure. *)
+val verify : ?config:config -> ?budget:Budget.t -> rng:Rng.t -> system -> report
+(** Run the full procedure.  [budget] (default unlimited) bounds every
+    stage: seed simulation stops mid-trace at the deadline, the LP is
+    polled per pivot, SMT queries per branch-and-prune box.  On exhaustion
+    the outcome is [Failed (Timeout stage)] with the binding stop recorded
+    in [stats.budget_stop]; partial traces/counterexamples are still
+    reported. *)
+
+(** {1 Resilient verification} *)
+
+type attempt = {
+  label : string;  (** which ladder rung produced this attempt *)
+  report : report;
+}
+
+type resilient_report = {
+  best : report;
+      (** the proved report, or the attempt that got furthest through the
+          pipeline *)
+  attempts : attempt list;  (** all attempts, in execution order *)
+}
+
+val verify_resilient :
+  ?config:config ->
+  ?budget:Budget.t ->
+  ?restarts:int ->
+  rng:Rng.t ->
+  system ->
+  resilient_report
+(** Retry/degradation wrapper around {!verify}.  On failure it escalates
+    through a ladder of config transformations — fresh seed traces, δ
+    widened ×10, LP subsample tightened, template escalated to
+    [Quadratic_linear] — accumulating the transformations across rungs.
+    At most [restarts] (default 3) re-attempts run after the initial one;
+    each attempt receives an even share of the remaining wall-clock as a
+    sub-budget, so the whole ladder respects [budget].  Stops at the first
+    proof. *)
 
 val dump_smt2 : ?config:config -> system -> certificate -> dir:string -> string list
 (** Write the three verification queries for the given certificate as

@@ -7,7 +7,11 @@ type spec = {
   max_iters : int;
 }
 
-type failure = Range_empty | Budget_exhausted | Inconclusive of string
+type failure =
+  | Range_empty
+  | Budget_exhausted
+  | Inconclusive of string
+  | Timed_out of Budget.stop
 
 type result = {
   level : (float, failure) Result.t;
@@ -51,7 +55,7 @@ let ellipsoid_center template coeffs p =
     let b = Array.sub coeffs n_quad n in
     Vec.scale (-0.5) (Lu.solve p b)
 
-let search spec template coeffs =
+let search ?(budget = Budget.unlimited) spec template coeffs =
   let iterations = ref 0 and smt_time = ref 0.0 in
   let p = Template.p_matrix template coeffs in
   let w_of_point x = Template.w_eval template coeffs x in
@@ -68,22 +72,38 @@ let search spec template coeffs =
     if l_min >= l_max then finish (Error Range_empty)
     else begin
       let w_center = w_of_point center in
+      (* Each query gets the shared budget; a deadline/cancellation stop is
+         distinguished (via [stats.interrupted]) from a plain Unknown so the
+         caller can report Timeout rather than Inconclusive. *)
+      let interrupted = ref None in
       let solve formula bounds =
-        let (verdict, _), dt =
-          Timing.time (fun () -> Solver.solve ~options:spec.smt ~bounds formula)
+        let (verdict, stats), dt =
+          Timing.time (fun () -> Solver.solve ~options:spec.smt ~budget ~bounds formula)
         in
         smt_time := !smt_time +. dt;
+        (match (verdict, stats.Solver.interrupted) with
+        | Solver.Unknown, (Some (Budget.Deadline | Budget.Cancelled) as s) ->
+          interrupted := s
+        | _ -> ());
         verdict
       in
       let rec refine lo hi iter =
+        match Budget.check budget with
+        | Some stop -> Error (Timed_out stop)
+        | None ->
         if iter > spec.max_iters then Error Budget_exhausted
         else begin
           incr iterations;
           let level = 0.5 *. (lo +. hi) in
+          let timed_out_or kind =
+            match !interrupted with
+            | Some stop -> Error (Timed_out stop)
+            | None -> Error (Inconclusive kind)
+          in
           match
             solve (condition6 template coeffs level) (rect_bounds spec.vars spec.x0_rect)
           with
-          | Solver.Unknown -> Error (Inconclusive "condition (6)")
+          | Solver.Unknown -> timed_out_or "condition (6)"
           | Solver.Delta_sat _ ->
             if hi -. level < 1e-12 then Error Budget_exhausted else refine level hi (iter + 1)
           | Solver.Unsat -> (
@@ -103,7 +123,7 @@ let search spec template coeffs =
             match
               solve (condition7 spec template coeffs level) (rect_bounds spec.vars query_rect)
             with
-            | Solver.Unknown -> Error (Inconclusive "condition (7)")
+            | Solver.Unknown -> timed_out_or "condition (7)"
             | Solver.Delta_sat _ ->
               if level -. lo < 1e-12 then Error Budget_exhausted else refine lo level (iter + 1)
             | Solver.Unsat -> Ok level)

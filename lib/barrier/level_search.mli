@@ -23,6 +23,9 @@ type failure =
   | Range_empty  (** no level can separate X0 from U for this W *)
   | Budget_exhausted
   | Inconclusive of string  (** an SMT query returned Unknown *)
+  | Timed_out of Budget.stop
+      (** the threaded budget's deadline/cancellation fired, either between
+          refinement iterations or inside an SMT query *)
 
 type result = {
   level : (float, failure) Result.t;
@@ -40,5 +43,7 @@ val ellipsoid_center : Template.t -> float array -> Mat.t -> Vec.t
 (** Center of the sublevel ellipsoids: [-P⁻¹b/2] for
     [W = xᵀPx + bᵀx] (the origin for pure quadratics). *)
 
-val search : spec -> Template.t -> float array -> result
-(** Run the analytic range computation and the SMT-checked refinement. *)
+val search : ?budget:Budget.t -> spec -> Template.t -> float array -> result
+(** Run the analytic range computation and the SMT-checked refinement.
+    [budget] (default unlimited) is checked before every refinement
+    iteration and threaded into each SMT query. *)

@@ -143,6 +143,10 @@ let verify ?(config = default_config) ~rng system =
       | Synthesis.Lp_infeasible -> Failed (Lp_failed "LP infeasible")
       | Synthesis.Margin_too_small m ->
         Failed (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+      | Synthesis.Lp_timed_out stop ->
+        (* This engine takes no budget, so a stop can only come from a
+           caller-supplied synthesis option; report it as an LP failure. *)
+        Failed (Lp_failed ("LP timed out: " ^ Budget.string_of_stop stop))
       | Synthesis.Candidate { coeffs; _ } ->
         let cert = { template; coeffs } in
         let bounds = bounds_of system.Engine.vars config.domain_rect in

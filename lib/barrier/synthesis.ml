@@ -31,7 +31,11 @@ let excluded options x =
 
 type candidate = { coeffs : float array; margin : float }
 
-type outcome = Candidate of candidate | Lp_infeasible | Margin_too_small of float
+type outcome =
+  | Candidate of candidate
+  | Lp_infeasible
+  | Margin_too_small of float
+  | Lp_timed_out of Budget.stop
 
 let rho x = Vec.dot x x
 
@@ -184,7 +188,16 @@ let build_problem options ~cex_points ~exact_traces ~template ~field traces =
       (fun x -> if rho x >= options.min_rho then Some (cex_row ~template ~field p x) else None)
       cex_points
   in
-  let rows = separation_rows options ~template @ cut_rows @ exact_rows @ trace_rows in
+  (* Last line of defence against faulty dynamics: a row with a NaN/Inf
+     coefficient would poison the whole tableau.  Dropping it only removes
+     a sampled constraint — the SMT checks still gate any certificate. *)
+  let finite_row r =
+    Array.for_all Float.is_finite r.Lp.coeffs && Float.is_finite r.Lp.rhs
+  in
+  let rows =
+    List.filter finite_row
+      (separation_rows options ~template @ cut_rows @ exact_rows @ trace_rows)
+  in
   let objective = Array.make (p + 1) 0.0 in
   objective.(p) <- -1.0;
   (* maximize m *)
@@ -203,8 +216,8 @@ let shape_cut_row ~template p (face_point, vertex) =
   done;
   { Lp.coeffs = row; relation = Lp.Ge; rhs = 0.0 }
 
-let synthesize ?(options = default_options) ?(cex_points = []) ?(exact_traces = [])
-    ?(shape_cuts = []) ~template ~field traces =
+let synthesize ?(options = default_options) ?budget ?(cex_points = [])
+    ?(exact_traces = []) ?(shape_cuts = []) ~template ~field traces =
   let problem = build_problem options ~cex_points ~exact_traces ~template ~field traces in
   let p = Template.dimension template in
   let problem =
@@ -214,9 +227,10 @@ let synthesize ?(options = default_options) ?(cex_points = []) ?(exact_traces = 
         List.map (shape_cut_row ~template p) shape_cuts @ problem.Lp.constraints;
     }
   in
-  match Lp.minimize problem with
+  match Lp.minimize ?budget problem with
   | Lp.Infeasible -> Lp_infeasible
   | Lp.Unbounded -> Lp_infeasible (* cannot happen: all variables bounded *)
+  | Lp.Timeout stop -> Lp_timed_out stop
   | Lp.Optimal { x; _ } ->
     let p = Template.dimension template in
     let margin = x.(p) in

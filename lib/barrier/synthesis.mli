@@ -40,10 +40,16 @@ val default_options : options
 
 type candidate = { coeffs : float array; margin : float }
 
-type outcome = Candidate of candidate | Lp_infeasible | Margin_too_small of float
+type outcome =
+  | Candidate of candidate
+  | Lp_infeasible
+  | Margin_too_small of float
+  | Lp_timed_out of Budget.stop
+      (** the LP hit the budget's deadline/cancellation before terminating *)
 
 val synthesize :
   ?options:options ->
+  ?budget:Budget.t ->
   ?cex_points:float array list ->
   ?exact_traces:Ode.trace list ->
   ?shape_cuts:(float array * float array) list ->
@@ -53,6 +59,11 @@ val synthesize :
   outcome
 (** Solve the LP over all rows generated from the traces.  [field] is used
     in [Lie_derivative] mode and for [cex_points].
+
+    [budget] bounds the simplex (polled per pivot); on exhaustion the
+    outcome is [Lp_timed_out].  Rows containing non-finite coefficients
+    (possible only with faulty dynamics) are dropped rather than poisoning
+    the tableau.
 
     [cex_points] are counterexample states from failed condition-(5)
     checks; each contributes an *exact* Lie-derivative cut

@@ -216,13 +216,25 @@ let tell t pop fitness =
   t.sigma <- t.sigma *. Float.exp (t.cs /. t.damps *. ((ps_norm /. t.chi_n) -. 1.0));
   t.generation <- t.generation + 1
 
-type stop_reason = Max_iterations | Tol_fun of float | Tol_sigma of float
+type stop_reason =
+  | Max_iterations
+  | Tol_fun of float
+  | Tol_sigma of float
+  | Budget_exceeded of Budget.stop
 
 let optimize ?(max_iter = 200) ?(tol_fun = 1e-12) ?(tol_sigma = 1e-14)
-    ?(callback = fun _ _ _ -> ()) t objective =
+    ?(budget = Budget.unlimited) ?(callback = fun _ _ _ -> ()) t objective =
   let reason = ref Max_iterations in
   (try
      for _ = 1 to max_iter do
+       (* Checked once per generation: a whole-population evaluation is the
+          natural granularity, and objectives are caller code we cannot
+          interrupt anyway. *)
+       (match Budget.check budget with
+       | Some stop ->
+         reason := Budget_exceeded stop;
+         raise Exit
+       | None -> ());
        let pop = ask t in
        let fitness = Array.map objective pop in
        tell t pop fitness;

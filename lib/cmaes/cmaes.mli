@@ -49,12 +49,19 @@ val tell : t -> Vec.t array -> float array -> unit
     and performs the mean, path, covariance and step-size updates.  The
     population must be the one returned by the matching {!ask}. *)
 
-type stop_reason = Max_iterations | Tol_fun of float | Tol_sigma of float
+type stop_reason =
+  | Max_iterations
+  | Tol_fun of float
+  | Tol_sigma of float
+  | Budget_exceeded of Budget.stop
+      (** the training budget's deadline/cancellation fired between
+          generations *)
 
 val optimize :
   ?max_iter:int ->
   ?tol_fun:float ->
   ?tol_sigma:float ->
+  ?budget:Budget.t ->
   ?callback:(t -> int -> float -> unit) ->
   t ->
   (Vec.t -> float) ->
@@ -62,4 +69,6 @@ val optimize :
 (** Ask/tell loop minimizing the objective.  [callback t gen best_fitness]
     runs after each generation.  Returns the best-ever solution.  Defaults:
     [max_iter = 200], [tol_fun = 1e-12] (spread of the current population's
-    fitness), [tol_sigma = 1e-14]. *)
+    fitness), [tol_sigma = 1e-14].  [budget] (default unlimited) is checked
+    before each generation; on exhaustion the best-so-far solution is
+    returned with [Budget_exceeded]. *)

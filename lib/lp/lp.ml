@@ -10,7 +10,7 @@ type problem = {
 
 type solution = { x : float array; objective_value : float }
 
-type result = Optimal of solution | Infeasible | Unbounded
+type result = Optimal of solution | Infeasible | Unbounded | Timeout of Budget.stop
 
 let free = (neg_infinity, infinity)
 
@@ -139,17 +139,28 @@ let pivot t ~row ~col =
     done;
   t.basis.(row) <- col
 
-type phase_outcome = Opt | Unbdd
+type phase_outcome = Opt | Unbdd | Stopped of Budget.stop
+
+exception Stop of Budget.stop
 
 (* Practical primal simplex: Dantzig pricing with largest-pivot
    tie-breaking in the ratio test (keeps pivots well-scaled on the heavily
    degenerate LPs the barrier synthesis produces), falling back to Bland's
    rule after a stretch of stalling (non-improving) iterations so
-   termination is guaranteed. *)
-let run_simplex t ~allowed =
+   termination is guaranteed.  [budget] and [pivots] bound the iteration
+   count: each pivot is O(m·n), so a cycling or huge LP is cut off with a
+   structured [Stopped] instead of spinning past its deadline. *)
+let run_simplex ?(budget = Budget.unlimited) ?max_pivots t ~allowed =
   let m = Array.length t.a in
   let stall = ref 0 in
+  let pivots = ref 0 in
   let rec iterate () =
+    (match Budget.check budget with
+    | Some s -> raise (Stop s)
+    | None -> ());
+    (match max_pivots with
+    | Some limit when !pivots >= limit -> raise (Stop Budget.Branch_budget)
+    | _ -> ());
     let bland = !stall > 2 * (m + t.ncols) in
     (* Entering column. *)
     let entering = ref (-1) in
@@ -204,14 +215,15 @@ let run_simplex t ~allowed =
       else begin
         let improving = !best_ratio > eps in
         if improving then stall := 0 else incr stall;
+        incr pivots;
         pivot t ~row:!best ~col;
         iterate ()
       end
     end
   in
-  iterate ()
+  try iterate () with Stop s -> Stopped s
 
-let minimize p =
+let minimize_exn ~budget ?max_pivots p =
   let maps, ny, rows, obj_row, obj_shift = translate p in
   let m = List.length rows in
   if m = 0 then begin
@@ -305,8 +317,9 @@ let minimize p =
           t.cost.(j) <- t.cost.(j) -. t.a.(i).(j)
         done
     done;
-    (match run_simplex t ~allowed:(fun _ -> true) with
+    (match run_simplex ~budget ?max_pivots t ~allowed:(fun _ -> true) with
     | Unbdd -> assert false (* phase-1 objective is bounded below by 0 *)
+    | Stopped s -> raise (Stop s)
     | Opt -> ());
     let phase1_value = -.t.cost.(ncols) in
     if phase1_value > 1e-7 then Infeasible
@@ -355,8 +368,9 @@ let minimize p =
         end
       done;
       let t2 = { a = a2; basis = basis2; cost = cost2; ncols } in
-      match run_simplex t2 ~allowed:(fun j -> j < art_lo) with
+      match run_simplex ~budget ?max_pivots t2 ~allowed:(fun j -> j < art_lo) with
       | Unbdd -> Unbounded
+      | Stopped s -> raise (Stop s)
       | Opt ->
         let y = Array.make ny 0.0 in
         for i = 0 to m2 - 1 do
@@ -371,10 +385,13 @@ let minimize p =
     end
   end
 
-let maximize p =
-  match minimize { p with objective = Array.map (fun c -> -.c) p.objective } with
+let minimize ?(budget = Budget.unlimited) ?max_pivots p =
+  try minimize_exn ~budget ?max_pivots p with Stop s -> Timeout s
+
+let maximize ?budget ?max_pivots p =
+  match minimize ?budget ?max_pivots { p with objective = Array.map (fun c -> -.c) p.objective } with
   | Optimal s -> Optimal { s with objective_value = -.s.objective_value }
-  | (Infeasible | Unbounded) as r -> r
+  | (Infeasible | Unbounded | Timeout _) as r -> r
 
 let check_feasible ?(tol = 1e-7) p x =
   let n = Array.length p.objective in

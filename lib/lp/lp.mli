@@ -27,7 +27,14 @@ type problem = {
 
 type solution = { x : float array; objective_value : float }
 
-type result = Optimal of solution | Infeasible | Unbounded
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Timeout of Budget.stop
+      (** the pivot limit or the budget's deadline/cancellation fired before
+          the simplex terminated — a cycling or oversized LP never spins
+          past its deadline *)
 
 val free : float * float
 (** [(neg_infinity, infinity)]. *)
@@ -35,9 +42,11 @@ val free : float * float
 val nonneg : float * float
 (** [(0., infinity)]. *)
 
-val minimize : problem -> result
+val minimize : ?budget:Budget.t -> ?max_pivots:int -> problem -> result
+(** [budget] is polled before every pivot; [max_pivots] bounds the pivot
+    count of each simplex phase.  Both default to unlimited. *)
 
-val maximize : problem -> result
+val maximize : ?budget:Budget.t -> ?max_pivots:int -> problem -> result
 (** Same problem with the objective negated; the reported
     [objective_value] is the maximum. *)
 

@@ -20,17 +20,31 @@ let step_rk4 f t x h =
 
 let stepper = function `Euler -> step_euler | `Rk4 -> step_rk4
 
+let all_finite x = Array.for_all Float.is_finite x
+
 let simulate ?(method_ = `Rk4) f ~t0 ~x0 ~dt ~steps =
   if steps < 0 then invalid_arg "Ode.simulate: negative step count";
   let step = stepper method_ in
   let times = Array.make (steps + 1) t0 in
   let states = Array.make (steps + 1) x0 in
-  for i = 1 to steps do
-    let t = t0 +. (dt *. float_of_int (i - 1)) in
-    times.(i) <- t0 +. (dt *. float_of_int i);
-    states.(i) <- step f t states.(i - 1) dt
-  done;
-  { times; states }
+  (* Divergent or faulty dynamics can produce NaN/Inf states; truncate at
+     the last finite sample so downstream consumers (the LP in particular)
+     never see a non-finite state. *)
+  let last = ref steps in
+  (try
+     for i = 1 to steps do
+       let t = t0 +. (dt *. float_of_int (i - 1)) in
+       let x' = step f t states.(i - 1) dt in
+       if not (all_finite x') then begin
+         last := i - 1;
+         raise Exit
+       end;
+       times.(i) <- t0 +. (dt *. float_of_int i);
+       states.(i) <- x'
+     done
+   with Exit -> ());
+  if !last = steps then { times; states }
+  else { times = Array.sub times 0 (!last + 1); states = Array.sub states 0 (!last + 1) }
 
 let simulate_until ?(method_ = `Rk4) ?(stop = fun _ _ -> false) f ~t0 ~x0 ~dt ~t_end =
   if t_end < t0 then invalid_arg "Ode.simulate_until: t_end < t0";
@@ -39,7 +53,11 @@ let simulate_until ?(method_ = `Rk4) ?(stop = fun _ _ -> false) f ~t0 ~x0 ~dt ~t
     if stop t x || t >= t_end -. (0.5 *. dt) then List.rev ((t, x) :: acc)
     else begin
       let h = Float.min dt (t_end -. t) in
-      loop (t +. h) (step f t x h) ((t, x) :: acc)
+      let x' = step f t x h in
+      (* Stop at the last finite state: a non-finite sample must never enter
+         the trace. *)
+      if not (all_finite x') then List.rev ((t, x) :: acc)
+      else loop (t +. h) x' ((t, x) :: acc)
     end
   in
   let samples = loop t0 x0 [] in
@@ -122,6 +140,10 @@ let simulate_rk45 ?(options = default_rk45) f ~t0 ~x0 ~t_end =
     else begin
       let h = Float.min h (t_end -. t) in
       let x5, x4 = rk45_step f t x h in
+      if not (all_finite x5 && all_finite x4) then
+        (* Non-finite stage values: error control below would loop on NaN
+           step sizes.  Treat it like an unrecoverable step failure. *)
+        raise (Step_size_underflow t);
       (* Scaled error norm; <= 1 means the step is acceptable. *)
       let err = ref 0.0 in
       for d = 0 to Vec.dim x - 1 do

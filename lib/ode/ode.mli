@@ -31,7 +31,10 @@ val simulate :
   steps:int ->
   trace
 (** Fixed-step integration recording every step (so the trace has
-    [steps + 1] samples).  Default method is [`Rk4]. *)
+    [steps + 1] samples).  Default method is [`Rk4].  If a step produces a
+    non-finite state (divergent or faulty dynamics), integration stops and
+    the trace is truncated at the last finite sample — traces never contain
+    NaN/Inf states. *)
 
 val simulate_until :
   ?method_:[ `Euler | `Rk4 ] ->
@@ -43,7 +46,8 @@ val simulate_until :
   t_end:float ->
   trace
 (** Like {!simulate} but integrates to [t_end]; if [stop] becomes true the
-    trace is truncated at that sample. *)
+    trace is truncated at that sample.  Non-finite states truncate the
+    trace exactly as in {!simulate}. *)
 
 (** {1 Adaptive integration} *)
 
@@ -59,8 +63,9 @@ type rk45_options = {
 val default_rk45 : rk45_options
 
 exception Step_size_underflow of float
-(** Raised when error control would require a step below [h_min]; carries
-    the time of failure. *)
+(** Raised when error control would require a step below [h_min], or when a
+    stage evaluation produces non-finite values; carries the time of
+    failure. *)
 
 val simulate_rk45 :
   ?options:rk45_options -> field -> t0:float -> x0:Vec.t -> t_end:float -> trace

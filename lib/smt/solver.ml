@@ -6,6 +6,7 @@ type stats = {
   hc4_calls : int;
   max_depth : int;
   elapsed : float;
+  interrupted : Budget.stop option;
 }
 
 type branching = Widest | Smear
@@ -82,9 +83,9 @@ let atom_holds_delta delta env (atom : Formula.atom) =
 
 (* Decide one DNF disjunct (a conjunction of atoms) by branch-and-prune.
    Returns a witness option; Unknown is signalled by exception. *)
-exception Budget_exhausted
+exception Budget_exhausted of Budget.stop
 
-let solve_conjunction ~opts st names bounds atoms =
+let solve_conjunction ~opts ~budget st names bounds atoms =
   let index = Hashtbl.create 16 in
   Array.iteri (fun i n -> Hashtbl.add index n i) names;
   let index_of n =
@@ -219,14 +220,22 @@ let solve_conjunction ~opts st names bounds atoms =
   let initial = Array.map (fun (_, lo, hi) -> Interval.make lo hi) bounds in
   let stack = ref [ (initial, 0) ] in
   let result = ref None in
-  (try
+  (* Budget_exhausted escapes to [solve], which owns the per-query stats. *)
+  begin
      while !result = None && !stack <> [] do
        match !stack with
        | [] -> ()
        | (domains, depth) :: rest ->
          stack := rest;
          st.branches <- st.branches + 1;
-         if st.branches > opts.max_branches then raise Budget_exhausted;
+         if st.branches > opts.max_branches then
+           raise (Budget_exhausted Budget.Branch_budget);
+         (* The budget is the wall-clock/cancellation control threaded down
+            from the pipeline; [max_branches] above is the per-call search
+            bound.  Both surface as Unknown, tagged in [stats.interrupted]. *)
+         (match Budget.consume_branches budget 1 with
+         | Some s -> raise (Budget_exhausted s)
+         | None -> ());
          if depth > st.max_depth then st.max_depth <- depth;
          (match contract ~opts st domains compiled_atoms with
          | () ->
@@ -262,11 +271,11 @@ let solve_conjunction ~opts st names bounds atoms =
            end
            end
          | exception Pruned -> st.prunes <- st.prunes + 1)
-     done;
-     (match !result with Some w -> Delta_sat w | None -> Unsat)
-   with Budget_exhausted -> Unknown)
+     done
+  end;
+  match !result with Some w -> Delta_sat w | None -> Unsat
 
-let solve ?(options = default_options) ~bounds formula =
+let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds formula =
   let t0 = Unix.gettimeofday () in
   let st = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
   let names = Array.of_list (List.map (fun (n, _, _) -> n) bounds) in
@@ -279,13 +288,21 @@ let solve ?(options = default_options) ~bounds formula =
         invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" v))
     (Formula.free_vars formula);
   let disjuncts = Formula.to_dnf formula in
+  let interrupted = ref None in
+  (* A budget stop ends the whole query: [st.branches] and the deadline are
+     shared across disjuncts, so retrying the remaining ones would stop
+     again immediately.  The verdict degrades to Unknown (never to a wrong
+     Unsat) and the stop reason is recorded in the stats. *)
   let rec try_disjuncts unknown = function
     | [] -> if unknown then Unknown else Unsat
     | conj :: rest -> (
-      match solve_conjunction ~opts:options st names bounds_arr conj with
+      match solve_conjunction ~opts:options ~budget st names bounds_arr conj with
       | Delta_sat w -> Delta_sat w
       | Unsat -> try_disjuncts unknown rest
-      | Unknown -> try_disjuncts true rest)
+      | Unknown -> try_disjuncts true rest
+      | exception Budget_exhausted stop ->
+        interrupted := Some stop;
+        Unknown)
   in
   let verdict = try_disjuncts false disjuncts in
   let stats =
@@ -295,6 +312,7 @@ let solve ?(options = default_options) ~bounds formula =
       hc4_calls = st.hc4_calls;
       max_depth = st.max_depth;
       elapsed = Unix.gettimeofday () -. t0;
+      interrupted = !interrupted;
     }
   in
   (verdict, stats)
@@ -311,8 +329,8 @@ let pp_verdict fmt = function
 
 type proof_verdict = Proved | Refuted of (string * float) list | Not_decided
 
-let prove ?options ~bounds formula =
-  let verdict, stats = solve ?options ~bounds (Formula.not_ formula) in
+let prove ?options ?budget ~bounds formula =
+  let verdict, stats = solve ?options ?budget ~bounds (Formula.not_ formula) in
   let proof =
     match verdict with
     | Unsat -> Proved

@@ -8,7 +8,10 @@
     - [Delta_sat w] means the δ-weakening of the formula is satisfied at the
       witness [w] (possibly a spurious answer for the exact formula when the
       problem is ill-conditioned below δ — exactly dReal's contract);
-    - [Unknown] is returned only when the branch budget is exhausted.
+    - [Unknown] is returned only when a resource budget is exhausted — the
+      per-call branch bound, or the deadline/cancellation of a {!Budget.t}
+      threaded down from the pipeline.  The cause is recorded in
+      [stats.interrupted].
 
     The algorithm is interval constraint propagation (HC4-revise fixpoints)
     with branch-and-prune on the widest variable, run independently on each
@@ -25,6 +28,9 @@ type stats = {
   hc4_calls : int;  (** individual HC4-revise invocations *)
   max_depth : int;
   elapsed : float;  (** seconds *)
+  interrupted : Budget.stop option;
+      (** [Some stop] iff the search was cut short by the per-call branch
+          bound or the threaded budget; the verdict is then [Unknown] *)
 }
 
 type branching = Widest  (** bisect the widest variable *) | Smear
@@ -49,11 +55,18 @@ val default_options : options
 
 val solve :
   ?options:options ->
+  ?budget:Budget.t ->
   bounds:(string * float * float) list ->
   Formula.t ->
   verdict * stats
 (** [solve ~bounds f] decides [∃x ∈ bounds. f(x)].  Variables of [f] not
-    listed in [bounds] raise [Invalid_argument]. *)
+    listed in [bounds] raise [Invalid_argument].
+
+    [budget] (default {!Budget.unlimited}) is polled once per explored box;
+    when its deadline passes, its branch pool drains, or its cancellation
+    hook fires, the query stops promptly with [Unknown] and
+    [stats.interrupted = Some stop].  A budget stop never weakens
+    soundness: it can only degrade a verdict to [Unknown]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
@@ -68,6 +81,7 @@ type proof_verdict =
 
 val prove :
   ?options:options ->
+  ?budget:Budget.t ->
   bounds:(string * float * float) list ->
   Formula.t ->
   proof_verdict * stats

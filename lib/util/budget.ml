@@ -1,0 +1,75 @@
+type stop = Deadline | Branch_budget | Cancelled
+
+type t = {
+  deadline : float option; (* absolute, Timing.now scale *)
+  pool : int ref option; (* shared across sub-budgets *)
+  cancel : unit -> bool;
+}
+
+let never_cancel () = false
+
+let unlimited = { deadline = None; pool = None; cancel = never_cancel }
+
+let make ?deadline ?timeout ?branches ?(cancel = never_cancel) () =
+  let from_timeout = Option.map (fun s -> Timing.now () +. s) timeout in
+  let deadline =
+    match (deadline, from_timeout) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  { deadline; pool = Option.map ref branches; cancel }
+
+let with_timeout s = make ~timeout:s ()
+
+let sub_budget ?timeout ?fraction parent =
+  let now = Timing.now () in
+  let parent_remaining =
+    match parent.deadline with Some d -> Float.max 0.0 (d -. now) | None -> infinity
+  in
+  let child_span =
+    match (timeout, fraction) with
+    | Some s, _ -> s
+    | None, Some f -> f *. parent_remaining
+    | None, None -> parent_remaining
+  in
+  let child_deadline =
+    if Float.is_finite child_span then Some (now +. child_span) else None
+  in
+  let deadline =
+    match (parent.deadline, child_deadline) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  { parent with deadline }
+
+let check t =
+  if t.cancel () then Some Cancelled
+  else
+    match t.pool with
+    | Some p when !p <= 0 -> Some Branch_budget
+    | _ -> (
+      match t.deadline with
+      | Some d when Timing.now () >= d -> Some Deadline
+      | _ -> None)
+
+let expired t = check t <> None
+
+let remaining t =
+  match t.deadline with
+  | None -> infinity
+  | Some d -> Float.max 0.0 (d -. Timing.now ())
+
+let remaining_branches t = Option.map (fun p -> Stdlib.max 0 !p) t.pool
+
+let consume_branches t n =
+  (match t.pool with Some p -> p := !p - n | None -> ());
+  check t
+
+let string_of_stop = function
+  | Deadline -> "deadline"
+  | Branch_budget -> "branch budget"
+  | Cancelled -> "cancelled"
+
+type 'a outcome = Done of 'a | Budget_exceeded of stop
+
+let run t f = match check t with Some s -> Budget_exceeded s | None -> Done (f ())

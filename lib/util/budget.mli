@@ -1,0 +1,67 @@
+(** Resource budgets for the verification pipeline.
+
+    Every unboundedly expensive stage — simulation, LP pivoting, δ-SAT
+    branch-and-prune, CMA-ES generations — accepts a budget and checks it
+    inside its hot loop.  A budget combines a wall-clock deadline, a shared
+    branch/pivot pool, and a user cancellation hook.  Budget exhaustion is
+    always surfaced as a *structured outcome* ([stop], {!outcome}) at module
+    boundaries; exceptions used internally never escape a stage. *)
+
+type stop =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Branch_budget  (** the shared branch/pivot pool ran dry *)
+  | Cancelled  (** the cancellation hook returned [true] *)
+
+type t
+(** An immutable budget handle.  Sub-budgets share the parent's branch pool
+    and cancellation hook, so work done under a sub-budget also draws down
+    the parent. *)
+
+val unlimited : t
+(** Never expires.  The default everywhere, preserving legacy behaviour. *)
+
+val make :
+  ?deadline:float -> ?timeout:float -> ?branches:int -> ?cancel:(unit -> bool) -> unit -> t
+(** [make ()] builds a budget from any combination of limits:
+    [deadline] is an absolute time (seconds since the epoch, as
+    {!Timing.now}); [timeout] is relative seconds from now (the tighter of
+    the two wins); [branches] seeds a shared pool consumed via
+    {!consume_branches}; [cancel] is polled on every {!check}. *)
+
+val with_timeout : float -> t
+(** [with_timeout s] expires [s] seconds from now. *)
+
+val sub_budget : ?timeout:float -> ?fraction:float -> t -> t
+(** A child budget: its deadline is the tighter of the parent's and
+    [now + timeout] (or [now + fraction × remaining parent time], default
+    fraction 1.0).  Branch pool and cancellation hook are shared with the
+    parent — never reset. *)
+
+val check : t -> stop option
+(** [None] while the budget is live; the binding stop reason once any limit
+    is hit.  Cheap enough for per-branch polling. *)
+
+val expired : t -> bool
+(** [check t <> None]. *)
+
+val remaining : t -> float
+(** Seconds until the deadline ([infinity] when there is none, [0.] once
+    expired). *)
+
+val remaining_branches : t -> int option
+(** Branches left in the shared pool, if one was set. *)
+
+val consume_branches : t -> int -> stop option
+(** [consume_branches t n] draws [n] from the shared pool and then behaves
+    like {!check} (reporting [Branch_budget] when the pool was already
+    dry).  With no pool configured it is exactly [check t]. *)
+
+val string_of_stop : stop -> string
+
+type 'a outcome = Done of 'a | Budget_exceeded of stop
+(** The structured result of running a stage under a budget. *)
+
+val run : t -> (unit -> 'a) -> 'a outcome
+(** [run t f] is [Budget_exceeded s] when [t] is already exhausted,
+    otherwise [Done (f ())].  A convenience for gating cheap stages; long
+    stages must poll [check] internally instead. *)

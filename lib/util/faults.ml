@@ -1,0 +1,41 @@
+type injection =
+  | Nan_after of int
+  | Inf_after of int
+  | Divergence of float
+  | Stall of float
+  | Ill_conditioned of float
+
+type counter = { mutable calls : int }
+
+let counter () = { calls = 0 }
+
+let sleep s = if s > 0.0 then Unix.sleepf s
+
+(* [n] is the 1-based index of the current call. *)
+let apply injection n out =
+  match injection with
+  | Nan_after k -> if n >= k then Array.map (fun _ -> Float.nan) out else out
+  | Inf_after k -> if n >= k then Array.map (fun _ -> Float.infinity) out else out
+  | Divergence factor ->
+    let gain = factor ** float_of_int n in
+    Array.map (fun v -> v *. gain) out
+  | Stall s ->
+    sleep s;
+    out
+  | Ill_conditioned factor -> if n mod 2 = 1 then Array.map (fun v -> v *. factor) out else out
+
+let wrap_field ?counter:cnt injection field =
+  let cnt = match cnt with Some c -> c | None -> counter () in
+  fun t x ->
+    cnt.calls <- cnt.calls + 1;
+    apply injection cnt.calls (field t x)
+
+let wrap_map ?counter:cnt injection map =
+  let cnt = match cnt with Some c -> c | None -> counter () in
+  fun x ->
+    cnt.calls <- cnt.calls + 1;
+    apply injection cnt.calls (map x)
+
+let delay_oracle s f x =
+  sleep s;
+  f x

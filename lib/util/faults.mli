@@ -1,0 +1,43 @@
+(** Fault injection for robustness testing of the verification pipeline.
+
+    Wrappers around dynamics fields ([float -> float array -> float array],
+    structurally [Ode.field]) and discrete maps that inject controlled
+    failures: non-finite states, divergence, wall-clock stalls, and
+    ill-conditioned magnitudes.  The test harness ([test/test_faults.ml])
+    uses these to assert that every pipeline stage returns a structured
+    failure within its budget instead of hanging, crashing, or silently
+    producing a bogus certificate. *)
+
+type injection =
+  | Nan_after of int  (** all outputs become NaN from the n-th call on *)
+  | Inf_after of int  (** all outputs become +∞ from the n-th call on *)
+  | Divergence of float
+      (** multiply the output by [factor] per call — trajectories blow up
+          geometrically (factor > 1) *)
+  | Stall of float  (** sleep this many wall-clock seconds on every call *)
+  | Ill_conditioned of float
+      (** scale every other call's output by [factor] (e.g. 1e12), producing
+          wildly mis-scaled LP rows *)
+
+type counter = { mutable calls : int }
+(** Shared call counter; read it to assert how far a stage got. *)
+
+val counter : unit -> counter
+
+val wrap_field :
+  ?counter:counter ->
+  injection ->
+  (float -> float array -> float array) ->
+  float -> float array -> float array
+(** Wrap a continuous-time vector field (or any [t -> x -> dx] function). *)
+
+val wrap_map :
+  ?counter:counter ->
+  injection ->
+  (float array -> float array) ->
+  float array -> float array
+(** Wrap a discrete-time map [x ↦ F(x)]. *)
+
+val delay_oracle : float -> ('a -> 'b) -> 'a -> 'b
+(** [delay_oracle s f] sleeps [s] seconds before every call to [f] — a
+    generic stall for oracles (solvers, fitness functions). *)

@@ -87,13 +87,14 @@ let test_synthesize_stable_system () =
     Alcotest.(check bool) "P positive definite" true (Cholesky.is_positive_definite p)
   | Synthesis.Lp_infeasible -> Alcotest.fail "LP infeasible on a stable linear system"
   | Synthesis.Margin_too_small m -> Alcotest.failf "margin too small: %g" m
+  | Synthesis.Lp_timed_out _ -> Alcotest.fail "unexpected LP timeout"
 
 let test_synthesize_lie_mode () =
   let options = { Synthesis.default_options with Synthesis.mode = Synthesis.Lie_derivative } in
   match Synthesis.synthesize ~options ~template:quad ~field:stable_field (stable_traces ()) with
   | Synthesis.Candidate { margin; _ } ->
     Alcotest.(check bool) "lie margin positive" true (margin > 0.0)
-  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ ->
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ | Synthesis.Lp_timed_out _ ->
     Alcotest.fail "Lie mode failed on stable linear system"
 
 let test_synthesize_unstable_rejected () =
@@ -107,6 +108,7 @@ let test_synthesize_unstable_rejected () =
   match Synthesis.synthesize ~template:quad ~field:unstable traces with
   | Synthesis.Candidate { margin; _ } -> Alcotest.failf "found margin %g on unstable system" margin
   | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ -> ()
+  | Synthesis.Lp_timed_out _ -> Alcotest.fail "unexpected LP timeout"
 
 let test_cex_cut_forces_change () =
   (* Adding a CEX cut at a state where the current candidate increases must
@@ -118,7 +120,7 @@ let test_cex_cut_forces_change () =
   in
   (match Synthesis.synthesize ~template:quad ~field:spiral traces with
   | Synthesis.Candidate _ -> ()
-  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ ->
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ | Synthesis.Lp_timed_out _ ->
     Alcotest.fail "spiral should admit a quadratic generator");
   (* Now inject a fake CEX point: rows must still produce a candidate that
      decreases at that exact point. *)
@@ -132,7 +134,7 @@ let test_cex_cut_forces_change () =
       (Printf.sprintf "decrease at cex: %.4f <= -margin*rho" dot)
       true
       (dot <= -.margin *. 2.25 +. 1e-9)
-  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ ->
+  | Synthesis.Lp_infeasible | Synthesis.Margin_too_small _ | Synthesis.Lp_timed_out _ ->
     Alcotest.fail "cex cut made the LP fail"
 
 let test_exclude_rect () =
@@ -314,7 +316,11 @@ let test_barrier_expr () =
 let test_sample_initial_states () =
   let config = Engine.default_config in
   let rng = Rng.create 6 in
-  let samples = Engine.sample_initial_states ~rng config 50 in
+  let samples =
+    match Engine.sample_initial_states ~rng config 50 with
+    | Ok samples -> samples
+    | Error got -> Alcotest.failf "seed shortfall: %d of 50" got
+  in
   Alcotest.(check int) "fifty samples" 50 (List.length samples);
   List.iter
     (fun x ->
@@ -325,6 +331,68 @@ let test_sample_initial_states () =
       if not inside_safe then Alcotest.fail "sample outside safe rect";
       if inside_x0 then Alcotest.fail "sample inside X0")
     samples
+
+let test_seed_shortfall () =
+  (* X0 covering the whole safe rectangle leaves nothing to sample from:
+     the shortfall must be explicit, not a silently shorter list. *)
+  let config =
+    { Engine.default_config with Engine.x0_rect = Engine.default_config.Engine.safe_rect }
+  in
+  (match Engine.sample_initial_states ~rng:(Rng.create 1) config 10 with
+  | Ok _ -> Alcotest.fail "expected a shortfall with X0 = safe_rect"
+  | Error got -> Alcotest.(check int) "no sample found" 0 got);
+  let report = Engine.verify ~config ~rng:(Rng.create 1) reference_system in
+  match report.Engine.outcome with
+  | Engine.Failed (Engine.Seed_shortfall (0, n)) ->
+    Alcotest.(check int) "wanted n_seed" config.Engine.n_seed n
+  | _ -> Alcotest.fail "verify must surface the seed shortfall"
+
+let test_verify_expired_budget () =
+  (* An already-expired deadline: verify must return a structured Timeout
+     with the stop recorded in the stats, not hang or raise. *)
+  let budget = Budget.make ~timeout:0.0 () in
+  let report = Engine.verify ~budget ~rng:(Rng.create 3) reference_system in
+  (match report.Engine.outcome with
+  | Engine.Failed (Engine.Timeout _) -> ()
+  | Engine.Proved _ -> Alcotest.fail "cannot prove under an expired budget"
+  | Engine.Failed _ -> Alcotest.fail "expected a Timeout failure");
+  match report.Engine.stats.Engine.budget_stop with
+  | Some Budget.Deadline -> ()
+  | _ -> Alcotest.fail "stats.budget_stop must record the deadline"
+
+let test_verify_branch_pool_exhaustion () =
+  (* A tiny shared branch pool: the SMT stages drain it and the solver
+     returns Unknown; with the pool drained mid-pipeline the engine reports
+     a structured failure (inconclusive or timeout), never a proof. *)
+  let budget = Budget.make ~branches:50 () in
+  let report = Engine.verify ~budget ~rng:(Rng.create 3) reference_system in
+  match report.Engine.outcome with
+  | Engine.Proved _ -> Alcotest.fail "50 branches cannot complete the SMT checks"
+  | Engine.Failed _ -> ()
+
+let test_verify_resilient_ladder () =
+  (* With an impossible safe set the ladder runs all its rungs and reports
+     every attempt; best is a Failed report with the attempts logged. *)
+  let config = { Engine.default_config with Engine.max_candidate_iters = 1; n_seed = 3 } in
+  let res =
+    Engine.verify_resilient ~config ~restarts:2 ~rng:(Rng.create 9)
+      (Case_study.system_of_network Case_study.reference_controller)
+  in
+  Alcotest.(check bool) "at least one attempt" true (List.length res.Engine.attempts >= 1);
+  Alcotest.(check bool) "at most 3 attempts" true (List.length res.Engine.attempts <= 3);
+  (match (List.hd res.Engine.attempts).Engine.label with
+  | "initial" -> ()
+  | l -> Alcotest.failf "first attempt labelled %s" l);
+  match res.Engine.best.Engine.outcome with
+  | Engine.Proved _ -> ()
+  | Engine.Failed _ ->
+    (* Every attempt is in the log regardless of outcome. *)
+    List.iter
+      (fun a ->
+        match a.Engine.report.Engine.outcome with
+        | Engine.Proved _ -> Alcotest.fail "a proved attempt must be selected as best"
+        | Engine.Failed _ -> ())
+      res.Engine.attempts
 
 (* --- Benchmark systems ------------------------------------------------ *)
 
@@ -428,5 +496,9 @@ let () =
           Alcotest.test_case "condition formulas" `Quick test_condition_formulas_semantics;
           Alcotest.test_case "barrier expression" `Quick test_barrier_expr;
           Alcotest.test_case "seed sampling respects D" `Quick test_sample_initial_states;
+          Alcotest.test_case "seed shortfall explicit" `Quick test_seed_shortfall;
+          Alcotest.test_case "expired budget times out" `Quick test_verify_expired_budget;
+          Alcotest.test_case "branch pool exhaustion" `Quick test_verify_branch_pool_exhaustion;
+          Alcotest.test_case "resilient ladder" `Slow test_verify_resilient_ladder;
         ] );
     ]

@@ -107,14 +107,16 @@ let test_stop_reasons () =
   let _, _, reason = Cmaes.optimize ~max_iter:5 t sphere in
   (match reason with
   | Cmaes.Max_iterations -> ()
-  | Cmaes.Tol_fun _ | Cmaes.Tol_sigma _ -> Alcotest.fail "expected max-iterations stop");
+  | Cmaes.Tol_fun _ | Cmaes.Tol_sigma _ | Cmaes.Budget_exceeded _ ->
+    Alcotest.fail "expected max-iterations stop");
   let rng = Rng.create 11 in
   let t = Cmaes.create ~rng (Vec.make 2 0.0) in
   (* Constant objective: the population spread is zero immediately. *)
   let _, _, reason = Cmaes.optimize ~max_iter:100 t (fun _ -> 1.0) in
   match reason with
   | Cmaes.Tol_fun _ -> ()
-  | Cmaes.Max_iterations | Cmaes.Tol_sigma _ -> Alcotest.fail "expected tol_fun stop"
+  | Cmaes.Max_iterations | Cmaes.Tol_sigma _ | Cmaes.Budget_exceeded _ ->
+    Alcotest.fail "expected tol_fun stop"
 
 let prop_quadratic_bowls =
   QCheck.Test.make ~name:"converges on random quadratic bowls" ~count:20

@@ -19,6 +19,9 @@ let proved name report =
       | Engine.Level_range_empty -> "level range empty"
       | Engine.Level_budget_exhausted -> "level budget exhausted"
       | Engine.Solver_inconclusive s -> "solver inconclusive: " ^ s
+      | Engine.Timeout stage -> "deadline exceeded during " ^ stage
+      | Engine.Seed_shortfall (got, wanted) ->
+        Printf.sprintf "seed shortfall: %d of %d" got wanted
     in
     Alcotest.failf "%s: expected Proved, got %s" name msg
 

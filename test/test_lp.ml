@@ -8,6 +8,7 @@ let optimal = function
   | Lp.Optimal s -> s
   | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Timeout _ -> Alcotest.fail "unexpected timeout"
 
 (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
    Classic Dantzig example: optimum (2, 6), value 36. *)
@@ -97,7 +98,7 @@ let test_infeasible () =
   in
   (match Lp.minimize p with
   | Lp.Infeasible -> ()
-  | Lp.Optimal _ | Lp.Unbounded -> Alcotest.fail "expected infeasible")
+  | Lp.Optimal _ | Lp.Unbounded | Lp.Timeout _ -> Alcotest.fail "expected infeasible")
 
 let test_unbounded () =
   let p =
@@ -109,7 +110,7 @@ let test_unbounded () =
   in
   (match Lp.minimize p with
   | Lp.Unbounded -> ()
-  | Lp.Optimal _ | Lp.Infeasible -> Alcotest.fail "expected unbounded")
+  | Lp.Optimal _ | Lp.Infeasible | Lp.Timeout _ -> Alcotest.fail "expected unbounded")
 
 let test_no_constraints () =
   let p = { Lp.objective = [| 1.0; -2.0 |]; constraints = []; bounds = [| (0.0, 4.0); (0.0, 4.0) |] } in
@@ -119,7 +120,8 @@ let test_no_constraints () =
   let p2 = { p with bounds = [| Lp.free; (0.0, 4.0) |] } in
   (match Lp.minimize p2 with
   | Lp.Unbounded -> ()
-  | Lp.Optimal _ | Lp.Infeasible -> Alcotest.fail "expected unbounded without constraints")
+  | Lp.Optimal _ | Lp.Infeasible | Lp.Timeout _ ->
+    Alcotest.fail "expected unbounded without constraints")
 
 let test_degenerate () =
   (* Multiple redundant constraints through the same vertex. *)
@@ -224,7 +226,8 @@ let prop_simplex_matches_brute_force =
       | Lp.Infeasible, None -> true
       | Lp.Optimal _, None -> false
       | Lp.Infeasible, Some _ -> false
-      | Lp.Unbounded, _ -> false (* impossible: box-bounded *))
+      | Lp.Unbounded, _ -> false
+      | Lp.Timeout _, _ -> false (* impossible: box-bounded *))
 
 let prop_solution_feasible =
   QCheck.Test.make ~name:"returned solutions are always feasible" ~count:200
@@ -251,7 +254,7 @@ let prop_solution_feasible =
       match Lp.minimize p with
       | Lp.Optimal s -> Lp.check_feasible ~tol:1e-5 p s.Lp.x
       | Lp.Infeasible -> true
-      | Lp.Unbounded -> false)
+      | Lp.Unbounded | Lp.Timeout _ -> false)
 
 let () =
   Alcotest.run "lp"

@@ -251,6 +251,56 @@ let test_solver_unknown_budget () =
   | Solver.Unsat -> Alcotest.fail "tiny budget should not conclude unsat"
   | Solver.Delta_sat _ -> () (* may legitimately find a witness quickly *)
 
+(* A formula hard enough that the solver cannot finish instantly: used to
+   exercise deadline and cancellation stops. *)
+let hard_formula =
+  Formula.eq (Expr.( + ) (Expr.sin x) (Expr.( * ) x (Expr.cos y))) (Expr.const 0.37)
+
+let test_solver_deadline_stop () =
+  (* An already-expired deadline must stop the very first box and be
+     reported in the stats; the verdict degrades to Unknown, never to a
+     wrong Unsat. *)
+  let opts = { Solver.default_options with Solver.delta = 1e-12 } in
+  let budget = Budget.make ~timeout:0.0 () in
+  let verdict, st = Solver.solve ~options:opts ~budget ~bounds:bounds2 hard_formula in
+  (match verdict with
+  | Solver.Unknown -> ()
+  | Solver.Unsat -> Alcotest.fail "expired deadline must not conclude unsat"
+  | Solver.Delta_sat _ -> Alcotest.fail "expired deadline must not search for a witness");
+  (match st.Solver.interrupted with
+  | Some Budget.Deadline -> ()
+  | Some s -> Alcotest.failf "wrong stop: %s" (Budget.string_of_stop s)
+  | None -> Alcotest.fail "stats must record the deadline stop");
+  Alcotest.(check bool) "stopped promptly" true (st.Solver.branches <= 1)
+
+let test_solver_cancellation () =
+  (* Cancel after a handful of boxes via the hook; the solver must stop and
+     tag the stats. *)
+  let boxes = ref 0 in
+  let budget = Budget.make ~cancel:(fun () -> incr boxes; !boxes > 5) () in
+  let opts = { Solver.default_options with Solver.delta = 1e-12 } in
+  let verdict, st = Solver.solve ~options:opts ~budget ~bounds:bounds2 hard_formula in
+  (match verdict with
+  | Solver.Unknown -> ()
+  | _ -> Alcotest.fail "expected Unknown after cancellation");
+  match st.Solver.interrupted with
+  | Some Budget.Cancelled -> ()
+  | _ -> Alcotest.fail "stats must record the cancellation"
+
+let test_solver_branch_pool () =
+  (* A shared branch pool across two queries: the second query starts with
+     a drained pool and must stop immediately. *)
+  let budget = Budget.make ~branches:10 () in
+  let opts = { Solver.default_options with Solver.delta = 1e-12 } in
+  let _ = Solver.solve ~options:opts ~budget ~bounds:bounds2 hard_formula in
+  let verdict, st = Solver.solve ~options:opts ~budget ~bounds:bounds2 hard_formula in
+  (match verdict with
+  | Solver.Unknown -> ()
+  | _ -> Alcotest.fail "drained pool must yield Unknown");
+  match st.Solver.interrupted with
+  | Some Budget.Branch_budget -> ()
+  | _ -> Alcotest.fail "stats must record the branch-pool stop"
+
 let test_prove_universal () =
   (* ∀x ∈ [-1,1]: x² <= 1.01 — proved (note the margin: a property that
      holds with *zero* margin, like x² <= 1 on exactly [-1,1], is refutable
@@ -401,6 +451,9 @@ let () =
           Alcotest.test_case "disjunction" `Quick test_solver_disjunction;
           Alcotest.test_case "rect helpers" `Quick test_solver_rect_helpers;
           Alcotest.test_case "unknown under budget" `Quick test_solver_unknown_budget;
+          Alcotest.test_case "deadline stop" `Quick test_solver_deadline_stop;
+          Alcotest.test_case "cancellation stop" `Quick test_solver_cancellation;
+          Alcotest.test_case "shared branch pool" `Quick test_solver_branch_pool;
           Alcotest.test_case "unbound var rejected" `Quick test_solver_unbound_var_rejected;
           Alcotest.test_case "universal prove wrapper" `Quick test_prove_universal;
           Alcotest.test_case "forward-only ablation" `Quick test_solver_forward_only_ablation;
