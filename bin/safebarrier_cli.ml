@@ -98,8 +98,16 @@ let seed_retry_arg =
   in
   Arg.(value & flag & info [ "seed-retry" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel stages (δ-SAT branch-and-prune subbox search and \
+     seed-trace simulation).  1 runs fully sequentially; the default is the machine's \
+     recommended domain count.  The verdict is the same for any value."
+  in
+  Arg.(value & opt int (Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let verify_cmd =
-  let run width network seed lie linear_terms gamma deadline restarts seed_retry =
+  let run width network seed lie linear_terms gamma deadline restarts seed_retry jobs =
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
     let base = Engine.default_config in
@@ -114,6 +122,8 @@ let verify_cmd =
               (if lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
           };
         template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
+        smt = { base.Engine.smt with Solver.jobs };
+        jobs;
       }
     in
     let budget =
@@ -150,7 +160,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc)
     Term.(
       const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
-      $ deadline_arg $ restarts_arg $ seed_retry_arg)
+      $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg)
 
 (* --- train ----------------------------------------------------------- *)
 

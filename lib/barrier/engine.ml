@@ -16,6 +16,7 @@ type config = {
   max_candidate_iters : int;
   max_level_iters : int;
   smt : Solver.options;
+  jobs : int;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     max_candidate_iters = 20;
     max_level_iters = 30;
     smt = Solver.default_options;
+    jobs = 1;
   }
 
 type certificate = { template : Template.t; coeffs : float array; level : float }
@@ -185,6 +187,11 @@ let fresh_accounting () =
     budget_stop = None;
   }
 
+(* A counterexample is "repeated" when it lies within tolerance of any
+   previously accumulated one — adding it again cuts nothing from the LP. *)
+let cex_repeated ?(tol = 1e-9) cexs x =
+  List.exists (fun prev -> Vec.dist2 prev x < tol) cexs
+
 let witness_to_state vars witness =
   Array.map
     (fun v ->
@@ -274,11 +281,11 @@ let find_generator ~budget config system acc template traces_ref cexs_ref =
           traces_ref := trace :: !traces_ref;
           attempt (iter + 1)
         in
-        let repeated x =
-          match !cexs_ref with
-          | prev :: _ -> Vec.dist2 prev x < 1e-9
-          | [] -> false
-        in
+        (* Compare against *every* accumulated counterexample, not just the
+           most recent one: an alternating pair of witnesses (A, B, A, …)
+           would otherwise never be detected and the loop would burn all
+           [max_candidate_iters] iterations re-adding ineffective cuts. *)
+        let repeated x = cex_repeated !cexs_ref x in
         (match decide config.smt 0 with
         | `Unsat -> Ok coeffs
         | `Timeout stop -> timeout "condition (5)" stop
@@ -302,6 +309,8 @@ let find_level ~budget config system acc template coeffs =
       Level_search.vars = system.vars;
       x0_rect = config.x0_rect;
       safe_rect = config.safe_rect;
+      (* [unsafe_rect] holds the rectangle whose *complement* is the unsafe
+         set (see Level_search.spec): here the safe rectangle itself. *)
       unsafe_rect = config.safe_rect;
       smt = config.smt;
       max_iters = config.max_level_iters;
@@ -345,8 +354,15 @@ let verify ?(config = default_config) ?(budget = Budget.unlimited) ~rng system =
     match sample_initial_states ~rng config config.n_seed with
     | Error got -> Failed (Seed_shortfall (got, config.n_seed))
     | Ok seeds ->
+      (* Seed traces are mutually independent, so they fan out over the
+         domain pool; results come back in seed order, so the trace list
+         (and everything downstream of it) is identical for any [jobs]. *)
       let traces, seed_sim_dt =
-        Timing.time (fun () -> List.map (simulate_trace ~budget config system) seeds)
+        Timing.time (fun () ->
+            Array.to_list
+              (Pool.parallel_map ~jobs:config.jobs
+                 (simulate_trace ~budget config system)
+                 (Array.of_list seeds)))
       in
       acc.sim_time <- acc.sim_time +. seed_sim_dt;
       traces_ref := traces;

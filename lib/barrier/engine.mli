@@ -29,6 +29,13 @@ type config = {
   max_candidate_iters : int;  (** outer CEX-refinement loop bound *)
   max_level_iters : int;  (** binary-search bound for ℓ *)
   smt : Solver.options;
+      (** δ-SAT options for conditions (5)–(7); set [smt.jobs > 1] for
+          domain-parallel branch-and-prune *)
+  jobs : int;
+      (** domains used for seed-trace simulation, default 1.  The trace
+          list is identical for any value (results are merged in seed
+          order), so this only affects wall clock.  Independent of
+          [smt.jobs] — the CLI sets both from [--jobs]. *)
 }
 
 val default_config : config
@@ -54,7 +61,9 @@ type stats = {
   smt5_calls : int;
   smt5_branches : int;  (** branch-and-prune boxes over all (5) queries *)
   smt67_time : float;  (** total seconds deciding conditions (6)/(7) *)
-  sim_time : float;  (** trace generation *)
+  sim_time : float;
+      (** trace generation — wall clock of the (possibly parallel) seed
+          batch plus the sequential CEX re-simulations *)
   total_time : float;
   lp_rows : int;  (** rows in the last LP *)
   budget_stop : Budget.stop option;
@@ -96,6 +105,13 @@ val condition7_formula : certificate -> Formula.t
 (** [∃x : W(x) ≤ ℓ] — the sublevel-set membership half of condition (7);
     the [x ∈ U] half depends on the query rectangle and is conjoined by
     the callers. *)
+
+val cex_repeated : ?tol:float -> float array list -> float array -> bool
+(** [cex_repeated cexs x] — is [x] within Euclidean distance [tol]
+    (default 1e-9) of {e any} accumulated counterexample?  This is the
+    staleness check of the CEGIS loop; comparing against every CEX (not
+    just the latest) is what detects alternating witness pairs
+    (A, B, A, B, …).  Exposed for regression tests. *)
 
 val sample_initial_states :
   rng:Rng.t -> config -> int -> (float array list, int) Result.t

@@ -11,10 +11,15 @@ type spec = {
   x0_rect : (float * float) array;
   safe_rect : (float * float) array;  (** the query domain [D] *)
   unsafe_rect : (float * float) array;
-      (** [U] is the complement of this rectangle; dimensions with infinite
-          bounds (e.g. controller internal state, which cannot itself be
-          "unsafe") contribute no unsafe faces.  For the planar case this
-          equals [safe_rect]. *)
+      (** Despite the name, this field holds the rectangle of states that
+          are SAFE to occupy: the unsafe set [U] is its {e complement}
+          [U = ℝⁿ \ Π[lo_i, hi_i]], i.e. everything outside these bounds.
+          (The name survives from the paper's "unsafe-set rectangle"
+          phrasing, where [U] is specified {e by} the rectangle whose
+          exterior it is.)  Dimensions with infinite bounds (e.g.
+          controller internal state, which cannot itself be "unsafe")
+          contribute no unsafe faces.  For the planar case this equals
+          [safe_rect]. *)
   smt : Solver.options;
   max_iters : int;
 }

@@ -180,12 +180,17 @@ let resample tr ~dt =
   let t0 = tr.times.(0) and t_end = tr.times.(n - 1) in
   let count = 1 + int_of_float (Float.floor (((t_end -. t0) /. dt) +. 1e-12)) in
   let times = Array.init count (fun i -> t0 +. (dt *. float_of_int i)) in
+  (* Output times are increasing, so one forward cursor over the input
+     brackets every sample in O(n + count) total — restarting the search
+     from index 0 per sample would be O(n·count) on long traces. *)
+  let cursor = ref 0 in
   let states =
     Array.map
       (fun t ->
-        (* Find the bracketing samples and interpolate linearly. *)
-        let rec find i = if i + 1 >= n || tr.times.(i + 1) >= t then i else find (i + 1) in
-        let i = find 0 in
+        while !cursor + 1 < n && tr.times.(!cursor + 1) < t do
+          incr cursor
+        done;
+        let i = !cursor in
         if i + 1 >= n then tr.states.(n - 1)
         else begin
           let t1 = tr.times.(i) and t2 = tr.times.(i + 1) in

@@ -17,6 +17,7 @@ type options = {
   use_backward : bool;
   branching : branching;
   use_mvf : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -26,6 +27,7 @@ let default_options =
     use_backward = true;
     branching = Smear;
     use_mvf = true;
+    jobs = 1;
   }
 
 type search_state = {
@@ -85,30 +87,38 @@ let atom_holds_delta delta env (atom : Formula.atom) =
    Returns a witness option; Unknown is signalled by exception. *)
 exception Budget_exhausted of Budget.stop
 
-let solve_conjunction ~opts ~budget st names bounds atoms =
-  let index = Hashtbl.create 16 in
-  Array.iteri (fun i n -> Hashtbl.add index n i) names;
-  let index_of n =
-    match Hashtbl.find_opt index n with
-    | Some i -> i
-    | None -> invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" n)
-  in
-  (* Each atom is compiled together with its partial derivatives, used for
-     mean-value-form bounds (quadratic-convergence enclosures) and smear
-     branching.  Partials are only built for nontrivial atoms — tiny
-     box-membership atoms gain nothing from them. *)
-  let compile_partials (a : Formula.atom) =
-    if Expr.size a.Formula.expr < 4 then [||]
-    else
-      Array.map
-        (fun v ->
-          let partial = Expr.diff v a.Formula.expr in
-          Hc4.compile ~index_of { Formula.expr = partial; rel = Formula.Le0 })
-        names
-  in
+(* Symbolic partial derivatives of each nontrivial atom, used for
+   mean-value-form bounds (quadratic-convergence enclosures) and smear
+   branching.  Pure expressions, hoisted out of the (per-subbox, per-domain)
+   search so the expensive [Expr.diff] of e.g. a deep NN composite runs once
+   per query, not once per parallel task.  Tiny box-membership atoms gain
+   nothing from partials and get [[||]]. *)
+let prepare_atoms names atoms =
+  List.map
+    (fun (a : Formula.atom) ->
+      let partials =
+        if Expr.size a.Formula.expr < 4 then [||]
+        else Array.map (fun v -> Expr.diff v a.Formula.expr) names
+      in
+      (a, partials))
+    atoms
+
+let solve_conjunction ~opts ~budget st ~index_of names prepared initial =
+  (* HC4-compiled nodes carry mutable interval scratch state, so every
+     search (hence every parallel task) compiles its own copies; only the
+     symbolic preparation above is shared. *)
   let compiled_atoms =
-    List.map (fun a -> (a, Hc4.compile ~index_of a, compile_partials a)) atoms
+    List.map
+      (fun ((a : Formula.atom), partial_exprs) ->
+        let compiled_partials =
+          Array.map
+            (fun p -> Hc4.compile ~index_of { Formula.expr = p; rel = Formula.Le0 })
+            partial_exprs
+        in
+        (a, Hc4.compile ~index_of a, compiled_partials))
+      prepared
   in
+  let atoms = List.map fst prepared in
   (* Mean-value form of an atom over the current box:
      e(x) ∈ e(mid) + Σᵢ ∂e/∂xᵢ(box)·(xᵢ − midᵢ), with a relative fudge for
      the float evaluation of e(mid).  Returns None when midpoint evaluation
@@ -217,8 +227,7 @@ let solve_conjunction ~opts ~budget st names bounds atoms =
       if !best < 0 then widest () else !best
     end
   in
-  let initial = Array.map (fun (_, lo, hi) -> Interval.make lo hi) bounds in
-  let stack = ref [ (initial, 0) ] in
+  let stack = ref [ (Array.copy initial, 0) ] in
   let result = ref None in
   (* Budget_exhausted escapes to [solve], which owns the per-query stats. *)
   begin
@@ -275,18 +284,106 @@ let solve_conjunction ~opts ~budget st names bounds atoms =
   end;
   match !result with Some w -> Delta_sat w | None -> Unsat
 
+(* Split a box into [2^k] subboxes by repeatedly bisecting each piece's
+   widest dimension — the static domain decomposition behind parallel
+   search (dReal's parallel branch-and-prune does the same at its root). *)
+let split_box k initial =
+  let split_one d =
+    let widest = ref 0 and best_w = ref (Interval.width d.(0)) in
+    Array.iteri
+      (fun i iv ->
+        let w = Interval.width iv in
+        if w > !best_w then begin
+          widest := i;
+          best_w := w
+        end)
+      d;
+    if !best_w <= 0.0 then [ d ]
+    else begin
+      let left, right = Interval.split d.(!widest) in
+      let a = Array.copy d and b = Array.copy d in
+      a.(!widest) <- left;
+      b.(!widest) <- right;
+      [ a; b ]
+    end
+  in
+  let rec go k boxes = if k = 0 then boxes else go (k - 1) (List.concat_map split_one boxes) in
+  go k [ initial ]
+
+let splits_for jobs =
+  let rec go k = if 1 lsl k >= jobs then k else go (k + 1) in
+  go 0
+
+(* Decide one conjunction with [opts.jobs] domains: the initial box is
+   statically split into [2^k >= jobs] subboxes searched concurrently under
+   a shared cancellation switch (first witness wins).  Soundness of the
+   merge: the subboxes cover the initial box, so Unsat holds only when
+   every subbox is Unsat; any budget stop in a witness-free merge degrades
+   the verdict to Unknown exactly as in the sequential search. *)
+let solve_conjunction_par ~opts ~budget st ~index_of names initial atoms =
+  let prepared = prepare_atoms names atoms in
+  if opts.jobs <= 1 then solve_conjunction ~opts ~budget st ~index_of names prepared initial
+  else begin
+    let boxes = Array.of_list (split_box (splits_for opts.jobs) initial) in
+    let sw = Budget.switch () in
+    let task_budget = Budget.with_switch sw budget in
+    let run box =
+      let st_l = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
+      let outcome =
+        match solve_conjunction ~opts ~budget:task_budget st_l ~index_of names prepared box with
+        | Delta_sat w ->
+          Budget.fire sw;
+          `Sat w
+        | Unsat -> `Unsat
+        | Unknown -> `Stop Budget.Branch_budget (* not produced by the search *)
+        | exception Budget_exhausted stop -> `Stop stop
+      in
+      (outcome, st_l)
+    in
+    let results = Pool.parallel_map ~jobs:opts.jobs run boxes in
+    Array.iter
+      (fun (_, s) ->
+        st.branches <- st.branches + s.branches;
+        st.prunes <- st.prunes + s.prunes;
+        st.hc4_calls <- st.hc4_calls + s.hc4_calls;
+        if s.max_depth > st.max_depth then st.max_depth <- s.max_depth)
+      results;
+    let first pred = Array.find_opt (fun (o, _) -> pred o) results in
+    match first (function `Sat _ -> true | _ -> false) with
+    | Some (`Sat w, _) -> Delta_sat w
+    | _ -> (
+      (* No witness anywhere, so the switch never fired: every [`Stop
+         Cancelled] is an external cancellation and propagates as such. *)
+      match first (function `Stop _ -> true | _ -> false) with
+      | Some (`Stop stop, _) -> raise (Budget_exhausted stop)
+      | _ -> Unsat)
+  end
+
 let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds formula =
   let t0 = Unix.gettimeofday () in
   let st = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
   let names = Array.of_list (List.map (fun (n, _, _) -> n) bounds) in
-  let bounds_arr = Array.of_list bounds in
-  (* Validate coverage of the formula's variables up front. *)
-  let bound_set = List.map (fun (n, _, _) -> n) bounds in
+  (* Index the bounds once: used for duplicate/coverage validation here and
+     for atom compilation in every conjunction (read-only afterwards, so
+     sharing it across worker domains is safe). *)
+  let index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem index n then
+        invalid_arg (Printf.sprintf "Solver.solve: duplicate bounds for variable %s" n);
+      Hashtbl.add index n i)
+    names;
+  let index_of n =
+    match Hashtbl.find_opt index n with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" n)
+  in
   List.iter
-    (fun v ->
-      if not (List.mem v bound_set) then
-        invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" v))
+    (fun v -> ignore (index_of v : int))
     (Formula.free_vars formula);
+  let initial =
+    Array.of_list (List.map (fun (_, lo, hi) -> Interval.make lo hi) bounds)
+  in
   let disjuncts = Formula.to_dnf formula in
   let interrupted = ref None in
   (* A budget stop ends the whole query: [st.branches] and the deadline are
@@ -296,7 +393,7 @@ let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds form
   let rec try_disjuncts unknown = function
     | [] -> if unknown then Unknown else Unsat
     | conj :: rest -> (
-      match solve_conjunction ~opts:options ~budget st names bounds_arr conj with
+      match solve_conjunction_par ~opts:options ~budget st ~index_of names initial conj with
       | Delta_sat w -> Delta_sat w
       | Unsat -> try_disjuncts unknown rest
       | Unknown -> try_disjuncts true rest

@@ -49,6 +49,16 @@ type options = {
       (** mean-value-form (centered-form) bounds — enclosure error O(w²)
           instead of O(w), decisive on higher-dimensional queries with thin
           margins; default true *)
+  jobs : int;
+      (** domain-parallel search width, default 1 (sequential).  With
+          [jobs > 1] each conjunction's initial box is statically split
+          into [2^k >= jobs] subboxes searched concurrently on the global
+          {!Pool}: the first witness cancels the siblings, Unsat requires
+          every subbox Unsat, and a budget stop in a witness-free merge
+          degrades to Unknown exactly as in the sequential search.  The
+          sat/unsat verdict is independent of [jobs]; only the choice of
+          witness (among equally valid ones) and the stats may vary.  Each
+          subbox search gets the full [max_branches] bound. *)
 }
 
 val default_options : options
@@ -60,7 +70,8 @@ val solve :
   Formula.t ->
   verdict * stats
 (** [solve ~bounds f] decides [∃x ∈ bounds. f(x)].  Variables of [f] not
-    listed in [bounds] raise [Invalid_argument].
+    listed in [bounds], and duplicate variable names within [bounds]
+    (which would silently shadow a binding), raise [Invalid_argument].
 
     [budget] (default {!Budget.unlimited}) is polled once per explored box;
     when its deadline passes, its branch pool drains, or its cancellation

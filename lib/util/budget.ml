@@ -2,7 +2,7 @@ type stop = Deadline | Branch_budget | Cancelled
 
 type t = {
   deadline : float option; (* absolute, Timing.now scale *)
-  pool : int ref option; (* shared across sub-budgets *)
+  pool : int Atomic.t option; (* shared across sub-budgets and domains *)
   cancel : unit -> bool;
 }
 
@@ -17,7 +17,7 @@ let make ?deadline ?timeout ?branches ?(cancel = never_cancel) () =
     | None, d | d, None -> d
     | Some a, Some b -> Some (Float.min a b)
   in
-  { deadline; pool = Option.map ref branches; cancel }
+  { deadline; pool = Option.map Atomic.make branches; cancel }
 
 let with_timeout s = make ~timeout:s ()
 
@@ -46,7 +46,7 @@ let check t =
   if t.cancel () then Some Cancelled
   else
     match t.pool with
-    | Some p when !p <= 0 -> Some Branch_budget
+    | Some p when Atomic.get p <= 0 -> Some Branch_budget
     | _ -> (
       match t.deadline with
       | Some d when Timing.now () >= d -> Some Deadline
@@ -59,11 +59,23 @@ let remaining t =
   | None -> infinity
   | Some d -> Float.max 0.0 (d -. Timing.now ())
 
-let remaining_branches t = Option.map (fun p -> Stdlib.max 0 !p) t.pool
+let remaining_branches t = Option.map (fun p -> Stdlib.max 0 (Atomic.get p)) t.pool
 
 let consume_branches t n =
-  (match t.pool with Some p -> p := !p - n | None -> ());
+  (match t.pool with Some p -> ignore (Atomic.fetch_and_add p (-n)) | None -> ());
   check t
+
+type switch = bool Atomic.t
+
+let switch () = Atomic.make false
+
+let fire sw = Atomic.set sw true
+
+let fired sw = Atomic.get sw
+
+let with_switch sw t =
+  let parent_cancel = t.cancel in
+  { t with cancel = (fun () -> Atomic.get sw || parent_cancel ()) }
 
 let string_of_stop = function
   | Deadline -> "deadline"

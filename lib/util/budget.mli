@@ -15,7 +15,13 @@ type stop =
 type t
 (** An immutable budget handle.  Sub-budgets share the parent's branch pool
     and cancellation hook, so work done under a sub-budget also draws down
-    the parent. *)
+    the parent.
+
+    Budgets are domain-safe: the branch pool is an [Atomic.t], so any
+    number of worker domains may {!consume_branches} from the same handle
+    concurrently with exact accounting.  [cancel] hooks must themselves be
+    domain-safe when a budget is shared across domains ({!switch} hooks
+    are). *)
 
 val unlimited : t
 (** Never expires.  The default everywhere, preserving legacy behaviour. *)
@@ -57,6 +63,27 @@ val consume_branches : t -> int -> stop option
     dry).  With no pool configured it is exactly [check t]. *)
 
 val string_of_stop : stop -> string
+
+(** {1 Cancellation switches}
+
+    A one-shot, domain-safe cancellation flag for first-witness-wins
+    parallel search: every sibling task runs under
+    [with_switch sw budget]; whichever finds a witness fires the switch
+    and the rest stop at their next budget poll with {!Cancelled}. *)
+
+type switch
+
+val switch : unit -> switch
+(** A fresh, unfired switch. *)
+
+val fire : switch -> unit
+(** Trip the switch (idempotent, safe from any domain). *)
+
+val fired : switch -> bool
+
+val with_switch : switch -> t -> t
+(** A budget that is additionally cancelled once the switch fires; the
+    parent's deadline, branch pool, and cancellation hook still apply. *)
 
 type 'a outcome = Done of 'a | Budget_exceeded of stop
 (** The structured result of running a stage under a budget. *)

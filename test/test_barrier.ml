@@ -448,6 +448,21 @@ let test_benchmark_certificates_valid () =
           (Floatx.linspace d_lo d_hi 21))
     Benchmark_systems.all
 
+let test_cex_repeated_alternating () =
+  (* Regression: the CEGIS loop's stall detector used to compare a new
+     counterexample only against the most recent one, so an alternating
+     A, B, A, B sequence was never flagged as repeated.  The check must
+     look at EVERY accumulated counterexample within tolerance. *)
+  let a = [| 0.5; -0.25 |] and b = [| -1.0; 0.75 |] in
+  let a' = [| 0.5 +. 1e-10; -0.25 |] in
+  Alcotest.(check bool) "A repeats in [B; A]" true (Engine.cex_repeated [ b; a ] a);
+  Alcotest.(check bool) "A not repeated in [B]" false (Engine.cex_repeated [ b ] a);
+  Alcotest.(check bool) "empty history never repeats" false (Engine.cex_repeated [] a);
+  (* Within the default tolerance a jittered revisit still counts. *)
+  Alcotest.(check bool) "near-duplicate within tol" true (Engine.cex_repeated [ b; a ] a');
+  Alcotest.(check bool) "near-duplicate outside tight tol" false
+    (Engine.cex_repeated ~tol:1e-12 [ b; a ] a')
+
 let () =
   Alcotest.run "barrier"
     [
@@ -494,6 +509,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "condition formulas" `Quick test_condition_formulas_semantics;
+          Alcotest.test_case "repeated cex detects alternation" `Quick
+            test_cex_repeated_alternating;
           Alcotest.test_case "barrier expression" `Quick test_barrier_expr;
           Alcotest.test_case "seed sampling respects D" `Quick test_sample_initial_states;
           Alcotest.test_case "seed shortfall explicit" `Quick test_seed_shortfall;

@@ -104,6 +104,38 @@ let test_resample () =
         Alcotest.failf "resample at %.2f: %g vs %g" t rs.Ode.states.(i).(0) expected)
     rs.Ode.times
 
+let test_resample_linear_interp () =
+  (* On a hand-built non-uniform trace, every resampled state must be the
+     exact linear interpolation of its bracketing input samples — the
+     forward-cursor rewrite must not change which segment brackets a
+     sample. *)
+  let tr =
+    {
+      Ode.times = [| 0.0; 0.3; 0.35; 1.0; 1.1; 2.0 |];
+      states = [| [| 0.0 |]; [| 3.0 |]; [| 2.0 |]; [| 6.5 |]; [| 6.0 |]; [| -1.0 |] |];
+    }
+  in
+  let interp t =
+    let n = Array.length tr.Ode.times in
+    let i = ref 0 in
+    while !i + 1 < n - 1 && tr.Ode.times.(!i + 1) < t do
+      incr i
+    done;
+    let t1 = tr.Ode.times.(!i) and t2 = tr.Ode.times.(!i + 1) in
+    let w = (t -. t1) /. (t2 -. t1) in
+    tr.Ode.states.(!i).(0) +. (w *. (tr.Ode.states.(!i + 1).(0) -. tr.Ode.states.(!i).(0)))
+  in
+  let rs = Ode.resample tr ~dt:0.17 in
+  Alcotest.(check int) "sample count" (1 + int_of_float (Float.floor (2.0 /. 0.17)))
+    (Ode.trace_length rs);
+  Array.iteri
+    (fun i t ->
+      let expected = interp t in
+      if Float.abs (rs.Ode.states.(i).(0) -. expected) > 1e-12 then
+        Alcotest.failf "resample at %.3f: %g vs interpolated %g" t rs.Ode.states.(i).(0)
+          expected)
+    rs.Ode.times
+
 let test_negative_steps_rejected () =
   Alcotest.check_raises "negative steps" (Invalid_argument "Ode.simulate: negative step count")
     (fun () -> ignore (Ode.simulate decay ~t0:0.0 ~x0:[| 1.0 |] ~dt:0.1 ~steps:(-1)))
@@ -150,6 +182,8 @@ let () =
           Alcotest.test_case "rk45 long-horizon oscillator" `Quick test_rk45_oscillator_long;
           Alcotest.test_case "rk45 adapts the step" `Quick test_rk45_adapts_step;
           Alcotest.test_case "resample" `Quick test_resample;
+          Alcotest.test_case "resample matches linear interpolation" `Quick
+            test_resample_linear_interp;
           QCheck_alcotest.to_alcotest prop_rk45_times_increase;
         ] );
     ]

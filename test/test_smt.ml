@@ -329,6 +329,91 @@ let test_solver_unbound_var_rejected () =
     (Invalid_argument "Solver.solve: variable y has no bounds") (fun () ->
       ignore (Solver.solve ~bounds:[ ("x", 0.0, 1.0) ] (Formula.le y (Expr.const 0.0))))
 
+let test_solver_duplicate_bounds_rejected () =
+  Alcotest.check_raises "duplicate bounds"
+    (Invalid_argument "Solver.solve: duplicate bounds for variable x") (fun () ->
+      ignore
+        (Solver.solve
+           ~bounds:[ ("x", 0.0, 1.0); ("y", 0.0, 1.0); ("x", -1.0, 0.0) ]
+           (Formula.le x y)))
+
+let test_solver_parallel_agreement () =
+  (* Verdicts must be independent of the job count: jobs=4 statically
+     splits the initial box into subboxes, and the Unsat/Delta_sat merge
+     must reproduce the sequential answer on every formula family. *)
+  let solve_jobs jobs bounds f =
+    fst (Solver.solve ~options:{ Solver.default_options with Solver.jobs } ~bounds f)
+  in
+  let circle_unsat =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.6);
+      ]
+  in
+  let circle_sat =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.3);
+      ]
+  in
+  let disjunct_unsat =
+    Formula.and_
+      [
+        Formula.or_ [ Formula.le x (Expr.const (-1.5)); Formula.ge x (Expr.const 1.5) ];
+        Formula.le (Expr.pow x 2) (Expr.const 1.0);
+      ]
+  in
+  let tanh_unsat = Formula.gt (Expr.tanh x) (Expr.const 1.01) in
+  let cases =
+    [
+      ("circle unsat", bounds2, circle_unsat);
+      ("circle sat", bounds2, circle_sat);
+      ("disjunction unsat", [ ("x", -2.0, 2.0) ], disjunct_unsat);
+      ("tanh unsat", [ ("x", -100.0, 100.0) ], tanh_unsat);
+    ]
+  in
+  List.iter
+    (fun (name, bounds, f) ->
+      match (solve_jobs 1 bounds f, solve_jobs 4 bounds f) with
+      | Solver.Unsat, Solver.Unsat -> ()
+      | Solver.Delta_sat w1, Solver.Delta_sat w4 ->
+        (* Witnesses may differ across job counts, but both must satisfy
+           the δ-weakened formula. *)
+        Alcotest.(check bool)
+          (name ^ ": sequential witness delta-holds")
+          true
+          (Formula.holds_delta 1e-2 w1 f);
+        Alcotest.(check bool)
+          (name ^ ": parallel witness delta-holds")
+          true
+          (Formula.holds_delta 1e-2 w4 f)
+      | v1, v4 ->
+        let s = function
+          | Solver.Unsat -> "unsat"
+          | Solver.Delta_sat _ -> "delta-sat"
+          | Solver.Unknown -> "unknown"
+        in
+        Alcotest.failf "%s: jobs=1 gives %s but jobs=4 gives %s" name (s v1) (s v4))
+    cases
+
+let test_solver_parallel_stats_merged () =
+  (* Parallel runs must still account every branch: the merged stats of a
+     jobs=4 refutation cover all subboxes, so the count is positive and at
+     least the per-subbox minimum of one visit each. *)
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.6);
+      ]
+  in
+  let opts = { Solver.default_options with Solver.jobs = 4 } in
+  let verdict, st = Solver.solve ~options:opts ~bounds:bounds2 f in
+  expect_unsat "parallel circle" verdict;
+  Alcotest.(check bool) "branches accounted" true (st.Solver.branches >= 4)
+
 let test_solver_mvf_ablation () =
   (* Mean-value-form bounds must preserve verdicts and reduce branching on
      smooth tight-margin queries. *)
@@ -455,6 +540,11 @@ let () =
           Alcotest.test_case "cancellation stop" `Quick test_solver_cancellation;
           Alcotest.test_case "shared branch pool" `Quick test_solver_branch_pool;
           Alcotest.test_case "unbound var rejected" `Quick test_solver_unbound_var_rejected;
+          Alcotest.test_case "duplicate bounds rejected" `Quick
+            test_solver_duplicate_bounds_rejected;
+          Alcotest.test_case "parallel verdict agreement" `Quick
+            test_solver_parallel_agreement;
+          Alcotest.test_case "parallel stats merged" `Quick test_solver_parallel_stats_merged;
           Alcotest.test_case "universal prove wrapper" `Quick test_prove_universal;
           Alcotest.test_case "forward-only ablation" `Quick test_solver_forward_only_ablation;
           Alcotest.test_case "mean-value-form ablation" `Quick test_solver_mvf_ablation;
