@@ -23,31 +23,54 @@ let interval_eval_test width =
     ~name:(Printf.sprintf "interval_eval_nn_%d" width)
     (Staged.stage (fun () -> ignore (Expr.ieval box expr)))
 
-let hc4_revise_test width =
+let tape_interval_eval_test width =
+  let net = Bench_common.controller_for width in
+  let expr = Error_dynamics.symbolic_controller net in
+  let index_of v = if String.equal v Error_dynamics.var_derr then 0 else 1 in
+  let tape = Tape.compile ~index_of { Formula.expr; rel = Formula.Le0 } in
+  let bufs = Tape.make_buffers tape in
+  let domains = [| Interval.make (-5.0) 5.0; Interval.make (-1.5) 1.5 |] in
+  Test.make
+    ~name:(Printf.sprintf "tape_interval_eval_nn_%d" width)
+    (Staged.stage (fun () -> ignore (Tape.forward tape bufs domains)))
+
+(* The Lie-derivative atom (the biggest expression in condition (5)), not
+   one of the small box-membership atoms. *)
+let lie_atom width =
   let net = Bench_common.controller_for width in
   let system = Case_study.system_of_network net in
   let config = Engine.default_config in
   let template = Template.make Template.Quadratic system.Engine.vars in
   let cert = { Engine.template; coeffs = [| 0.6; 1.0; 1.0 |]; level = 0.0 } in
   let formula = Engine.condition5_formula system config cert in
-  (* Pick the Lie-derivative atom (the biggest expression), not one of the
-     small box-membership atoms. *)
-  let atom =
-    match Formula.to_dnf formula with
-    | conj :: _ ->
-      List.fold_left
-        (fun best a ->
-          if Expr.size a.Formula.expr > Expr.size best.Formula.expr then a else best)
-        (List.hd conj) conj
-    | [] -> assert false
-  in
-  let index_of v = if String.equal v Error_dynamics.var_derr then 0 else 1 in
+  match Formula.to_dnf formula with
+  | conj :: _ ->
+    List.fold_left
+      (fun best a ->
+        if Expr.size a.Formula.expr > Expr.size best.Formula.expr then a else best)
+      (List.hd conj) conj
+  | [] -> assert false
+
+let index_of v = if String.equal v Error_dynamics.var_derr then 0 else 1
+
+let hc4_revise_test width =
+  let atom = lie_atom width in
   let compiled = Hc4.compile ~index_of atom in
   Test.make
     ~name:(Printf.sprintf "hc4_revise_%d" width)
     (Staged.stage (fun () ->
          let domains = [| Interval.make (-5.0) 5.0; Interval.make (-1.5) 1.5 |] in
          try ignore (Hc4.revise domains compiled) with Hc4.Empty_box -> ()))
+
+let tape_revise_test width =
+  let atom = lie_atom width in
+  let tape = Tape.compile ~index_of atom in
+  let bufs = Tape.make_buffers tape in
+  Test.make
+    ~name:(Printf.sprintf "tape_revise_%d" width)
+    (Staged.stage (fun () ->
+         let domains = [| Interval.make (-5.0) 5.0; Interval.make (-1.5) 1.5 |] in
+         try ignore (Tape.revise tape bufs domains) with Tape.Empty_box -> ()))
 
 let lp_solve_test () =
   (* A fixed mid-size synthesis-shaped LP. *)
@@ -88,8 +111,12 @@ let run () =
         nn_forward_test 1000;
         interval_eval_test 10;
         interval_eval_test 100;
+        tape_interval_eval_test 10;
+        tape_interval_eval_test 100;
         hc4_revise_test 10;
         hc4_revise_test 100;
+        tape_revise_test 10;
+        tape_revise_test 100;
         lp_solve_test ();
         rk4_trace_test ();
       ]

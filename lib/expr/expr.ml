@@ -65,9 +65,14 @@ let div a b =
 
 let pow e n =
   match (e, n) with
-  | Const x, _ -> Const (x ** float_of_int n)
   | _, 0 -> one
   | _, 1 -> e
+  | Const x, _ ->
+    (* Only fold finite results: e.g. 0^(-1) evaluates pointwise to
+       infinity but its interval semantics is the empty set, so folding it
+       to [Const infinity] would change the solver's answer. *)
+    let r = x ** float_of_int n in
+    if Float.is_finite r then Const r else Pow (e, n)
   | _ -> Pow (e, n)
 
 let sin = function Const x -> Const (Stdlib.sin x) | e -> Sin e

@@ -101,7 +101,7 @@ let even_preimage current root_pos =
   let neg = Interval.meet current (Interval.neg root_pos) in
   Interval.hull pos neg
 
-let rec bwd domains node required =
+let rec bwd domains changed node required =
   let r = Interval.meet node.ival required in
   if Interval.is_empty r then raise Empty_box;
   node.ival <- r;
@@ -110,22 +110,27 @@ let rec bwd domains node required =
   | NVar i ->
     let d = Interval.meet domains.(i) r in
     if Interval.is_empty d then raise Empty_box;
-    domains.(i) <- d
+    (* The only write sites into [domains] — the dirty flag set here is
+       revise's change report, replacing a whole-array copy-and-rescan. *)
+    if not (Interval.equal d domains.(i)) then begin
+      domains.(i) <- d;
+      changed := true
+    end
   | NAdd (a, b) ->
-    bwd domains a (Interval.sub r b.ival);
-    bwd domains b (Interval.sub r a.ival)
+    bwd domains changed a (Interval.sub r b.ival);
+    bwd domains changed b (Interval.sub r a.ival)
   | NSub (a, b) ->
-    bwd domains a (Interval.add r b.ival);
-    bwd domains b (Interval.sub a.ival r)
+    bwd domains changed a (Interval.add r b.ival);
+    bwd domains changed b (Interval.sub a.ival r)
   | NMul (a, b) ->
     (* x*y = r: x ∈ r/y unless y may be 0, in which case div is already
        conservative (entire), yielding no contraction. *)
-    bwd domains a (Interval.div r b.ival);
-    bwd domains b (Interval.div r a.ival)
+    bwd domains changed a (Interval.div r b.ival);
+    bwd domains changed b (Interval.div r a.ival)
   | NDiv (a, b) ->
-    bwd domains a (Interval.mul r b.ival);
-    bwd domains b (Interval.div a.ival r)
-  | NNeg a -> bwd domains a (Interval.neg r)
+    bwd domains changed a (Interval.mul r b.ival);
+    bwd domains changed b (Interval.div a.ival r)
+  | NNeg a -> bwd domains changed a (Interval.neg r)
   | NPow (a, n) ->
     if n <= 0 then () (* pow 0 is constant; negative powers stay uncontracted *)
     else if n mod 2 = 0 then begin
@@ -138,7 +143,7 @@ let rec bwd domains node required =
           (if Interval.hi rpos = infinity then infinity
            else Float.succ (Interval.hi rpos ** (1.0 /. float_of_int n)))
       in
-      bwd domains a (even_preimage a.ival root)
+      bwd domains changed a (even_preimage a.ival root)
     end
     else begin
       (* Odd power: monotone inverse via signed root. *)
@@ -152,37 +157,35 @@ let rec bwd domains node required =
       let lo = signed_root (Interval.lo r) and hi = signed_root (Interval.hi r) in
       let widen_lo = if Float.is_finite lo then Float.pred (Float.pred lo) else lo in
       let widen_hi = if Float.is_finite hi then Float.succ (Float.succ hi) else hi in
-      bwd domains a (Interval.make widen_lo widen_hi)
+      bwd domains changed a (Interval.make widen_lo widen_hi)
     end
   | NSin a ->
     (* Invert only within the principal monotone branch; otherwise leave
        the child unconstrained (sound, weaker). *)
     let half_pi = Float.pi /. 2.0 in
     if Interval.lo a.ival >= -.half_pi && Interval.hi a.ival <= half_pi then
-      bwd domains a (Interval.asin r)
+      bwd domains changed a (Interval.asin r)
   | NCos a ->
     if Interval.lo a.ival >= 0.0 && Interval.hi a.ival <= Float.pi then
-      bwd domains a (Interval.acos r)
-  | NAtan a -> bwd domains a (Interval.tan_principal r)
-  | NExp a -> bwd domains a (Interval.log r)
-  | NLog a -> bwd domains a (Interval.exp r)
-  | NTanh a -> bwd domains a (Interval.atanh r)
-  | NSigmoid a -> bwd domains a (Interval.logit r)
+      bwd domains changed a (Interval.acos r)
+  | NAtan a -> bwd domains changed a (Interval.tan_principal r)
+  | NExp a -> bwd domains changed a (Interval.log r)
+  | NLog a -> bwd domains changed a (Interval.exp r)
+  | NTanh a -> bwd domains changed a (Interval.atanh r)
+  | NSigmoid a -> bwd domains changed a (Interval.logit r)
   | NSqrt a ->
     let rpos = Interval.meet r (Interval.make 0.0 infinity) in
     if Interval.is_empty rpos then raise Empty_box;
-    bwd domains a (Interval.sqr rpos)
+    bwd domains changed a (Interval.sqr rpos)
   | NAbs a ->
     let rpos = Interval.meet r (Interval.make 0.0 infinity) in
     if Interval.is_empty rpos then raise Empty_box;
-    bwd domains a (even_preimage a.ival rpos)
+    bwd domains changed a (even_preimage a.ival rpos)
 
 let revise domains c =
-  let before = Array.copy domains in
   let root_ival = fwd domains c.root in
   let required = Interval.meet root_ival (target_interval c.rel) in
   if Interval.is_empty required then raise Empty_box;
-  bwd domains c.root required;
   let changed = ref false in
-  Array.iteri (fun i d -> if not (Interval.equal d before.(i)) then changed := true) domains;
+  bwd domains changed c.root required;
   !changed

@@ -11,6 +11,8 @@ type stats = {
 
 type branching = Widest | Smear
 
+type engine = Tree_eval | Tape_eval
+
 type options = {
   delta : float;
   max_branches : int;
@@ -18,6 +20,7 @@ type options = {
   branching : branching;
   use_mvf : bool;
   jobs : int;
+  engine : engine;
 }
 
 let default_options =
@@ -28,6 +31,7 @@ let default_options =
     branching = Smear;
     use_mvf = true;
     jobs = 1;
+    engine = Tape_eval;
   }
 
 type search_state = {
@@ -36,6 +40,61 @@ type search_state = {
   mutable hc4_calls : int;
   mutable max_depth : int;
 }
+
+(* Per-task runtime view of one atom: the search below is written against
+   this record only, so the compiled-tape engine and the tree-walking
+   oracle engine are interchangeable (and differentially testable).  The
+   closures own whatever mutable evaluation state the engine needs, which
+   is why an [atom_rt] must not be shared across tasks — only the
+   immutable artifacts behind it (tapes, prepared partial exprs) are. *)
+type atom_rt = {
+  atom : Formula.atom;
+  size : int;  (* Expr.size of the atom, for the smear-atom choice *)
+  n_partials : int;
+  revise : Interval.t array -> bool;  (* raises Hc4.Empty_box / Tape.Empty_box *)
+  forward : Interval.t array -> Interval.t;
+  certainly_true : Interval.t array -> bool;
+  partials_fwd : Interval.t array -> Interval.t array;
+      (* gradient enclosures over the box, indexed by variable *)
+  eval_mid : float array -> float;  (* point evaluation, indexed by variable *)
+}
+
+let tape_rt ((a : Formula.atom), tape) =
+  let b = Tape.make_buffers tape in
+  let n_partials = Tape.n_partials tape in
+  {
+    atom = a;
+    size = Expr.size a.Formula.expr;
+    n_partials;
+    revise = (fun domains -> Tape.revise tape b domains);
+    forward = (fun domains -> Tape.forward tape b domains);
+    certainly_true = (fun domains -> Tape.certainly_true tape b domains);
+    partials_fwd =
+      (fun domains ->
+        (* One fused sweep evaluates the primal and every partial, sharing
+           all common nodes. *)
+        ignore (Tape.forward_all tape b domains : Interval.t);
+        Array.init n_partials (Tape.partial_ival tape b));
+    eval_mid = (fun x -> Tape.eval_point tape b x);
+  }
+
+let tree_rt ~index_of ((a : Formula.atom), partial_exprs) =
+  let c = Hc4.compile ~index_of a in
+  let cps =
+    Array.map
+      (fun p -> Hc4.compile ~index_of { Formula.expr = p; rel = Formula.Le0 })
+      partial_exprs
+  in
+  {
+    atom = a;
+    size = Expr.size a.Formula.expr;
+    n_partials = Array.length cps;
+    revise = (fun domains -> Hc4.revise domains c);
+    forward = (fun domains -> Hc4.forward domains c);
+    certainly_true = (fun domains -> Hc4.certainly_true domains c);
+    partials_fwd = (fun domains -> Array.map (Hc4.forward domains) cps);
+    eval_mid = (fun x -> Expr.eval (fun v -> x.(index_of v)) a.Formula.expr);
+  }
 
 (* Atom satisfiable somewhere in the box, from the forward enclosure alone. *)
 let possibly_sat (atom : Formula.atom) ival =
@@ -50,7 +109,7 @@ exception Pruned
 (* Contract [domains] in place to a fixpoint of HC4 over all atoms; raises
    Pruned on emptiness.  In forward-only mode (ablation A2) no contraction
    happens, only infeasibility detection. *)
-let contract ~opts st domains compiled_atoms =
+let contract ~opts st domains rts =
   if opts.use_backward then begin
     let rounds = ref 0 in
     let continue_ = ref true in
@@ -58,30 +117,26 @@ let contract ~opts st domains compiled_atoms =
       incr rounds;
       let changed = ref false in
       List.iter
-        (fun (_, c, _) ->
+        (fun rt ->
           st.hc4_calls <- st.hc4_calls + 1;
-          match Hc4.revise domains c with
+          match rt.revise domains with
           | did -> if did then changed := true
-          | exception Hc4.Empty_box -> raise Pruned)
-        compiled_atoms;
+          | exception (Hc4.Empty_box | Tape.Empty_box) -> raise Pruned)
+        rts;
       continue_ := !changed
     done
   end
   else
     List.iter
-      (fun (atom, c, _) ->
+      (fun rt ->
         st.hc4_calls <- st.hc4_calls + 1;
-        let ival = Hc4.forward domains c in
-        if not (possibly_sat atom ival) then raise Pruned)
-      compiled_atoms
+        let ival = rt.forward domains in
+        if not (possibly_sat rt.atom ival) then raise Pruned)
+      rts
 
-let midpoint_assignment names domains =
-  Array.to_list (Array.mapi (fun i n -> (n, Interval.midpoint domains.(i))) names)
-
-let atom_holds_delta delta env (atom : Formula.atom) =
-  let v = Expr.eval_env env atom.expr in
+let holds_delta delta rel v =
   Float.is_finite v
-  && (match atom.rel with Formula.Le0 | Formula.Lt0 -> v <= delta | Formula.Eq0 -> Float.abs v <= delta)
+  && (match rel with Formula.Le0 | Formula.Lt0 -> v <= delta | Formula.Eq0 -> Float.abs v <= delta)
 
 (* Decide one DNF disjunct (a conjunction of atoms) by branch-and-prune.
    Returns a witness option; Unknown is signalled by exception. *)
@@ -103,94 +158,72 @@ let prepare_atoms names atoms =
       (a, partials))
     atoms
 
-let solve_conjunction ~opts ~budget st ~index_of names prepared initial =
-  (* HC4-compiled nodes carry mutable interval scratch state, so every
-     search (hence every parallel task) compiles its own copies; only the
-     symbolic preparation above is shared. *)
-  let compiled_atoms =
-    List.map
-      (fun ((a : Formula.atom), partial_exprs) ->
-        let compiled_partials =
-          Array.map
-            (fun p -> Hc4.compile ~index_of { Formula.expr = p; rel = Formula.Le0 })
-            partial_exprs
-        in
-        (a, Hc4.compile ~index_of a, compiled_partials))
-      prepared
-  in
-  let atoms = List.map fst prepared in
+let solve_conjunction ~opts ~budget st names rts initial =
   (* Mean-value form of an atom over the current box:
      e(x) ∈ e(mid) + Σᵢ ∂e/∂xᵢ(box)·(xᵢ − midᵢ), with a relative fudge for
      the float evaluation of e(mid).  Returns None when midpoint evaluation
      or a gradient enclosure is unusable. *)
-  let mvf_bounds domains (atom : Formula.atom) partials =
-    if Array.length partials = 0 then None
+  let mvf_bounds domains rt =
+    if rt.n_partials = 0 then None
     else begin
       let mid = Array.map Interval.midpoint domains in
-      let lookup v = mid.(index_of v) in
-      let e_mid = Expr.eval lookup atom.Formula.expr in
+      let e_mid = rt.eval_mid mid in
       if not (Float.is_finite e_mid) then None
       else begin
+        let grads = rt.partials_fwd domains in
         let rad = ref 0.0 in
-        (try
-           Array.iteri
-             (fun i c ->
-               let w = Interval.width domains.(i) in
-               if w > 0.0 then begin
-                 let grad = Hc4.forward domains c in
-                 if Interval.is_empty grad then raise Exit;
-                 let mag = Float.max (Float.abs (Interval.lo grad)) (Float.abs (Interval.hi grad)) in
-                 if not (Float.is_finite mag) then raise Exit;
-                 rad := !rad +. (mag *. 0.5 *. w)
-               end)
-             partials;
-           let fudge = 1e-9 *. (1.0 +. Float.abs e_mid) in
-           Some (e_mid -. !rad -. fudge, e_mid +. !rad +. fudge)
-         with Exit -> None)
+        try
+          Array.iteri
+            (fun i grad ->
+              let w = Interval.width domains.(i) in
+              if w > 0.0 then begin
+                if Interval.is_empty grad then raise Exit;
+                let mag = Float.max (Float.abs (Interval.lo grad)) (Float.abs (Interval.hi grad)) in
+                if not (Float.is_finite mag) then raise Exit;
+                rad := !rad +. (mag *. 0.5 *. w)
+              end)
+            grads;
+          let fudge = 1e-9 *. (1.0 +. Float.abs e_mid) in
+          Some (e_mid -. !rad -. fudge, e_mid +. !rad +. fudge)
+        with Exit -> None
       end
     end
   in
   (* MVF verdicts: atom certainly satisfied / certainly violated on the box. *)
-  let mvf_certainly_true domains (atom : Formula.atom) partials =
+  let mvf_certainly_true domains rt =
     opts.use_mvf
     &&
-    match mvf_bounds domains atom partials with
+    match mvf_bounds domains rt with
     | None -> false
     | Some (_, hi) -> (
-      match atom.Formula.rel with
+      match rt.atom.Formula.rel with
       | Formula.Le0 -> hi <= 0.0
       | Formula.Lt0 -> hi < 0.0
       | Formula.Eq0 -> false)
   in
-  let mvf_infeasible domains (atom : Formula.atom) partials =
+  let mvf_infeasible domains rt =
     opts.use_mvf
     &&
-    match mvf_bounds domains atom partials with
+    match mvf_bounds domains rt with
     | None -> false
     | Some (lo, hi) -> (
-      match atom.Formula.rel with
+      match rt.atom.Formula.rel with
       | Formula.Le0 | Formula.Lt0 -> lo > 0.0
       | Formula.Eq0 -> lo > 0.0 || hi < 0.0)
   in
-  let smear_partials =
+  let smear_rt =
     match opts.branching with
-    | Widest -> [||]
-    | Smear -> (
-      match
-        List.fold_left
-          (fun best (a, _, partials) ->
+    | Widest -> None
+    | Smear ->
+      List.fold_left
+        (fun best rt ->
+          if rt.n_partials = 0 then best
+          else begin
             match best with
-            | None -> if Array.length partials > 0 then Some (a, partials) else None
-            | Some (b, _) ->
-              if
-                Array.length partials > 0
-                && Expr.size a.Formula.expr > Expr.size b.Formula.expr
-              then Some (a, partials)
-              else best)
-          None compiled_atoms
-      with
-      | None -> [||]
-      | Some (_, partials) -> partials)
+            | None -> Some rt
+            | Some b -> if rt.size > b.size then Some rt else best
+          end)
+        None rts
   in
   let pick_split_var domains =
     let widest () =
@@ -205,14 +238,15 @@ let solve_conjunction ~opts ~budget st ~index_of names prepared initial =
         domains;
       !best
     in
-    if Array.length smear_partials = 0 then widest ()
-    else begin
+    match smear_rt with
+    | None -> widest ()
+    | Some rt ->
+      let grads = rt.partials_fwd domains in
       let best = ref (-1) and best_score = ref neg_infinity in
       Array.iteri
-        (fun i c ->
+        (fun i grad ->
           let w = Interval.width domains.(i) in
           if w > 0.0 then begin
-            let grad = Hc4.forward domains c in
             let mag =
               if Interval.is_empty grad then 0.0
               else Float.min 1e12 (Float.max (Float.abs (Interval.lo grad)) (Float.abs (Interval.hi grad)))
@@ -223,9 +257,8 @@ let solve_conjunction ~opts ~budget st ~index_of names prepared initial =
               best_score := score
             end
           end)
-        smear_partials;
+        grads;
       if !best < 0 then widest () else !best
-    end
   in
   let stack = ref [ (Array.copy initial, 0) ] in
   let result = ref None in
@@ -246,23 +279,21 @@ let solve_conjunction ~opts ~budget st ~index_of names prepared initial =
          | Some s -> raise (Budget_exhausted s)
          | None -> ());
          if depth > st.max_depth then st.max_depth <- depth;
-         (match contract ~opts st domains compiled_atoms with
+         (match contract ~opts st domains rts with
          | () ->
-           if
-             List.exists
-               (fun (atom, _, partials) -> mvf_infeasible domains atom partials)
-               compiled_atoms
-           then st.prunes <- st.prunes + 1
+           if List.exists (mvf_infeasible domains) rts then st.prunes <- st.prunes + 1
            else begin
-           let mid = midpoint_assignment names domains in
+           let mid = Array.map Interval.midpoint domains in
            let all_true =
              List.for_all
-               (fun (atom, c, partials) ->
-                 Hc4.certainly_true domains c || mvf_certainly_true domains atom partials)
-               compiled_atoms
+               (fun rt -> rt.certainly_true domains || mvf_certainly_true domains rt)
+               rts
            in
            if all_true then result := Some mid
-           else if List.for_all (atom_holds_delta opts.delta mid) atoms
+           else if
+             List.for_all
+               (fun rt -> holds_delta opts.delta rt.atom.Formula.rel (rt.eval_mid mid))
+               rts
            then result := Some mid
            else begin
              let max_w =
@@ -282,7 +313,9 @@ let solve_conjunction ~opts ~budget st ~index_of names prepared initial =
          | exception Pruned -> st.prunes <- st.prunes + 1)
      done
   end;
-  match !result with Some w -> Delta_sat w | None -> Unsat
+  match !result with
+  | Some mid -> Delta_sat (Array.to_list (Array.mapi (fun i n -> (n, mid.(i))) names))
+  | None -> Unsat
 
 (* Split a box into [2^k] subboxes by repeatedly bisecting each piece's
    widest dimension — the static domain decomposition behind parallel
@@ -322,7 +355,24 @@ let splits_for jobs =
    the verdict to Unknown exactly as in the sequential search. *)
 let solve_conjunction_par ~opts ~budget st ~index_of names initial atoms =
   let prepared = prepare_atoms names atoms in
-  if opts.jobs <= 1 then solve_conjunction ~opts ~budget st ~index_of names prepared initial
+  (* Engine split.  Tape: each atom (with its partials) is compiled ONCE
+     per solve call — the tapes are immutable and shared by every parallel
+     task, which only allocates its own evaluation buffers.  Tree: the
+     HC4 nodes carry mutable interval scratch state, so every task must
+     compile private copies (the pre-tape behaviour, kept as the
+     differential-testing oracle). *)
+  let make_rts =
+    match opts.engine with
+    | Tape_eval ->
+      let tapes =
+        List.map
+          (fun ((a : Formula.atom), partials) -> (a, Tape.compile ~index_of ~partials a))
+          prepared
+      in
+      fun () -> List.map tape_rt tapes
+    | Tree_eval -> fun () -> List.map (tree_rt ~index_of) prepared
+  in
+  if opts.jobs <= 1 then solve_conjunction ~opts ~budget st names (make_rts ()) initial
   else begin
     let boxes = Array.of_list (split_box (splits_for opts.jobs) initial) in
     let sw = Budget.switch () in
@@ -330,7 +380,7 @@ let solve_conjunction_par ~opts ~budget st ~index_of names initial atoms =
     let run box =
       let st_l = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
       let outcome =
-        match solve_conjunction ~opts ~budget:task_budget st_l ~index_of names prepared box with
+        match solve_conjunction ~opts ~budget:task_budget st_l names (make_rts ()) box with
         | Delta_sat w ->
           Budget.fire sw;
           `Sat w

@@ -38,6 +38,16 @@ type branching = Widest  (** bisect the widest variable *) | Smear
           the hardest atom (dReal's smear heuristic) — markedly better on
           higher-dimensional queries *)
 
+type engine = Tree_eval
+      (** recursive evaluation/contraction over expression trees (the
+          original engine) — kept as the differential-testing oracle *)
+  | Tape_eval
+      (** hash-consed DAG compiled to a flat SSA tape: shared subterms are
+          evaluated (and HC4-contracted) once, evaluation state lives in
+          preallocated unboxed float buffers, and each disjunct is compiled
+          once per [solve] call and shared across parallel tasks.  Same
+          enclosures and verdicts as [Tree_eval], faster. *)
+
 type options = {
   delta : float;  (** box-size threshold for δ-sat answers, default 1e-3 *)
   max_branches : int;  (** search budget per disjunct, default 200_000 *)
@@ -59,6 +69,11 @@ type options = {
           sat/unsat verdict is independent of [jobs]; only the choice of
           witness (among equally valid ones) and the stats may vary.  Each
           subbox search gets the full [max_branches] bound. *)
+  engine : engine;
+      (** evaluation/contraction engine, default [Tape_eval].  Verdicts are
+          engine-independent on any query where both engines decide (the
+          tape contracts at least as tightly, so it can only decide more
+          boxes per branch). *)
 }
 
 val default_options : options

@@ -23,6 +23,25 @@ let test_constant_folding () =
   | Const 0.0 -> ()
   | e -> Alcotest.failf "expected Const 0, got %s" (to_string e))
 
+let test_pow_nonfinite_fold_guard () =
+  let open Expr in
+  (* 0^(-1) evaluates pointwise to infinity but denotes the empty set in
+     interval semantics: folding it to [Const infinity] would turn an
+     infeasible constraint into a satisfiable one.  Non-finite results must
+     stay symbolic; finite ones still fold. *)
+  (match pow (const 0.0) (-1) with
+  | Pow (Const 0.0, -1) -> ()
+  | e -> Alcotest.failf "0^(-1) must stay symbolic, got %s" (to_string e));
+  (match pow (const 1e300) 2 with
+  | Pow (Const 1e300, 2) -> ()
+  | e -> Alcotest.failf "overflowing fold must stay symbolic, got %s" (to_string e));
+  (match pow (const 2.0) 3 with
+  | Const 8.0 -> ()
+  | e -> Alcotest.failf "finite fold expected Const 8, got %s" (to_string e));
+  (* The unfolded form keeps the sound interval semantics. *)
+  Alcotest.(check bool) "0^(-1) interval-empty" true
+    (Interval.is_empty (ieval (fun _ -> Interval.of_float 0.0) (pow (const 0.0) (-1))))
+
 let test_identities () =
   let open Expr in
   Alcotest.(check bool) "x + 0 = x" true (equal (d + zero) d);
@@ -263,6 +282,7 @@ let () =
       ( "construction",
         [
           Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "non-finite pow fold guard" `Quick test_pow_nonfinite_fold_guard;
           Alcotest.test_case "algebraic identities" `Quick test_identities;
           Alcotest.test_case "dot product" `Quick test_dot;
         ] );

@@ -135,6 +135,19 @@ let test_hc4_certainly_true () =
   let c2 = compile_atom [ "x" ] (atom_of (Formula.le (Expr.pow x 2) (Expr.const 1.0))) in
   Alcotest.(check bool) "not certain" false (Hc4.certainly_true domains c2)
 
+let test_hc4_change_reporting () =
+  (* revise's change report is a dirty flag set at the domain write sites;
+     it must be true exactly when a domain narrowed.  A second pass from
+     the fixpoint must report no change (the pre-flag implementation
+     rescanned a copied array — keep its semantics). *)
+  let c = compile_atom [ "x"; "y" ] (atom_of (Formula.le (Expr.( + ) x y) (Expr.const 0.0))) in
+  let domains = [| Interval.make 2.0 10.0; Interval.make (-100.0) 100.0 |] in
+  Alcotest.(check bool) "first pass narrows" true (Hc4.revise domains c);
+  Alcotest.(check bool) "fixpoint reports no change" false (Hc4.revise domains c);
+  (* A constraint already slack on the whole box never reports a change. *)
+  let slack = compile_atom [ "x"; "y" ] (atom_of (Formula.le x (Expr.const 50.0))) in
+  Alcotest.(check bool) "slack constraint no change" false (Hc4.revise domains slack)
+
 let prop_hc4_sound =
   (* HC4 never removes points that satisfy the constraint. *)
   QCheck.Test.make ~name:"HC4 contraction keeps all solutions" ~count:300
@@ -525,6 +538,7 @@ let () =
           Alcotest.test_case "empty detection" `Quick test_hc4_empty;
           Alcotest.test_case "tanh inversion" `Quick test_hc4_tanh_inversion;
           Alcotest.test_case "certainly true" `Quick test_hc4_certainly_true;
+          Alcotest.test_case "change reporting" `Quick test_hc4_change_reporting;
           QCheck_alcotest.to_alcotest prop_hc4_sound;
         ] );
       ( "solver",

@@ -1,0 +1,367 @@
+(* Tests for the compiled-tape pipeline: hash-consed DAG construction,
+   tape/tree evaluation parity, tape HC4 soundness and tightness versus the
+   tree contractor, the solver's compile-once-per-disjunct contract, and
+   tree/tape engine verdict agreement (including the Dubins barrier
+   conditions). *)
+
+let x = Expr.var "x"
+
+let y = Expr.var "y"
+
+let index_of_xy v =
+  if String.equal v "x" then 0
+  else if String.equal v "y" then 1
+  else Alcotest.failf "unexpected variable %s" v
+
+let atom_of f =
+  match f with Formula.Atom a -> a | _ -> Alcotest.fail "expected atom"
+
+(* --- DAG --------------------------------------------------------------- *)
+
+let test_dag_cse () =
+  (* tanh(x+y) occurs three times in the tree but must be one DAG node. *)
+  let s = Expr.tanh (Expr.( + ) x y) in
+  let e = Expr.( + ) (Expr.( * ) s s) s in
+  let pool = Dag.create () in
+  let root = Dag.intern pool e in
+  (* Distinct subterms: x, y, x+y, tanh, tanh*tanh, +root — 6 nodes versus
+     a tree size of 11. *)
+  Alcotest.(check int) "node count" 6 (Dag.node_count pool);
+  Alcotest.(check bool) "smaller than tree" true (Dag.node_count pool < Expr.size e);
+  (* Re-interning is a no-op returning the same id. *)
+  Alcotest.(check int) "stable id" root (Dag.intern pool e);
+  Alcotest.(check int) "no growth" 6 (Dag.node_count pool);
+  (* Shared subterm resolves to one id from either path. *)
+  Alcotest.(check int) "shared id" (Dag.intern pool s) (Dag.intern pool (Expr.tanh (Expr.( + ) x y)))
+
+let test_dag_topological () =
+  let e = Expr.( * ) (Expr.sin (Expr.( + ) x y)) (Expr.( + ) x (Expr.tanh y)) in
+  let pool = Dag.create () in
+  ignore (Dag.intern pool e : int);
+  Array.iteri
+    (fun id op ->
+      let check o = Alcotest.(check bool) "operand before node" true (o < id) in
+      match op with
+      | Dag.Const _ | Dag.Var _ -> ()
+      | Dag.Add (a, b) | Dag.Sub (a, b) | Dag.Mul (a, b) | Dag.Div (a, b) ->
+        check a;
+        check b
+      | Dag.Neg a | Dag.Pow (a, _) | Dag.Sin a | Dag.Cos a | Dag.Atan a
+      | Dag.Exp a | Dag.Log a | Dag.Tanh a | Dag.Sigmoid a | Dag.Sqrt a
+      | Dag.Abs a ->
+        check a)
+    (Dag.ops pool)
+
+let test_dag_zero_signs_distinct () =
+  (* 0. and -0. compare structurally equal but divide differently; the
+     const table keys by bit pattern to keep them apart. *)
+  let pool = Dag.create () in
+  let a = Dag.intern pool (Expr.Const 0.0) and b = Dag.intern pool (Expr.Const (-0.0)) in
+  Alcotest.(check bool) "distinct nodes" true (a <> b)
+
+let test_dag_partials_share_primal () =
+  (* Derivatives of a controller re-mention tanh(net_i): interning them
+     into the primal's pool must reuse those nodes wholesale. *)
+  let net = Case_study.controller_of_width 10 in
+  let e = Error_dynamics.symbolic_controller net in
+  let dd = Expr.diff Error_dynamics.var_derr e
+  and dt = Expr.diff Error_dynamics.var_theta_err e in
+  let pool = Dag.create () in
+  ignore (Dag.intern pool e : int);
+  let primal_nodes = Dag.node_count pool in
+  ignore (Dag.intern pool dd : int);
+  ignore (Dag.intern pool dt : int);
+  let total = Dag.node_count pool in
+  let tree_total = Expr.size e + Expr.size dd + Expr.size dt in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared: %d dag nodes (primal %d) vs %d tree nodes" total primal_nodes
+       tree_total)
+    true
+    (total < tree_total)
+
+(* --- Random expressions with forced shared subterms -------------------- *)
+
+(* The [shared] argument is spliced in at the leaves, so the generated tree
+   mentions it several times — exactly the structural sharing the tape is
+   supposed to exploit (and the tree engine re-evaluates). *)
+let gen_expr rng depth =
+  let shared =
+    match Rng.int rng 3 with
+    | 0 -> Expr.tanh (Expr.( + ) x y)
+    | 1 -> Expr.( * ) x y
+    | _ -> Expr.sin (Expr.( - ) x y)
+  in
+  let rec gen depth =
+    if depth = 0 then begin
+      match Rng.int rng 5 with
+      | 0 -> x
+      | 1 -> y
+      | 2 | 3 -> shared
+      | _ -> Expr.const (Rng.uniform rng (-2.0) 2.0)
+    end
+    else begin
+      match Rng.int rng 11 with
+      | 0 -> Expr.( + ) (gen (depth - 1)) (gen (depth - 1))
+      | 1 -> Expr.( - ) (gen (depth - 1)) (gen (depth - 1))
+      | 2 -> Expr.( * ) (gen (depth - 1)) (gen (depth - 1))
+      | 3 -> Expr.( / ) (gen (depth - 1)) (gen (depth - 1))
+      | 4 -> Expr.sin (gen (depth - 1))
+      | 5 -> Expr.tanh (gen (depth - 1))
+      | 6 -> Expr.pow (gen (depth - 1)) 2
+      | 7 -> Expr.abs (gen (depth - 1))
+      | 8 -> Expr.sigmoid (gen (depth - 1))
+      | 9 -> Expr.exp (gen (depth - 1))
+      | _ -> Expr.neg (gen (depth - 1))
+    end
+  in
+  gen depth
+
+let compile_tape ?partials atom = Tape.compile ~index_of:index_of_xy ?partials atom
+
+let prop_point_eval_parity =
+  (* Tape point evaluation is the same float program as Expr.eval: results
+     must agree bit-for-bit (including non-finite outcomes). *)
+  QCheck.Test.make ~name:"tape point eval ≡ tree eval" ~count:500
+    QCheck.(pair (int_range 0 1_000_000) (pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0)))
+    (fun (seed, (px, py)) ->
+      let e = gen_expr (Rng.create seed) 4 in
+      let tree = Expr.eval_env [ ("x", px); ("y", py) ] e in
+      let tape = compile_tape { Formula.expr = e; rel = Formula.Le0 } in
+      let b = Tape.make_buffers tape in
+      let v = Tape.eval_point tape b [| px; py |] in
+      Int64.equal (Int64.bits_of_float tree) (Int64.bits_of_float v)
+      || (Float.is_nan tree && Float.is_nan v))
+
+let prop_interval_eval_parity =
+  (* The tape's forward kernels are transcriptions of Interval's, and CSE
+     cannot change a deterministic result — enclosures must be equal, which
+     subsumes the soundness requirement that the tape encloses the tree. *)
+  QCheck.Test.make ~name:"tape interval eval ≡ tree ieval" ~count:500
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let e = gen_expr rng 4 in
+      let dx = Interval.make (Rng.uniform rng (-3.0) 0.0) (Rng.uniform rng 0.0 3.0)
+      and dy = Interval.make (Rng.uniform rng (-3.0) 0.0) (Rng.uniform rng 0.0 3.0) in
+      let tree = Expr.ieval (fun v -> if String.equal v "x" then dx else dy) e in
+      let tape = compile_tape { Formula.expr = e; rel = Formula.Le0 } in
+      let b = Tape.make_buffers tape in
+      let tv = Tape.forward tape b [| dx; dy |] in
+      Interval.equal tree tv)
+
+let prop_tape_revise_sound =
+  (* Tape HC4 never removes points that satisfy the constraint. *)
+  QCheck.Test.make ~name:"tape HC4 keeps all solutions" ~count:300
+    QCheck.(pair (int_range 0 1_000_000) (pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0)))
+    (fun (seed, (px, py)) ->
+      let e = gen_expr (Rng.create seed) 3 in
+      let value = Expr.eval_env [ ("x", px); ("y", py) ] e in
+      if not (Float.is_finite value) then true
+      else begin
+        let atom = atom_of (Formula.le e (Expr.const (value +. 1.0))) in
+        let tape = compile_tape atom in
+        let b = Tape.make_buffers tape in
+        let domains = [| Interval.make (-3.0) 3.0; Interval.make (-3.0) 3.0 |] in
+        match Tape.revise tape b domains with
+        | _ -> Interval.mem px domains.(0) && Interval.mem py domains.(1)
+        | exception Tape.Empty_box -> false
+      end)
+
+let prop_tape_at_least_as_tight =
+  (* Shared-node contraction uses the meet of all parents' requirements, so
+     one tape pass must contract at least as much as one tree pass: tape
+     domains ⊆ tree domains, and a tree-detected empty box is also
+     tape-detected.  (The tape being *strictly* tighter, including pruning
+     boxes the tree keeps, is allowed and expected.) *)
+  QCheck.Test.make ~name:"tape HC4 at least as tight as tree HC4" ~count:300
+    QCheck.(pair (int_range 0 1_000_000) (pair (float_range (-2.0) 2.0) small_nat))
+    (fun (seed, (c, rel_pick)) ->
+      let e = gen_expr (Rng.create seed) 3 in
+      let rhs = Expr.const c in
+      let atom =
+        atom_of
+          (match rel_pick mod 3 with
+          | 0 -> Formula.le e rhs
+          | 1 -> Formula.lt e rhs
+          | _ -> Formula.eq e rhs)
+      in
+      let ctree = Hc4.compile ~index_of:index_of_xy atom in
+      let tape = compile_tape atom in
+      let b = Tape.make_buffers tape in
+      let dt = [| Interval.make (-3.0) 3.0; Interval.make (-3.0) 3.0 |] in
+      let dp = Array.copy dt in
+      let tree_alive = match Hc4.revise dt ctree with _ -> true | exception Hc4.Empty_box -> false in
+      let tape_alive = match Tape.revise tape b dp with _ -> true | exception Tape.Empty_box -> false in
+      if not tree_alive then not tape_alive
+      else
+        (not tape_alive)
+        || (Interval.subset dp.(0) dt.(0) && Interval.subset dp.(1) dt.(1)))
+
+(* --- NN export --------------------------------------------------------- *)
+
+let test_nn_tape_parity () =
+  (* The exported width-10 controller: point evaluation and interval
+     forward through the tape agree with the tree on random points/boxes. *)
+  let net = Case_study.controller_of_width 10 in
+  let e = Error_dynamics.symbolic_controller net in
+  let index_of v = if String.equal v Error_dynamics.var_derr then 0 else 1 in
+  let tape = Tape.compile ~index_of { Formula.expr = e; rel = Formula.Le0 } in
+  let b = Tape.make_buffers tape in
+  let rng = Rng.create 42 in
+  for _ = 1 to 100 do
+    let d = Rng.uniform rng (-5.0) 5.0 and t = Rng.uniform rng (-1.5) 1.5 in
+    let tree = Expr.eval_env [ (Error_dynamics.var_derr, d); (Error_dynamics.var_theta_err, t) ] e in
+    let tv = Tape.eval_point tape b [| d; t |] in
+    if not (Int64.equal (Int64.bits_of_float tree) (Int64.bits_of_float tv)) then
+      Alcotest.failf "point eval diverges at (%g, %g): %h vs %h" d t tree tv
+  done;
+  for _ = 1 to 50 do
+    let lo = Rng.uniform rng (-5.0) 0.0 in
+    let dd = Interval.make lo (Rng.uniform rng lo 5.0) in
+    let lo2 = Rng.uniform rng (-1.5) 0.0 in
+    let tt = Interval.make lo2 (Rng.uniform rng lo2 1.5) in
+    let tree =
+      Expr.ieval (fun v -> if String.equal v Error_dynamics.var_derr then dd else tt) e
+    in
+    let tv = Tape.forward tape b [| dd; tt |] in
+    if not (Interval.equal tree tv) then
+      Alcotest.failf "interval eval diverges: %s vs %s" (Interval.to_string tree)
+        (Interval.to_string tv)
+  done;
+  (* CSE must make the compiled program strictly smaller than the tree. *)
+  Alcotest.(check bool) "tape smaller than tree" true (Tape.node_count tape < Expr.size e)
+
+(* --- Solver integration ------------------------------------------------ *)
+
+let circle_conjunction =
+  Formula.and_
+    [
+      Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+      Formula.ge (Expr.( + ) x y) (Expr.const 1.6);
+    ]
+
+let bounds2 = [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ]
+
+let test_compile_once_per_disjunct () =
+  (* The tape engine compiles each disjunct's atoms once per solve call;
+     parallel search must not add per-task compiles (tasks share the tapes
+     and only allocate buffers). *)
+  let compiles_for jobs =
+    let before = Tape.compile_count () in
+    let options = { Solver.default_options with Solver.jobs } in
+    ignore (Solver.solve ~options ~bounds:bounds2 circle_conjunction);
+    Tape.compile_count () - before
+  in
+  let seq = compiles_for 1 in
+  let par = compiles_for 4 in
+  Alcotest.(check int) "one compile per atom (2 atoms, 1 disjunct)" 2 seq;
+  Alcotest.(check int) "parallel adds no compiles" seq par
+
+let test_tree_engine_still_available () =
+  (* The oracle engine must not compile tapes at all. *)
+  let before = Tape.compile_count () in
+  let options = { Solver.default_options with Solver.engine = Solver.Tree_eval } in
+  (match fst (Solver.solve ~options ~bounds:bounds2 circle_conjunction) with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "tree engine must refute the circle conjunction");
+  Alcotest.(check int) "no tape compiles" 0 (Tape.compile_count () - before)
+
+let verdict_name = function
+  | Solver.Unsat -> "unsat"
+  | Solver.Delta_sat _ -> "delta-sat"
+  | Solver.Unknown -> "unknown"
+
+let check_engines_agree name bounds f =
+  List.iter
+    (fun jobs ->
+      let run engine =
+        fst (Solver.solve ~options:{ Solver.default_options with Solver.engine; jobs } ~bounds f)
+      in
+      match (run Solver.Tree_eval, run Solver.Tape_eval) with
+      | Solver.Unsat, Solver.Unsat | Solver.Unknown, Solver.Unknown -> ()
+      | Solver.Delta_sat w1, Solver.Delta_sat w2 ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (jobs=%d): tree witness delta-holds" name jobs)
+          true (Formula.holds_delta 1e-2 w1 f);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (jobs=%d): tape witness delta-holds" name jobs)
+          true (Formula.holds_delta 1e-2 w2 f)
+      | v1, v2 ->
+        Alcotest.failf "%s (jobs=%d): tree gives %s but tape gives %s" name jobs
+          (verdict_name v1) (verdict_name v2))
+    [ 1; 4 ]
+
+let test_engine_agreement_formulas () =
+  let circle_sat =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.3);
+      ]
+  in
+  let disjunct_unsat =
+    Formula.and_
+      [
+        Formula.or_ [ Formula.le x (Expr.const (-1.5)); Formula.ge x (Expr.const 1.5) ];
+        Formula.le (Expr.pow x 2) (Expr.const 1.0);
+      ]
+  in
+  let trig = Formula.eq (Expr.sin x) (Expr.const 0.5) in
+  let tanh_unsat = Formula.gt (Expr.tanh x) (Expr.const 1.01) in
+  check_engines_agree "circle unsat" bounds2 circle_conjunction;
+  check_engines_agree "circle sat" bounds2 circle_sat;
+  check_engines_agree "disjunction" [ ("x", -2.0, 2.0) ] disjunct_unsat;
+  check_engines_agree "trig root" [ ("x", 0.0, 1.5707) ] trig;
+  check_engines_agree "tanh bound" [ ("x", -100.0, 100.0) ] tanh_unsat
+
+let test_engine_agreement_dubins () =
+  (* Smoke-sized Dubins barrier queries (the bench_par --smoke setup):
+     conditions (5), (6) and (7) must get the same verdict from both
+     engines at jobs 1 and 4. *)
+  let net = Case_study.reference_controller in
+  let system = Case_study.system_of_network net in
+  let config =
+    { Engine.default_config with Engine.safe_rect = [| (-1.2, 1.2); (-0.6, 0.6) |] }
+  in
+  let template = Template.make Template.Quadratic system.Engine.vars in
+  let cert = { Engine.template; coeffs = [| 1.0; 0.5; 2.0 |]; level = 0.0 } in
+  let bounds =
+    Array.to_list
+      (Array.mapi
+         (fun i v -> (v, fst config.Engine.safe_rect.(i), snd config.Engine.safe_rect.(i)))
+         system.Engine.vars)
+  in
+  List.iter
+    (fun (name, f) -> check_engines_agree name bounds f)
+    [
+      ("condition5", Engine.condition5_formula system config cert);
+      ("condition6", Engine.condition6_formula cert);
+      ("condition7", Engine.condition7_formula cert);
+    ]
+
+let () =
+  Alcotest.run "tape"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "cse dedup" `Quick test_dag_cse;
+          Alcotest.test_case "topological ids" `Quick test_dag_topological;
+          Alcotest.test_case "signed zeros distinct" `Quick test_dag_zero_signs_distinct;
+          Alcotest.test_case "partials share primal" `Quick test_dag_partials_share_primal;
+        ] );
+      ( "tape",
+        [
+          QCheck_alcotest.to_alcotest prop_point_eval_parity;
+          QCheck_alcotest.to_alcotest prop_interval_eval_parity;
+          QCheck_alcotest.to_alcotest prop_tape_revise_sound;
+          QCheck_alcotest.to_alcotest prop_tape_at_least_as_tight;
+          Alcotest.test_case "nn export parity" `Quick test_nn_tape_parity;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "compile once per disjunct" `Quick test_compile_once_per_disjunct;
+          Alcotest.test_case "tree engine available" `Quick test_tree_engine_still_available;
+          Alcotest.test_case "engine agreement (formulas)" `Quick test_engine_agreement_formulas;
+          Alcotest.test_case "engine agreement (dubins)" `Slow test_engine_agreement_dubins;
+        ] );
+    ]
