@@ -2,9 +2,14 @@
 
    Subcommands:
      verify    run the full barrier-certificate pipeline on a controller
+     export    verify and persist the certificate artifact to a store
+     check     independently audit a stored certificate artifact
      train     CMA-ES policy search for a path-following controller
      sweep     Table-1 style scaling sweep over hidden-layer widths
-     portrait  Figure-5 style phase-portrait data *)
+     portrait  Figure-5 style phase-portrait data
+
+   Exit codes (for CI/script gating): 0 success/proved/certified,
+   1 audit rejection, 2 verification failure, 3 deadline timeout. *)
 
 open Cmdliner
 
@@ -49,6 +54,13 @@ let print_report report =
   match st.Engine.budget_stop with
   | Some stop -> Format.printf "  budget stop: %s@." (Budget.string_of_stop stop)
   | None -> ()
+
+(* Print, then exit nonzero on anything but a proof, so scripts and CI can
+   gate on `safebarrier verify`. *)
+let finish_report report =
+  print_report report;
+  let code = Engine.exit_code report.Engine.outcome in
+  if code <> 0 then exit code
 
 (* --- verify ---------------------------------------------------------- *)
 
@@ -106,61 +118,194 @@ let jobs_arg =
   in
   Arg.(value & opt int (Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let store_arg =
+  let doc =
+    "Certificate store directory.  Before running CEGIS the store is probed: an exact \
+     fingerprint hit is independently audited and returned without any synthesis; a nearby \
+     entry (same configuration, different network) warm-starts the LP.  Fresh proofs are \
+     exported back into the store."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "With --store: skip the cache lookup and the warm-start scan (force a cold CEGIS run), \
+     but still export the resulting certificate."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let make_config ~lie ~linear_terms ~gamma ~jobs =
+  let base = Engine.default_config in
+  {
+    base with
+    Engine.gamma;
+    synthesis =
+      {
+        base.Engine.synthesis with
+        Synthesis.mode = (if lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
+      };
+    template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
+    smt = { base.Engine.smt with Solver.jobs };
+    jobs;
+  }
+
+let verify_via_store ~config ~budget ~rng ~store ~no_cache net system =
+  let result =
+    Cache.verify ~config ~budget ~use_cache:(not no_cache) ~network:net ~store ~rng system
+  in
+  Format.printf "certificate store: %s@." (Cache.string_of_source result.Cache.source);
+  (match result.Cache.exported with
+  | Some dir -> Format.printf "exported artifact to %s@." dir
+  | None -> ());
+  result
+
 let verify_cmd =
-  let run width network seed lie linear_terms gamma deadline restarts seed_retry jobs =
+  let run width network seed lie linear_terms gamma deadline restarts seed_retry jobs store
+      no_cache =
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
-    let base = Engine.default_config in
-    let config =
-      {
-        base with
-        Engine.gamma;
-        synthesis =
-          {
-            base.Engine.synthesis with
-            Synthesis.mode =
-              (if lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
-          };
-        template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
-        smt = { base.Engine.smt with Solver.jobs };
-        jobs;
-      }
-    in
+    let config = make_config ~lie ~linear_terms ~gamma ~jobs in
     let budget =
       match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
     in
     let rng = Rng.create seed in
-    if restarts = 0 then print_report (Engine.verify ~config ~budget ~rng system)
-    else if seed_retry then begin
-      (* Plain fresh-seed restarts: same config every time, new seed traces. *)
-      let rec go attempt =
-        let report = Engine.verify ~config ~budget ~rng:(Rng.split rng) system in
-        Format.printf "attempt %d (fresh seed traces): %s@." (attempt + 1)
-          (outcome_string report.Engine.outcome);
-        match report.Engine.outcome with
-        | Engine.Proved _ -> report
-        | Engine.Failed _ when attempt < restarts && not (Budget.expired budget) ->
-          go (attempt + 1)
-        | Engine.Failed _ -> report
-      in
-      print_report (go 0)
-    end
-    else begin
-      let res = Engine.verify_resilient ~config ~budget ~restarts ~rng system in
-      List.iteri
-        (fun i a ->
-          Format.printf "attempt %d (%s): %s@." (i + 1) a.Engine.label
-            (outcome_string a.Engine.report.Engine.outcome))
-        res.Engine.attempts;
-      print_report res.Engine.best
-    end
+    (* With a store, the cached/warm-started run replaces the plain first
+       attempt; the restart ladders below only engage if it fails (and run
+       cold — escalated configs no longer match the store fingerprint, so
+       their proofs are not exported). *)
+    let first_report =
+      match store with
+      | Some root ->
+        Some (verify_via_store ~config ~budget ~rng ~store:root ~no_cache net system).Cache.report
+      | None -> if restarts = 0 then Some (Engine.verify ~config ~budget ~rng system) else None
+    in
+    match first_report with
+    | Some ({ Engine.outcome = Engine.Proved _; _ } as report) -> finish_report report
+    | first ->
+      if restarts = 0 then finish_report (Option.get first)
+      else if seed_retry then begin
+        (* Plain fresh-seed restarts: same config every time, new seed traces. *)
+        let rec go attempt =
+          let report = Engine.verify ~config ~budget ~rng:(Rng.split rng) system in
+          Format.printf "attempt %d (fresh seed traces): %s@." (attempt + 1)
+            (outcome_string report.Engine.outcome);
+          match report.Engine.outcome with
+          | Engine.Proved _ -> report
+          | Engine.Failed _ when attempt < restarts && not (Budget.expired budget) ->
+            go (attempt + 1)
+          | Engine.Failed _ -> report
+        in
+        finish_report (go 0)
+      end
+      else begin
+        let res = Engine.verify_resilient ~config ~budget ~restarts ~rng system in
+        List.iteri
+          (fun i a ->
+            Format.printf "attempt %d (%s): %s@." (i + 1) a.Engine.label
+              (outcome_string a.Engine.report.Engine.outcome))
+          res.Engine.attempts;
+        finish_report res.Engine.best
+      end
   in
   let doc = "Verify safety of an NN-controlled Dubins car via a barrier certificate." in
   Cmd.v
     (Cmd.info "verify" ~doc)
     Term.(
       const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
-      $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg)
+      $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg $ store_arg $ no_cache_arg)
+
+(* --- export ----------------------------------------------------------- *)
+
+let export_cmd =
+  let store =
+    let doc = "Certificate store directory to export into." in
+    Arg.(value & opt string "data/certs" & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let run width network seed lie linear_terms gamma jobs store =
+    let net = load_controller network width in
+    let system = Case_study.system_of_network net in
+    let config = make_config ~lie ~linear_terms ~gamma ~jobs in
+    let rng = Rng.create seed in
+    let result =
+      verify_via_store ~config ~budget:Budget.unlimited ~rng ~store ~no_cache:false net system
+    in
+    match result.Cache.report.Engine.outcome with
+    | Engine.Proved _ ->
+      let dir =
+        match result.Cache.exported with
+        | Some dir -> dir
+        | None -> Store.dir_of ~root:store result.Cache.fingerprint.Artifact.combined
+      in
+      Format.printf "certificate artifact: %s@." dir
+    | Engine.Failed _ as outcome ->
+      Format.printf "RESULT: INCONCLUSIVE — %s; nothing exported@." (outcome_string outcome);
+      exit (Engine.exit_code outcome)
+  in
+  let doc = "Verify a controller and persist the certificate artifact to a store." in
+  Cmd.v
+    (Cmd.info "export" ~doc)
+    Term.(
+      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
+      $ jobs_arg $ store)
+
+(* --- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let dir =
+    let doc =
+      "Certificate artifact directory (a store entry: cert.txt plus network.nn), e.g. \
+       data/certs/<fingerprint>."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let diverse =
+    let doc =
+      "Audit with the tree-walking solver engine instead of the compiled-tape one, so the \
+       re-proof shares no evaluation code path with the synthesis run that produced the \
+       artifact."
+    in
+    Arg.(value & flag & info [ "diverse" ] ~doc)
+  in
+  let deadline =
+    let doc = "Wall-clock deadline in seconds for the audit." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let run dir diverse deadline =
+    match Store.load_dir dir with
+    | Error err ->
+      Format.eprintf "check: %s: %s@." dir (Store.string_of_error err);
+      exit 1
+    | Ok entry ->
+      let network =
+        match entry.Store.network with
+        | Some net -> net
+        | None ->
+          Format.eprintf
+            "check: %s has no network.nn — cannot rebuild the closed-loop system@." dir;
+          exit 1
+      in
+      let system = Case_study.system_of_network network in
+      let engine = if diverse then Solver.Tree_eval else Solver.Tape_eval in
+      let budget =
+        match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
+      in
+      let verdict, stats =
+        Checker.audit ~engine ~budget ~network ~system entry.Store.artifact
+      in
+      Format.printf "%s@." (Checker.string_of_verdict verdict);
+      Format.printf
+        "  fingerprint %s@.  audit: condition (5) %.3fs, conditions (6,7) %.3fs, %d branches, \
+         total %.3fs@."
+        entry.Store.artifact.Artifact.fingerprint.Artifact.combined stats.Checker.cond5_time
+        stats.Checker.cond67_time stats.Checker.branches stats.Checker.total_time;
+      let code = Checker.exit_code verdict in
+      if code <> 0 then exit code
+  in
+  let doc =
+    "Independently audit a stored certificate artifact: rebuild conditions (5)–(7) from the \
+     artifact alone and re-prove them with a fresh solver.  Exits nonzero on rejection."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ dir $ diverse $ deadline)
 
 (* --- train ----------------------------------------------------------- *)
 
@@ -387,6 +532,8 @@ let () =
        (Cmd.group info
           [
             verify_cmd;
+            export_cmd;
+            check_cmd;
             train_cmd;
             sweep_cmd;
             portrait_cmd;

@@ -201,35 +201,55 @@ let witness_to_state vars witness =
     vars
 
 (* Phase 1 (Fig. 1 upper loop): LP candidate + condition (5) with CEX
-   refinement.  Returns the accepted coefficients or a failure. *)
-let find_generator ~budget config system acc template traces_ref cexs_ref =
+   refinement.  Returns the accepted coefficients or a failure.
+
+   [warm_start] (certificate-store reuse) is a coefficient vector tried as
+   the very first candidate *instead of* an LP solve: on a cache-nearby
+   problem the stored generator often still satisfies condition (5), which
+   skips the LP entirely; when the check refutes it, the witness becomes an
+   ordinary CEX cut and the loop falls back to cold CEGIS from iteration 2
+   with that cut already in place. *)
+let find_generator ~budget ?warm_start config system acc template traces_ref cexs_ref =
   let timeout stage stop =
     acc.budget_stop <- Some stop;
     Error (Timeout stage)
   in
-  let rec attempt iter =
+  let warm_start =
+    match warm_start with
+    | Some coeffs when Array.length coeffs = Template.dimension template -> Some coeffs
+    | _ -> None  (* arity mismatch: the hint is unusable, ignore it *)
+  in
+  let rec attempt ?warm iter =
     match Budget.check budget with
     | Some stop -> timeout "candidate loop" stop
     | None ->
     if iter > config.max_candidate_iters then Error Cex_budget_exhausted
     else begin
       acc.candidate_iterations <- acc.candidate_iterations + 1;
-      let outcome, lp_dt =
-        Timing.time (fun () ->
-            Synthesis.synthesize ~options:config.synthesis ~budget
-              ~cex_points:!cexs_ref ~template ~field:system.numeric_field
-              !traces_ref)
+      let candidate =
+        match warm with
+        | Some coeffs -> Ok coeffs
+        | None ->
+          let outcome, lp_dt =
+            Timing.time (fun () ->
+                Synthesis.synthesize ~options:config.synthesis ~budget
+                  ~cex_points:!cexs_ref ~template ~field:system.numeric_field
+                  !traces_ref)
+          in
+          acc.lp_time <- acc.lp_time +. lp_dt;
+          acc.lp_calls <- acc.lp_calls + 1;
+          acc.lp_rows <-
+            Synthesis.count_rows ~options:config.synthesis ~template !traces_ref;
+          (match outcome with
+          | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
+          | Synthesis.Margin_too_small m ->
+            Error (Lp_failed (Printf.sprintf "margin %.2e too small" m))
+          | Synthesis.Lp_timed_out stop -> timeout "lp" stop
+          | Synthesis.Candidate { coeffs; _ } -> Ok coeffs)
       in
-      acc.lp_time <- acc.lp_time +. lp_dt;
-      acc.lp_calls <- acc.lp_calls + 1;
-      acc.lp_rows <-
-        Synthesis.count_rows ~options:config.synthesis ~template !traces_ref;
-      match outcome with
-      | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
-      | Synthesis.Margin_too_small m ->
-        Error (Lp_failed (Printf.sprintf "margin %.2e too small" m))
-      | Synthesis.Lp_timed_out stop -> timeout "lp" stop
-      | Synthesis.Candidate { coeffs; _ } ->
+      match candidate with
+      | Error _ as e -> e
+      | Ok coeffs ->
         let cert = { template; coeffs; level = 0.0 } in
         let formula = condition5_formula system config cert in
         let bounds = rect_bounds system.vars config.safe_rect in
@@ -300,7 +320,7 @@ let find_generator ~budget config system acc template traces_ref cexs_ref =
           else continue_with x_star)
     end
   in
-  attempt 1
+  attempt ?warm:warm_start 1
 
 (* Phase 2 (Fig. 1 lower loop) is shared with the discrete-time engine. *)
 let find_level ~budget config system acc template coeffs =
@@ -328,7 +348,7 @@ let find_level ~budget config system acc template coeffs =
     acc.budget_stop <- Some stop;
     Error (Timeout "level")
 
-let verify ?(config = default_config) ?(budget = Budget.unlimited) ~rng system =
+let verify ?(config = default_config) ?(budget = Budget.unlimited) ?warm_start ~rng system =
   (* The LP constrains W only where condition (5) is checked: D \ X0. *)
   let config =
     let synthesis =
@@ -374,7 +394,9 @@ let verify ?(config = default_config) ?(budget = Budget.unlimited) ~rng system =
         acc.budget_stop <- Some stop;
         Failed (Timeout "seed simulation")
       | None -> (
-        match find_generator ~budget config system acc template traces_ref cexs_ref with
+        match
+          find_generator ~budget ?warm_start config system acc template traces_ref cexs_ref
+        with
         | Error reason -> Failed reason
         | Ok coeffs -> (
           match find_level ~budget config system acc template coeffs with
@@ -403,6 +425,11 @@ let verify ?(config = default_config) ?(budget = Budget.unlimited) ~rng system =
     traces = !traces_ref;
     counterexamples = !cexs_ref;
   }
+
+let exit_code = function
+  | Proved _ -> 0
+  | Failed (Timeout _) -> 3
+  | Failed _ -> 2
 
 (* Retry/degradation ladder.  Each rung transforms the previous attempt's
    config, so escalations accumulate: once δ is widened it stays widened

@@ -122,13 +122,34 @@ val sample_initial_states :
     rectangle) — callers must not run the LP on a silently smaller seed
     set. *)
 
-val verify : ?config:config -> ?budget:Budget.t -> rng:Rng.t -> system -> report
+val verify :
+  ?config:config ->
+  ?budget:Budget.t ->
+  ?warm_start:float array ->
+  rng:Rng.t ->
+  system ->
+  report
 (** Run the full procedure.  [budget] (default unlimited) bounds every
     stage: seed simulation stops mid-trace at the deadline, the LP is
     polled per pivot, SMT queries per branch-and-prune box.  On exhaustion
     the outcome is [Failed (Timeout stage)] with the binding stop recorded
     in [stats.budget_stop]; partial traces/counterexamples are still
-    reported. *)
+    reported.
+
+    [warm_start] (certificate-store reuse, see [Cache] in [lib/cert])
+    supplies a
+    stored coefficient vector that is tried as the first candidate {e
+    instead of} an LP solve.  If condition (5) accepts it the LP is skipped
+    entirely ([stats.lp_calls = 0]); if refuted, the witness becomes an
+    ordinary counterexample cut and the loop falls back to cold CEGIS.
+    A vector whose length does not match the template is ignored.
+    Soundness is unaffected — every candidate, warm or cold, passes the
+    same SMT checks. *)
+
+val exit_code : outcome -> int
+(** Process exit code for CLI/CI gating: 0 for [Proved], 3 for
+    [Failed (Timeout _)], 2 for every other failure.  (1 is left to the
+    [check] subcommand's audit rejection, and cmdliner reserves 123–125.) *)
 
 (** {1 Resilient verification} *)
 

@@ -1,0 +1,254 @@
+type fingerprint = {
+  nn_hash : string;
+  dynamics_hash : string;
+  config_hash : string;
+  combined : string;
+}
+
+let no_nn = "-"
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let hex f = Printf.sprintf "%h" f
+
+let rect_str rect =
+  String.concat " "
+    (List.concat_map (fun (lo, hi) -> [ hex lo; hex hi ]) (Array.to_list rect))
+
+let hash_network net = digest (Nn.to_string net)
+
+let hash_dynamics (system : Engine.system) =
+  let buf = Buffer.create 256 in
+  Array.iter (fun v -> Buffer.add_string buf v; Buffer.add_char buf ' ') system.Engine.vars;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (Expr.to_string e);
+      Buffer.add_char buf '\n')
+    system.Engine.symbolic_field;
+  digest (Buffer.contents buf)
+
+(* Canonical rendering of every config field that can change the problem or
+   the search semantics.  Execution-strategy fields (jobs, smt.jobs,
+   smt.engine) are excluded on purpose: they cannot change the verdict, so
+   they must not fragment the cache. *)
+let hash_config (c : Engine.config) =
+  let syn = c.Engine.synthesis and smt = c.Engine.smt in
+  let opt_rect = function None -> "-" | Some r -> rect_str r in
+  let lines =
+    [
+      "x0 " ^ rect_str c.Engine.x0_rect;
+      "safe " ^ rect_str c.Engine.safe_rect;
+      "gamma " ^ hex c.Engine.gamma;
+      Printf.sprintf "n_seed %d" c.Engine.n_seed;
+      "sim_dt " ^ hex c.Engine.sim_dt;
+      Printf.sprintf "sim_steps %d" c.Engine.sim_steps;
+      (match syn.Synthesis.mode with
+      | Synthesis.Finite_difference -> "synth finite_difference"
+      | Synthesis.Lie_derivative -> "synth lie_derivative");
+      Printf.sprintf "subsample %d" syn.Synthesis.subsample;
+      "min_rho " ^ hex syn.Synthesis.min_rho;
+      "coeff_bound " ^ hex syn.Synthesis.coeff_bound;
+      "min_margin " ^ hex syn.Synthesis.min_margin;
+      "exclude " ^ opt_rect syn.Synthesis.exclude_rect;
+      (match syn.Synthesis.separation_rects with
+      | None -> "separation -"
+      | Some (a, b) -> "separation " ^ rect_str a ^ " | " ^ rect_str b);
+      (match c.Engine.template_kind with
+      | Template.Quadratic -> "template quadratic"
+      | Template.Quadratic_linear -> "template quadratic_linear");
+      Printf.sprintf "max_candidate_iters %d" c.Engine.max_candidate_iters;
+      Printf.sprintf "max_level_iters %d" c.Engine.max_level_iters;
+      "delta " ^ hex smt.Solver.delta;
+      Printf.sprintf "max_branches %d" smt.Solver.max_branches;
+      Printf.sprintf "use_backward %b" smt.Solver.use_backward;
+      (match smt.Solver.branching with
+      | Solver.Widest -> "branching widest"
+      | Solver.Smear -> "branching smear");
+      Printf.sprintf "use_mvf %b" smt.Solver.use_mvf;
+    ]
+  in
+  digest (String.concat "\n" lines)
+
+let fingerprint ?network system config =
+  let nn_hash = match network with None -> no_nn | Some net -> hash_network net in
+  let dynamics_hash = hash_dynamics system in
+  let config_hash = hash_config config in
+  {
+    nn_hash;
+    dynamics_hash;
+    config_hash;
+    combined = digest (nn_hash ^ "\n" ^ dynamics_hash ^ "\n" ^ config_hash);
+  }
+
+type t = {
+  version : int;
+  fingerprint : fingerprint;
+  template_kind : Template.kind;
+  vars : string array;
+  coeffs : float array;
+  level : float;
+  gamma : float;
+  delta : float;
+  x0_rect : (float * float) array;
+  safe_rect : (float * float) array;
+  stats : (string * string) list;
+  tool : string;
+}
+
+let tool_version = "safebarrier-1.0.0"
+
+let make ~fingerprint ~config ?(stats = []) (cert : Engine.certificate) =
+  {
+    version = 1;
+    fingerprint;
+    template_kind = Template.kind cert.Engine.template;
+    vars = Template.vars cert.Engine.template;
+    coeffs = Array.copy cert.Engine.coeffs;
+    level = cert.Engine.level;
+    gamma = config.Engine.gamma;
+    delta = config.Engine.smt.Solver.delta;
+    x0_rect = Array.copy config.Engine.x0_rect;
+    safe_rect = Array.copy config.Engine.safe_rect;
+    stats;
+    tool = tool_version;
+  }
+
+let certificate a =
+  {
+    Engine.template = Template.make a.template_kind a.vars;
+    coeffs = Array.copy a.coeffs;
+    level = a.level;
+  }
+
+let kind_name = function
+  | Template.Quadratic -> "quadratic"
+  | Template.Quadratic_linear -> "quadratic_linear"
+
+let kind_of_name = function
+  | "quadratic" -> Ok Template.Quadratic
+  | "quadratic_linear" -> Ok Template.Quadratic_linear
+  | s -> Error (Printf.sprintf "unknown template kind %S" s)
+
+let to_string a =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "safebarrier-cert v%d" a.version;
+  line "tool %s" a.tool;
+  line "nn-hash %s" a.fingerprint.nn_hash;
+  line "dynamics-hash %s" a.fingerprint.dynamics_hash;
+  line "config-hash %s" a.fingerprint.config_hash;
+  line "fingerprint %s" a.fingerprint.combined;
+  line "template %s" (kind_name a.template_kind);
+  line "vars %s" (String.concat " " (Array.to_list a.vars));
+  line "coeffs %s" (String.concat " " (List.map hex (Array.to_list a.coeffs)));
+  line "level %s" (hex a.level);
+  line "gamma %s" (hex a.gamma);
+  line "delta %s" (hex a.delta);
+  line "x0-rect %s" (rect_str a.x0_rect);
+  line "safe-rect %s" (rect_str a.safe_rect);
+  List.iter (fun (k, v) -> line "stat %s %s" k v) a.stats;
+  line "checksum %s" (digest (Buffer.contents buf));
+  Buffer.contents buf
+
+let ( let* ) r f = Result.bind r f
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "malformed float %S" s)
+
+let parse_floats s =
+  let toks = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | t :: rest ->
+      let* f = parse_float t in
+      go (f :: acc) rest
+  in
+  go [] toks
+
+let parse_rect s =
+  let* fs = parse_floats s in
+  let n = Array.length fs in
+  if n = 0 || n mod 2 <> 0 then Error "rectangle needs an even, positive number of bounds"
+  else Ok (Array.init (n / 2) (fun i -> (fs.(2 * i), fs.((2 * i) + 1))))
+
+let split_kv line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let of_string s =
+  (* Validate the checksum over the raw text first: a corrupted file must be
+     rejected before any field of it is interpreted. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let rec split_last acc = function
+    | [] -> Error "empty artifact"
+    | [ last ] -> Ok (List.rev acc, last)
+    | l :: rest -> split_last (l :: acc) rest
+  in
+  let* body, last = split_last [] lines in
+  let* () =
+    match split_kv last with
+    | "checksum", h ->
+      let content = String.concat "" (List.map (fun l -> l ^ "\n") body) in
+      if String.equal (digest content) h then Ok ()
+      else Error "checksum mismatch (artifact corrupted)"
+    | _ -> Error "missing checksum line"
+  in
+  let* header, fields =
+    match body with
+    | [] -> Error "empty artifact body"
+    | h :: rest -> Ok (h, List.map split_kv rest)
+  in
+  let* version =
+    match split_kv header with
+    | "safebarrier-cert", v when String.length v > 1 && v.[0] = 'v' -> (
+      match int_of_string_opt (String.sub v 1 (String.length v - 1)) with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "malformed version %S" v))
+    | _ -> Error "not a safebarrier certificate artifact"
+  in
+  let* () = if version = 1 then Ok () else Error (Printf.sprintf "unsupported version %d" version) in
+  let find key =
+    match List.assoc_opt key fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" key)
+  in
+  let* tool = find "tool" in
+  let* nn_hash = find "nn-hash" in
+  let* dynamics_hash = find "dynamics-hash" in
+  let* config_hash = find "config-hash" in
+  let* combined = find "fingerprint" in
+  let* kind_s = find "template" in
+  let* template_kind = kind_of_name kind_s in
+  let* vars_s = find "vars" in
+  let vars =
+    Array.of_list (String.split_on_char ' ' vars_s |> List.filter (fun t -> t <> ""))
+  in
+  let* () = if Array.length vars > 0 then Ok () else Error "no variables" in
+  let* coeffs = Result.bind (find "coeffs") parse_floats in
+  let* level = Result.bind (find "level") parse_float in
+  let* gamma = Result.bind (find "gamma") parse_float in
+  let* delta = Result.bind (find "delta") parse_float in
+  let* x0_rect = Result.bind (find "x0-rect") parse_rect in
+  let* safe_rect = Result.bind (find "safe-rect") parse_rect in
+  let stats =
+    List.filter_map (fun (k, v) -> if k = "stat" then Some (split_kv v) else None) fields
+  in
+  Ok
+    {
+      version;
+      fingerprint = { nn_hash; dynamics_hash; config_hash; combined };
+      template_kind;
+      vars;
+      coeffs;
+      level;
+      gamma;
+      delta;
+      x0_rect;
+      safe_rect;
+      stats;
+      tool;
+    }

@@ -1,0 +1,98 @@
+(** Certificate artifacts: the persistent, auditable form of a proof.
+
+    A barrier certificate [B(x) = W(x) − ℓ] proved by the engine is worth
+    keeping: re-proving the three δ-SAT conditions from a stored candidate
+    is far cheaper than re-running CEGIS, and a stored artifact can be
+    audited by a checker that does not trust the synthesis pipeline at all
+    (see {!Checker}).  This module defines the artifact value, its {e
+    canonical problem fingerprint}, and a versioned line-oriented text
+    serialization with bit-exact float round-trip (hex floats) and
+    whole-file corruption detection (a trailing checksum line).
+
+    {2 Fingerprint}
+
+    The fingerprint is a content hash over everything that defines the
+    verification problem, split into three components so that the cache can
+    distinguish "same problem" from "nearby problem":
+
+    - [nn_hash] — digest of the controller's canonical serialization
+      ({!Nn.to_string}, which is bit-exact hex floats), or {!no_nn} when
+      the system was not built from a stored network;
+    - [dynamics_hash] — digest of the state variables and the closed-loop
+      symbolic vector field ([Expr.to_string] per component), which pins
+      the plant {e and} the controller as the solver will actually see
+      them;
+    - [config_hash] — digest of every {!Engine.config} field that affects
+      the verification {e problem} or the search semantics (rectangles, γ,
+      seed counts, synthesis options, template kind, iteration bounds, δ,
+      branching options).  Execution-strategy fields that cannot change
+      the verdict — [jobs], [smt.jobs], [smt.engine] — are deliberately
+      excluded, so a certificate proved sequentially is a cache hit for a
+      parallel run.
+
+    [combined] (the content address in the {!Store}) digests the three
+    components.  Two problems are {e nearby} — warm-start candidates for
+    each other — when their [config_hash] agrees but [combined] differs
+    (same rectangles/template/options, different network). *)
+
+type fingerprint = {
+  nn_hash : string;
+  dynamics_hash : string;
+  config_hash : string;
+  combined : string;  (** the content address: digest of the other three *)
+}
+
+val no_nn : string
+(** Placeholder [nn_hash] ("-") for systems not built from an {!Nn.t}. *)
+
+val hash_network : Nn.t -> string
+
+val hash_dynamics : Engine.system -> string
+
+val hash_config : Engine.config -> string
+
+val fingerprint : ?network:Nn.t -> Engine.system -> Engine.config -> fingerprint
+
+type t = {
+  version : int;  (** format version, currently 1 *)
+  fingerprint : fingerprint;
+  template_kind : Template.kind;
+  vars : string array;
+  coeffs : float array;
+  level : float;
+  gamma : float;  (** condition-(5) slack the proof used *)
+  delta : float;  (** δ-SAT precision the proof used *)
+  x0_rect : (float * float) array;
+  safe_rect : (float * float) array;
+  stats : (string * string) list;
+      (** free-form provenance (iteration counts, wall clock, …) — carried
+          for humans and dashboards, never trusted by the checker *)
+  tool : string;  (** producing tool + version string *)
+}
+
+val tool_version : string
+
+val make :
+  fingerprint:fingerprint ->
+  config:Engine.config ->
+  ?stats:(string * string) list ->
+  Engine.certificate ->
+  t
+(** Package a freshly proved certificate: template kind/variables/coeffs/ℓ
+    come from the certificate, γ/δ/rectangles from the config it was proved
+    under. *)
+
+val certificate : t -> Engine.certificate
+(** Rebuild the in-memory certificate (re-making the template from the
+    stored kind and variables). *)
+
+val to_string : t -> string
+(** Versioned line-oriented text form.  All floats are hex ([%h]), so the
+    round-trip is bit-exact; the final line is
+    [checksum <digest of every preceding line>]. *)
+
+val of_string : string -> (t, string) result
+(** Parse and validate.  [Error reason] covers checksum mismatch (any
+    single-byte corruption is detected), version/format violations, and
+    missing or malformed fields.  The checksum is verified {e before} any
+    field is interpreted. *)

@@ -1,0 +1,96 @@
+type source =
+  | Cold
+  | Cache_hit of { fingerprint : string; audit : Checker.stats }
+  | Warm_started of { donor : string }
+
+type result = {
+  report : Engine.report;
+  source : source;
+  fingerprint : Artifact.fingerprint;
+  exported : string option;
+}
+
+let string_of_source = function
+  | Cold -> "cold"
+  | Cache_hit { fingerprint; audit } ->
+    Printf.sprintf "cache hit %s (audited in %.3fs)" fingerprint audit.Checker.total_time
+  | Warm_started { donor } -> Printf.sprintf "warm start from %s" donor
+
+(* A hit costs one audit and nothing else; the report reflects that. *)
+let report_of_hit cert (audit : Checker.stats) =
+  {
+    Engine.outcome = Engine.Proved cert;
+    stats =
+      {
+        Engine.candidate_iterations = 0;
+        level_iterations = 0;
+        lp_time = 0.0;
+        lp_calls = 0;
+        smt5_time = audit.Checker.cond5_time;
+        smt5_calls = 1;
+        smt5_branches = audit.Checker.branches;
+        smt67_time = audit.Checker.cond67_time;
+        sim_time = 0.0;
+        total_time = audit.Checker.total_time;
+        lp_rows = 0;
+        budget_stop = None;
+      };
+    traces = [];
+    counterexamples = [];
+  }
+
+let provenance_stats (st : Engine.stats) source =
+  [
+    ("source", source);
+    ("candidate_iterations", string_of_int st.Engine.candidate_iterations);
+    ("level_iterations", string_of_int st.Engine.level_iterations);
+    ("lp_calls", string_of_int st.Engine.lp_calls);
+    ("smt5_branches", string_of_int st.Engine.smt5_branches);
+    ("total_time", Printf.sprintf "%.6f" st.Engine.total_time);
+  ]
+
+let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
+    ?(audit_engine = Solver.Tape_eval) ?(use_cache = true) ?network ~store ~rng system =
+  let fp = Artifact.fingerprint ?network system config in
+  let exact_hit =
+    if not use_cache then None
+    else
+      match Store.load ~root:store fp.Artifact.combined with
+      | Error _ -> None
+      | Ok entry -> (
+        match
+          Checker.audit ~engine:audit_engine ~budget ?network ~system entry.Store.artifact
+        with
+        | Checker.Certified, audit -> Some (entry, audit)
+        | Checker.Rejected _, _ -> None (* stale/tampered entry: fall through to a real run *))
+  in
+  match exact_hit with
+  | Some (entry, audit) ->
+    {
+      report = report_of_hit (Artifact.certificate entry.Store.artifact) audit;
+      source = Cache_hit { fingerprint = fp.Artifact.combined; audit };
+      fingerprint = fp;
+      exported = None;
+    }
+  | None ->
+    let donor = if use_cache then Store.find_nearby ~root:store fp else None in
+    let warm_start =
+      Option.map (fun e -> e.Store.artifact.Artifact.coeffs) donor
+    in
+    let report = Engine.verify ~config ~budget ?warm_start ~rng system in
+    let source =
+      match donor with
+      | Some e -> Warm_started { donor = e.Store.artifact.Artifact.fingerprint.Artifact.combined }
+      | None -> Cold
+    in
+    let exported =
+      match report.Engine.outcome with
+      | Engine.Failed _ -> None
+      | Engine.Proved cert ->
+        let stats =
+          provenance_stats report.Engine.stats
+            (match source with Warm_started _ -> "warm" | _ -> "cold")
+        in
+        Some (Store.save ~root:store ?network (Artifact.make ~fingerprint:fp ~config ~stats cert))
+    in
+    { report; source; fingerprint = fp; exported }

@@ -1,0 +1,55 @@
+(** Store-backed verification: audit-on-hit caching and warm-started CEGIS.
+
+    [verify] is {!Engine.verify} with a certificate store in front of it:
+
+    - {b exact hit} — the problem's combined fingerprint is in the store:
+      the stored artifact is {e audited} ({!Checker.audit}, an independent
+      re-proof) and, when certified, returned without running CEGIS at all.
+      An artifact that fails its audit is treated as a miss — a stale or
+      tampered store can cost time, never soundness.
+    - {b nearby miss} — no exact entry, but some entry shares the
+      [config_hash] (same rectangles/template/options, different network):
+      its coefficient vector seeds the engine as a warm-start candidate
+      ([Engine.verify ~warm_start]), skipping the LP when the stored
+      generator still satisfies condition (5) on the new network.
+    - {b cold} — otherwise, plain {!Engine.verify}.
+
+    Every fresh proof (warm or cold) is exported back into the store under
+    the problem's fingerprint, so the next identical run is an exact
+    hit. *)
+
+type source =
+  | Cold
+  | Cache_hit of { fingerprint : string; audit : Checker.stats }
+  | Warm_started of { donor : string  (** fingerprint of the donor entry *) }
+
+type result = {
+  report : Engine.report;
+      (** on a cache hit, a synthetic report: [Proved], zero LP/simulation
+          stats, SMT fields holding the audit times *)
+  source : source;
+  fingerprint : Artifact.fingerprint;  (** of the problem that was verified *)
+  exported : string option;
+      (** store directory written for a fresh proof; [None] on hits and
+          failures *)
+}
+
+val string_of_source : source -> string
+
+val verify :
+  ?config:Engine.config ->
+  ?budget:Budget.t ->
+  ?audit_engine:Solver.engine ->
+  ?use_cache:bool ->
+  ?network:Nn.t ->
+  store:string ->
+  rng:Rng.t ->
+  Engine.system ->
+  result
+(** [use_cache = false] skips both the exact-hit lookup and the warm-start
+    scan but still exports fresh proofs (the [--no-cache] CLI semantics:
+    force a cold run, keep populating the store).  [network], when the
+    system was built from one, strengthens the fingerprint and is stored
+    alongside the artifact so [check] can re-derive the system later.
+    [audit_engine] selects the solver engine used for hit audits (e.g.
+    [Tree_eval] for engine diversity). *)

@@ -1,0 +1,165 @@
+type rejection =
+  | Fingerprint_mismatch of { field : string; expected : string; got : string }
+  | Ill_formed of string
+  | Condition_refuted of { condition : int; witness : (string * float) list }
+  | Inconclusive of string
+
+type verdict = Certified | Rejected of rejection
+
+let string_of_rejection = function
+  | Fingerprint_mismatch { field; expected; got } ->
+    Printf.sprintf "%s fingerprint mismatch: artifact records %s, recomputed %s" field expected
+      got
+  | Ill_formed reason -> "ill-formed certificate: " ^ reason
+  | Condition_refuted { condition; witness } ->
+    Printf.sprintf "condition (%d) refuted at (%s)" condition
+      (String.concat ", " (List.map (fun (v, x) -> Printf.sprintf "%s = %g" v x) witness))
+  | Inconclusive what -> "audit inconclusive: " ^ what
+
+let string_of_verdict = function
+  | Certified -> "CERTIFIED"
+  | Rejected r -> "REJECTED — " ^ string_of_rejection r
+
+type stats = { cond5_time : float; cond67_time : float; branches : int; total_time : float }
+
+let exit_code = function Certified -> 0 | Rejected _ -> 1
+
+let rect_bounds vars rect =
+  Array.to_list (Array.mapi (fun i v -> (v, fst rect.(i), snd rect.(i))) vars)
+
+let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
+    ~(system : Engine.system) (a : Artifact.t) =
+  let t_start = Timing.now () in
+  let acc5 = ref 0.0 and acc67 = ref 0.0 and branches = ref 0 in
+  let finish verdict =
+    ( verdict,
+      {
+        cond5_time = !acc5;
+        cond67_time = !acc67;
+        branches = !branches;
+        total_time = Timing.now () -. t_start;
+      } )
+  in
+  let reject r = finish (Rejected r) in
+  let options = { Solver.default_options with Solver.delta = a.Artifact.delta; engine } in
+  (* The audit decides each condition once, at the δ the proof was accepted
+     at; Unsat is the only certifying answer. *)
+  let decide ~condition ~acc ~bounds formula k =
+    let (verdict, st), dt = Timing.time (fun () -> Solver.solve ~options ~budget ~bounds formula) in
+    acc := !acc +. dt;
+    branches := !branches + st.Solver.branches;
+    match verdict with
+    | Solver.Unsat -> k ()
+    | Solver.Delta_sat witness -> reject (Condition_refuted { condition; witness })
+    | Solver.Unknown -> reject (Inconclusive (Printf.sprintf "condition (%d)" condition))
+  in
+  (* 1. Structure: the artifact must speak the system's language. *)
+  if
+    Array.length a.Artifact.vars <> Array.length system.Engine.vars
+    || not (Array.for_all2 String.equal a.Artifact.vars system.Engine.vars)
+  then
+    reject
+      (Ill_formed
+         (Printf.sprintf "variables [%s] do not match the system's [%s]"
+            (String.concat " " (Array.to_list a.Artifact.vars))
+            (String.concat " " (Array.to_list system.Engine.vars))))
+  else if
+    Array.length a.Artifact.x0_rect <> Array.length a.Artifact.vars
+    || Array.length a.Artifact.safe_rect <> Array.length a.Artifact.vars
+  then reject (Ill_formed "rectangle arity does not match the variables")
+  else begin
+    (* 2. Binding: recompute the content hashes the artifact claims. *)
+    let dynamics = Artifact.hash_dynamics system in
+    if not (String.equal dynamics a.Artifact.fingerprint.Artifact.dynamics_hash) then
+      reject
+        (Fingerprint_mismatch
+           {
+             field = "dynamics";
+             expected = a.Artifact.fingerprint.Artifact.dynamics_hash;
+             got = dynamics;
+           })
+    else
+      let nn_ok =
+        match network with
+        | Some net when not (String.equal a.Artifact.fingerprint.Artifact.nn_hash Artifact.no_nn)
+          ->
+          let got = Artifact.hash_network net in
+          if String.equal got a.Artifact.fingerprint.Artifact.nn_hash then Ok ()
+          else
+            Error
+              (Fingerprint_mismatch
+                 { field = "network"; expected = a.Artifact.fingerprint.Artifact.nn_hash; got })
+        | _ -> Ok ()
+      in
+      match nn_ok with
+      | Error r -> reject r
+      | Ok () ->
+        let template = Template.make a.Artifact.template_kind a.Artifact.vars in
+        if Array.length a.Artifact.coeffs <> Template.dimension template then
+          reject
+            (Ill_formed
+               (Printf.sprintf "%d coefficients for a %d-dimensional template"
+                  (Array.length a.Artifact.coeffs) (Template.dimension template)))
+        else begin
+          let cert = Artifact.certificate a in
+          let p = Template.p_matrix cert.Engine.template cert.Engine.coeffs in
+          if not (Cholesky.is_positive_definite p) then
+            (* Structural, not a solve: an indefinite quadratic part has
+               unbounded sublevel sets, so no level can separate anything —
+               rejected before any solver time is spent. *)
+            reject
+              (Ill_formed "quadratic form is not positive definite: sublevel sets are unbounded")
+          else begin
+            let config =
+              {
+                Engine.default_config with
+                Engine.x0_rect = a.Artifact.x0_rect;
+                safe_rect = a.Artifact.safe_rect;
+                gamma = a.Artifact.gamma;
+                smt = options;
+              }
+            in
+            (* 3. Re-prove.  Condition (5): no decrease violation on D \ X0. *)
+            decide ~condition:5 ~acc:acc5
+              ~bounds:(rect_bounds system.Engine.vars a.Artifact.safe_rect)
+              (Engine.condition5_formula system config cert)
+              (fun () ->
+                (* Condition (6): X0 inside the ℓ-sublevel set. *)
+                decide ~condition:6 ~acc:acc67
+                  ~bounds:(rect_bounds a.Artifact.vars a.Artifact.x0_rect)
+                  (Engine.condition6_formula cert)
+                  (fun () ->
+                    (* Condition (7): the sublevel set avoids the unsafe
+                       complement.  Bounded query box from the analytic
+                       ellipsoid enclosure, exactly as [Engine.dump_smt2]. *)
+                    match
+                      let center =
+                        Level_search.ellipsoid_center cert.Engine.template cert.Engine.coeffs p
+                      in
+                      let w_center =
+                        Template.w_eval cert.Engine.template cert.Engine.coeffs center
+                      in
+                      let bbox =
+                        Levelset.ellipsoid_bounding_box ~p
+                          ~level:(Float.max (cert.Engine.level -. w_center) 0.0 +. 1e-9)
+                      in
+                      Array.mapi
+                        (fun i (lo_i, hi_i) ->
+                          ( center.(i) +. (1.01 *. lo_i) -. 1e-6,
+                            center.(i) +. (1.01 *. hi_i) +. 1e-6 ))
+                        bbox
+                    with
+                    | query_rect ->
+                      decide ~condition:7 ~acc:acc67
+                        ~bounds:(rect_bounds a.Artifact.vars query_rect)
+                        (Formula.and_
+                           [
+                             Engine.condition7_formula cert;
+                             Formula.outside_rect (rect_bounds a.Artifact.vars a.Artifact.safe_rect);
+                           ])
+                        (fun () -> finish Certified)
+                    | exception Levelset.Not_definite ->
+                      reject (Ill_formed "quadratic form is not positive definite")))
+          end
+        end
+  end

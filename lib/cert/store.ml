@@ -1,0 +1,85 @@
+type entry = { artifact : Artifact.t; dir : string; network : Nn.t option }
+
+type error = Missing | Corrupt of string
+
+let string_of_error = function
+  | Missing -> "no such store entry"
+  | Corrupt reason -> "corrupt store entry: " ^ reason
+
+let cert_file = "cert.txt"
+
+let network_file = "network.nn"
+
+let dir_of ~root fp = Filename.concat root fp
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()  (* lost a race: fine *)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Temp-file + rename so readers never observe a half-written artifact. *)
+let write_file path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "cert" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let save ~root ?network artifact =
+  let dir = dir_of ~root artifact.Artifact.fingerprint.Artifact.combined in
+  ensure_dir dir;
+  write_file (Filename.concat dir cert_file) (Artifact.to_string artifact);
+  (match network with
+  | None -> ()
+  | Some net -> write_file (Filename.concat dir network_file) (Nn.to_string net));
+  dir
+
+let load_dir dir =
+  let cert_path = Filename.concat dir cert_file in
+  if not (Sys.file_exists cert_path) then Error Missing
+  else
+    match Artifact.of_string (read_file cert_path) with
+    | Error reason -> Error (Corrupt reason)
+    | Ok artifact -> (
+      let nn_path = Filename.concat dir network_file in
+      if not (Sys.file_exists nn_path) then Ok { artifact; dir; network = None }
+      else
+        match Nn.of_string (read_file nn_path) with
+        | net -> Ok { artifact; dir; network = Some net }
+        | exception Failure reason -> Error (Corrupt ("network.nn: " ^ reason)))
+
+let load ~root fp = load_dir (dir_of ~root fp)
+
+let list ~root =
+  match Sys.readdir root with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun d ->
+           Sys.is_directory (Filename.concat root d)
+           && Sys.file_exists (Filename.concat (Filename.concat root d) cert_file))
+    |> List.sort String.compare
+  | exception Sys_error _ -> []
+
+let find_nearby ~root (fp : Artifact.fingerprint) =
+  let candidate name =
+    if String.equal name fp.Artifact.combined then None
+    else
+      match load ~root name with
+      | Error _ -> None  (* unreadable donors are useless, skip *)
+      | Ok entry ->
+        if String.equal entry.artifact.Artifact.fingerprint.Artifact.config_hash fp.Artifact.config_hash
+        then Some entry
+        else None
+  in
+  List.find_map candidate (list ~root)

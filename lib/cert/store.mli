@@ -1,0 +1,59 @@
+(** Content-addressed certificate store.
+
+    Artifacts live under [root/<fingerprint>/], where [<fingerprint>] is the
+    combined problem fingerprint ({!Artifact.fingerprint}): the directory
+    name {e is} the content address, so a stored certificate can only ever
+    be looked up by the exact problem it proves.  Each entry holds
+
+    - [cert.txt] — the artifact ({!Artifact.to_string}, checksummed), and
+    - [network.nn] — optionally, the controller it was proved for, making
+      the entry self-contained: [safebarrier check <dir>] can rebuild the
+      closed-loop system and re-prove the conditions with no other input.
+
+    Writes go through a temp file + rename, so a crashed writer leaves no
+    half-written [cert.txt] behind. *)
+
+type entry = {
+  artifact : Artifact.t;
+  dir : string;  (** directory the entry was loaded from *)
+  network : Nn.t option;  (** contents of [network.nn], when present *)
+}
+
+type error =
+  | Missing  (** no such entry *)
+  | Corrupt of string
+      (** the entry exists but fails validation: artifact checksum/format
+          errors, or an unreadable [network.nn] *)
+
+val string_of_error : error -> string
+
+val cert_file : string
+(** ["cert.txt"] *)
+
+val network_file : string
+(** ["network.nn"] *)
+
+val dir_of : root:string -> string -> string
+(** [dir_of ~root fingerprint] is the entry directory (whether or not it
+    exists). *)
+
+val save : root:string -> ?network:Nn.t -> Artifact.t -> string
+(** Write (or overwrite) the entry for the artifact's fingerprint; creates
+    [root] as needed.  Returns the entry directory. *)
+
+val load : root:string -> string -> (entry, error) result
+(** [load ~root fingerprint] reads one entry. *)
+
+val load_dir : string -> (entry, error) result
+(** Read an entry directly from its directory (the [check] CLI path). *)
+
+val list : root:string -> string list
+(** Fingerprints present under [root], sorted ([] for a missing root). *)
+
+val find_nearby : root:string -> Artifact.fingerprint -> entry option
+(** First (in sorted fingerprint order, for determinism) readable entry
+    whose [config_hash] matches the probe but whose combined fingerprint
+    differs — i.e. the same rectangles/template/solver options on a {e
+    different} network.  These are the warm-start donors: their coefficient
+    vectors are plausible candidates for the probe's problem.  Corrupt
+    entries are skipped, never reported. *)

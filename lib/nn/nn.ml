@@ -139,6 +139,10 @@ let to_exprs net inputs =
 let to_string net =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "nn v1 input_dim %d layers %d\n" net.input_dim (List.length net.layers));
+  (* Hex floats ([%h]) are bit-exact under round-trip — the certificate
+     fingerprint and warm-start cache key on this string, so two networks
+     serialize identically iff their weights are identical bit patterns
+     (including negative zero and subnormals). *)
   List.iter
     (fun l ->
       Buffer.add_string buf
@@ -147,12 +151,12 @@ let to_string net =
       Array.iter
         (fun row ->
           Array.iteri
-            (fun j x -> Buffer.add_string buf (if j = 0 then Printf.sprintf "%.17g" x else Printf.sprintf " %.17g" x))
+            (fun j x -> Buffer.add_string buf (if j = 0 then Printf.sprintf "%h" x else Printf.sprintf " %h" x))
             row;
           Buffer.add_char buf '\n')
         l.weights;
       Array.iteri
-        (fun j x -> Buffer.add_string buf (if j = 0 then Printf.sprintf "%.17g" x else Printf.sprintf " %.17g" x))
+        (fun j x -> Buffer.add_string buf (if j = 0 then Printf.sprintf "%h" x else Printf.sprintf " %h" x))
         l.biases;
       Buffer.add_char buf '\n')
     net.layers;

@@ -68,10 +68,16 @@ val to_exprs : t -> Expr.t array -> Expr.t array
 (** {1 Serialization} *)
 
 val to_string : t -> string
-(** Line-oriented text format, round-tripped by {!of_string}. *)
+(** Line-oriented text format, round-tripped by {!of_string}.  Weights and
+    biases are written as hex floats ([%h]), so the round-trip is bit-exact
+    (negative zero and subnormals included) and the string is a canonical
+    content key: the certificate store fingerprints networks by hashing
+    exactly this serialization (see [Artifact] in [lib/cert]). *)
 
 val of_string : string -> t
-(** Raises [Failure] on malformed input. *)
+(** Raises [Failure] on malformed input.  Accepts both hex-float and plain
+    decimal weight encodings, so files written before the hex-float format
+    (and hand-authored decimal files) still load. *)
 
 val save : t -> string -> unit
 

@@ -1,0 +1,358 @@
+(* Certificate artifact subsystem: serialization round-trip, store
+   corruption detection, independent audit (including structured rejection
+   of every single-field tampering), warm-start CEGIS, and the cache
+   cold / hit / warm flows.  Everything runs against the paper's Dubins
+   case study with small controllers so the whole file stays fast. *)
+
+let temp_root =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "sb_cert_test_%d" (Unix.getpid ()))
+
+let fresh_store =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat temp_root (string_of_int !counter)
+
+let network = Case_study.controller_of_width 10
+let system = Case_study.system_of_network network
+let config = Engine.default_config
+
+(* One proved certificate, shared by the read-only tests. *)
+let proved =
+  lazy
+    (let rng = Rng.create 7 in
+     match (Engine.verify ~config ~rng system).Engine.outcome with
+     | Engine.Proved cert -> cert
+     | Engine.Failed _ -> Alcotest.fail "baseline verify failed to prove")
+
+let artifact () =
+  let fp = Artifact.fingerprint ~network system config in
+  Artifact.make ~fingerprint:fp ~config ~stats:[ ("source", "test") ] (Lazy.force proved)
+
+let check_verdict =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Checker.string_of_verdict v))
+    ( = )
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* --- artifact serialization ------------------------------------------- *)
+
+let test_roundtrip () =
+  let a = artifact () in
+  match Artifact.of_string (Artifact.to_string a) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok b ->
+    Alcotest.(check string) "fingerprint" a.Artifact.fingerprint.Artifact.combined
+      b.Artifact.fingerprint.Artifact.combined;
+    Alcotest.(check int) "coeff count" (Array.length a.Artifact.coeffs)
+      (Array.length b.Artifact.coeffs);
+    Array.iteri
+      (fun i c ->
+        Alcotest.(check int64) "coeff bits" (Int64.bits_of_float c)
+          (Int64.bits_of_float b.Artifact.coeffs.(i)))
+      a.Artifact.coeffs;
+    Alcotest.(check int64) "level bits" (Int64.bits_of_float a.Artifact.level)
+      (Int64.bits_of_float b.Artifact.level);
+    Alcotest.(check (list (pair string string))) "stats" a.Artifact.stats b.Artifact.stats
+
+let test_checksum_rejects_corruption () =
+  let s = Artifact.to_string (artifact ()) in
+  (* Flip one payload byte: every such corruption must fail the checksum. *)
+  let i = String.index s 'v' in
+  let corrupted = Bytes.of_string s in
+  Bytes.set corrupted i 'w';
+  (match Artifact.of_string (Bytes.to_string corrupted) with
+  | Ok _ -> Alcotest.fail "corrupted artifact parsed"
+  | Error e ->
+    Alcotest.(check bool) "mentions checksum" true (contains ~sub:"checksum" e))
+
+let test_truncation_rejected () =
+  let s = Artifact.to_string (artifact ()) in
+  match Artifact.of_string (String.sub s 0 (String.length s / 2)) with
+  | Ok _ -> Alcotest.fail "truncated artifact parsed"
+  | Error _ -> ()
+
+(* --- fingerprints ----------------------------------------------------- *)
+
+let test_fingerprint_sensitivity () =
+  let fp = Artifact.fingerprint ~network system config in
+  let other_net = Case_study.controller_of_width 12 in
+  let fp_net =
+    Artifact.fingerprint ~network:other_net (Case_study.system_of_network other_net) config
+  in
+  Alcotest.(check bool) "different network, different combined" true
+    (fp.Artifact.combined <> fp_net.Artifact.combined);
+  Alcotest.(check string) "different network, same config hash" fp.Artifact.config_hash
+    fp_net.Artifact.config_hash;
+  let fp_gamma =
+    Artifact.fingerprint ~network system { config with Engine.gamma = config.Engine.gamma *. 2.0 }
+  in
+  Alcotest.(check bool) "different gamma, different config hash" true
+    (fp.Artifact.config_hash <> fp_gamma.Artifact.config_hash)
+
+let test_fingerprint_ignores_execution_strategy () =
+  let fp = Artifact.fingerprint ~network system config in
+  let fp_par =
+    Artifact.fingerprint ~network system
+      {
+        config with
+        Engine.jobs = 8;
+        smt = { config.Engine.smt with Solver.jobs = 8; engine = Solver.Tree_eval };
+      }
+  in
+  Alcotest.(check string) "jobs/engine do not change the fingerprint" fp.Artifact.combined
+    fp_par.Artifact.combined
+
+(* --- store ------------------------------------------------------------ *)
+
+let test_store_roundtrip () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let dir = Store.save ~root ~network a in
+  Alcotest.(check string) "entry dir is the content address"
+    (Store.dir_of ~root a.Artifact.fingerprint.Artifact.combined)
+    dir;
+  (match Store.load ~root a.Artifact.fingerprint.Artifact.combined with
+  | Error _ -> Alcotest.fail "saved entry failed to load"
+  | Ok entry ->
+    Alcotest.(check bool) "network stored" true (entry.Store.network <> None);
+    Alcotest.(check string) "fingerprint" a.Artifact.fingerprint.Artifact.combined
+      entry.Store.artifact.Artifact.fingerprint.Artifact.combined);
+  Alcotest.(check (list string)) "list" [ a.Artifact.fingerprint.Artifact.combined ]
+    (Store.list ~root);
+  match Store.load ~root "deadbeef" with
+  | Error Store.Missing -> ()
+  | _ -> Alcotest.fail "missing entry should report Missing"
+
+let test_store_detects_corruption () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let dir = Store.save ~root a in
+  let path = Filename.concat dir Store.cert_file in
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.map (function '7' -> '8' | c -> c) contents);
+  close_out oc;
+  match Store.load ~root a.Artifact.fingerprint.Artifact.combined with
+  | Error (Store.Corrupt _) -> ()
+  | Error Store.Missing -> Alcotest.fail "corrupted entry reported Missing"
+  | Ok _ -> Alcotest.fail "corrupted entry loaded"
+
+(* --- checker ---------------------------------------------------------- *)
+
+let audit ?network:net a =
+  fst (Checker.audit ?network:net ~system a)
+
+let test_audit_certifies_genuine () =
+  Alcotest.check check_verdict "genuine artifact" Checker.Certified
+    (audit ~network (artifact ()));
+  (* Diversity engine: same verdict via the tree-walking evaluator. *)
+  Alcotest.check check_verdict "diverse engine" Checker.Certified
+    (fst (Checker.audit ~engine:Solver.Tree_eval ~network ~system (artifact ())))
+
+let test_audit_rejects_tampered_coeff () =
+  let a = artifact () in
+  let coeffs = Array.copy a.Artifact.coeffs in
+  (* Scaling a diagonal coefficient up keeps the form positive definite
+     (so the structural check passes) but lifts W above the level on X0. *)
+  coeffs.(0) <- coeffs.(0) *. 10.0;
+  match audit { a with Artifact.coeffs } with
+  | Checker.Rejected (Checker.Condition_refuted _) -> ()
+  | v -> Alcotest.failf "tampered coeff: expected refutation, got %s" (Checker.string_of_verdict v)
+
+let test_audit_rejects_indefinite_form () =
+  let a = artifact () in
+  let coeffs = Array.copy a.Artifact.coeffs in
+  coeffs.(0) <- -.coeffs.(0);
+  match audit { a with Artifact.coeffs } with
+  | Checker.Rejected (Checker.Ill_formed _) -> ()
+  | v -> Alcotest.failf "indefinite form: expected Ill_formed, got %s" (Checker.string_of_verdict v)
+
+let test_audit_rejects_inflated_level () =
+  let a = artifact () in
+  match audit { a with Artifact.level = a.Artifact.level *. 100.0 } with
+  | Checker.Rejected (Checker.Condition_refuted { condition = 7; _ }) -> ()
+  | v ->
+    Alcotest.failf "inflated level: expected condition-7 refutation, got %s"
+      (Checker.string_of_verdict v)
+
+let test_audit_rejects_wrong_fingerprint () =
+  let a = artifact () in
+  let fp = { a.Artifact.fingerprint with Artifact.dynamics_hash = "0000" } in
+  (match audit { a with Artifact.fingerprint = fp } with
+  | Checker.Rejected (Checker.Fingerprint_mismatch { field = "dynamics"; _ }) -> ()
+  | v ->
+    Alcotest.failf "wrong dynamics hash: expected mismatch, got %s"
+      (Checker.string_of_verdict v));
+  (* The artifact binds a specific controller: auditing against a different
+     one must fail the nn-hash comparison. *)
+  match audit ~network:(Case_study.controller_of_width 12) a with
+  | Checker.Rejected (Checker.Fingerprint_mismatch { field = "network"; _ }) -> ()
+  | v ->
+    Alcotest.failf "wrong network: expected nn mismatch, got %s" (Checker.string_of_verdict v)
+
+let test_audit_rejects_arity_mismatch () =
+  let a = artifact () in
+  match audit { a with Artifact.coeffs = [| 1.0 |] } with
+  | Checker.Rejected (Checker.Ill_formed _) -> ()
+  | v -> Alcotest.failf "arity mismatch: expected Ill_formed, got %s" (Checker.string_of_verdict v)
+
+(* --- warm start ------------------------------------------------------- *)
+
+let test_warm_start_skips_lp () =
+  let cert = Lazy.force proved in
+  let report =
+    Engine.verify ~config ~warm_start:cert.Engine.coeffs ~rng:(Rng.create 99) system
+  in
+  (match report.Engine.outcome with
+  | Engine.Proved _ -> ()
+  | Engine.Failed _ -> Alcotest.fail "warm start failed to prove");
+  Alcotest.(check int) "LP skipped" 0 report.Engine.stats.Engine.lp_calls
+
+let test_warm_start_bad_arity_ignored () =
+  let report = Engine.verify ~config ~warm_start:[| 1.0 |] ~rng:(Rng.create 7) system in
+  (match report.Engine.outcome with
+  | Engine.Proved _ -> ()
+  | Engine.Failed _ -> Alcotest.fail "verify with ignored warm start failed");
+  Alcotest.(check bool) "LP ran" true (report.Engine.stats.Engine.lp_calls > 0)
+
+(* --- cache ------------------------------------------------------------ *)
+
+let test_cache_cold_then_hit () =
+  let root = fresh_store () in
+  let first = Cache.verify ~config ~network ~store:root ~rng:(Rng.create 7) system in
+  (match first.Cache.source with
+  | Cache.Cold -> ()
+  | s -> Alcotest.failf "first run should be cold, got %s" (Cache.string_of_source s));
+  Alcotest.(check bool) "first run exported" true (first.Cache.exported <> None);
+  let second = Cache.verify ~config ~network ~store:root ~rng:(Rng.create 8) system in
+  (match second.Cache.source with
+  | Cache.Cache_hit { fingerprint; _ } ->
+    Alcotest.(check string) "hit fingerprint" first.Cache.fingerprint.Artifact.combined
+      fingerprint
+  | s -> Alcotest.failf "second run should hit, got %s" (Cache.string_of_source s));
+  Alcotest.(check bool) "hit not re-exported" true (second.Cache.exported = None);
+  Alcotest.(check int) "hit runs no LP" 0 second.Cache.report.Engine.stats.Engine.lp_calls;
+  (* use_cache:false forces a cold run but still exports. *)
+  let forced =
+    Cache.verify ~config ~use_cache:false ~network ~store:root ~rng:(Rng.create 9) system
+  in
+  match forced.Cache.source with
+  | Cache.Cold -> ()
+  | s -> Alcotest.failf "no-cache run should be cold, got %s" (Cache.string_of_source s)
+
+let test_cache_warm_start_nearby () =
+  let root = fresh_store () in
+  let _ = Cache.verify ~config ~network ~store:root ~rng:(Rng.create 7) system in
+  let other = Case_study.controller_of_width 12 in
+  let second =
+    Cache.verify ~config ~network:other ~store:root ~rng:(Rng.create 7)
+      (Case_study.system_of_network other)
+  in
+  match second.Cache.source with
+  | Cache.Warm_started { donor } ->
+    Alcotest.(check bool) "donor is the stored entry" true (Store.list ~root |> List.mem donor);
+    Alcotest.(check int) "warm start skipped the LP" 0
+      second.Cache.report.Engine.stats.Engine.lp_calls
+  | s -> Alcotest.failf "expected warm start, got %s" (Cache.string_of_source s)
+
+let test_cache_rejects_tampered_hit () =
+  let root = fresh_store () in
+  let first = Cache.verify ~config ~network ~store:root ~rng:(Rng.create 7) system in
+  let dir = Option.get first.Cache.exported in
+  (* Rewrite the stored artifact with an inflated level (and a fresh
+     checksum, so only the audit can catch it). *)
+  let a = artifact () in
+  let tampered = { a with Artifact.level = a.Artifact.level *. 100.0 } in
+  let oc = open_out (Filename.concat dir Store.cert_file) in
+  output_string oc (Artifact.to_string tampered);
+  close_out oc;
+  let second = Cache.verify ~config ~network ~store:root ~rng:(Rng.create 8) system in
+  (match second.Cache.source with
+  | Cache.Cache_hit _ -> Alcotest.fail "tampered entry must not be served as a hit"
+  | Cache.Cold | Cache.Warm_started _ -> ());
+  match second.Cache.report.Engine.outcome with
+  | Engine.Proved _ -> ()
+  | Engine.Failed _ -> Alcotest.fail "fallback run after rejected hit failed"
+
+(* --- golden SMT-LIB dumps --------------------------------------------- *)
+
+(* The queries [dump_smt2] writes are the external-audit interface (dReal
+   scripts); their exact text is part of the artifact contract, so any
+   change must be a conscious golden-file update. *)
+let test_dump_smt2_golden () =
+  let net = Case_study.reference_controller in
+  let sys = Case_study.system_of_network net in
+  let template = Template.make Template.Quadratic sys.Engine.vars in
+  let cert = { Engine.template; coeffs = [| 1.0; 0.5; 2.0 |]; level = 1.0 } in
+  let dir = Filename.concat temp_root "smt2" in
+  let rec ensure d =
+    if not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  ensure dir;
+  let written = Engine.dump_smt2 sys cert ~dir in
+  Alcotest.(check int) "three queries" 3 (List.length written);
+  List.iter
+    (fun path ->
+      let golden = Filename.concat "golden" (Filename.basename path) in
+      let read p =
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      Alcotest.(check string) (Filename.basename path) (read golden) (read path))
+    written
+
+let () =
+  Alcotest.run "cert"
+    [
+      ( "artifact",
+        [
+          Alcotest.test_case "round-trip is bit-exact" `Quick test_roundtrip;
+          Alcotest.test_case "checksum rejects corruption" `Quick test_checksum_rejects_corruption;
+          Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
+          Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+          Alcotest.test_case "fingerprint ignores execution strategy" `Quick
+            test_fingerprint_ignores_execution_strategy;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "save/load/list round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corruption detected on load" `Quick test_store_detects_corruption;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "genuine artifact certified" `Quick test_audit_certifies_genuine;
+          Alcotest.test_case "tampered coeff refuted" `Quick test_audit_rejects_tampered_coeff;
+          Alcotest.test_case "indefinite form ill-formed" `Quick test_audit_rejects_indefinite_form;
+          Alcotest.test_case "inflated level refuted (cond 7)" `Quick
+            test_audit_rejects_inflated_level;
+          Alcotest.test_case "fingerprint mismatch rejected" `Quick
+            test_audit_rejects_wrong_fingerprint;
+          Alcotest.test_case "arity mismatch ill-formed" `Quick test_audit_rejects_arity_mismatch;
+        ] );
+      ( "warm-start",
+        [
+          Alcotest.test_case "stored coeffs skip the LP" `Quick test_warm_start_skips_lp;
+          Alcotest.test_case "bad arity ignored" `Quick test_warm_start_bad_arity_ignored;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cold then hit" `Quick test_cache_cold_then_hit;
+          Alcotest.test_case "nearby entry warm-starts" `Quick test_cache_warm_start_nearby;
+          Alcotest.test_case "tampered hit falls back to a real run" `Quick
+            test_cache_rejects_tampered_hit;
+        ] );
+      ("golden", [ Alcotest.test_case "dump_smt2 snapshot" `Quick test_dump_smt2_golden ]);
+    ]

@@ -115,6 +115,52 @@ let test_serialization_file () =
       let net2 = Nn.load path in
       check_float "file round-trip" (Nn.eval1 net [| 0.3; 0.7 |]) (Nn.eval1 net2 [| 0.3; 0.7 |]))
 
+(* The certificate fingerprint hashes Nn.to_string, so serialization must be
+   bit-exact: every float — negative zero, subnormals, values with no short
+   decimal form — must survive the round-trip with an identical bit
+   pattern. *)
+let prop_serialization_bit_exact =
+  let awkward =
+    [
+      0.0; -0.0; Float.min_float; -.Float.min_float;
+      (* subnormals *)
+      Float.min_float /. 4.0; -.(Float.min_float /. 1024.0); 4.9e-324;
+      1.0 +. epsilon_float; -1e308; 0.1; 1.0 /. 3.0; Float.pi;
+    ]
+  in
+  let gen_weight =
+    QCheck.Gen.(
+      oneof
+        [ oneofl awkward; float_range (-10.0) 10.0; map (fun f -> f *. 1e-300) (float_range (-1.0) 1.0) ])
+  in
+  QCheck.Test.make ~name:"serialization round-trip is bit-exact" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (list_size (return 12) gen_weight)))
+    (fun (nh, ws) ->
+      let net = Nn.controller ~rng:(Rng.create nh) ~hidden:nh in
+      (* Overwrite a prefix of the parameter vector with the awkward draws. *)
+      let theta = Nn.get_params net in
+      List.iteri (fun i w -> if i < Array.length theta then theta.(i) <- w) ws;
+      let net = Nn.set_params net theta in
+      let net2 = Nn.of_string (Nn.to_string net) in
+      let theta2 = Nn.get_params net2 in
+      Array.length theta = Array.length theta2
+      && Array.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           theta theta2
+      && String.equal (Nn.to_string net) (Nn.to_string net2))
+
+let test_decimal_backward_compat () =
+  (* Files written by the old decimal format (and hand-written ones, like
+     data/trained_nh10.nn) must still parse. *)
+  let net =
+    Nn.of_string "nn v1 input_dim 2 layers 1\nlayer 1 2 tansig\n0.5 -0.25\n0.125\n"
+  in
+  check_float "decimal weights parse" (Float.tanh ((0.5 *. 1.0) -. (0.25 *. 2.0) +. 0.125))
+    (Nn.eval1 net [| 1.0; 2.0 |]);
+  (* And a bit-exact round-trip through the new encoding. *)
+  let net2 = Nn.of_string (Nn.to_string net) in
+  Alcotest.(check string) "re-encoded identically" (Nn.to_string net) (Nn.to_string net2)
+
 let test_of_string_errors () =
   (try
      ignore (Nn.of_string "garbage");
@@ -189,6 +235,8 @@ let () =
           Alcotest.test_case "string round-trip" `Quick test_serialization_roundtrip;
           Alcotest.test_case "file round-trip" `Quick test_serialization_file;
           Alcotest.test_case "malformed input" `Quick test_of_string_errors;
+          Alcotest.test_case "decimal backward compat" `Quick test_decimal_backward_compat;
+          QCheck_alcotest.to_alcotest prop_serialization_bit_exact;
         ] );
       ( "widening",
         [
