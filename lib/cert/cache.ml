@@ -39,6 +39,28 @@ let report_of_hit cert (audit : Checker.stats) =
     counterexamples = [];
   }
 
+(* The audit re-proves conditions (5)-(7) against the rectangles, gamma and
+   delta recorded in the artifact itself, so an artifact describing a weaker
+   problem (shrunken rectangles, negative gamma) would audit clean against
+   its own problem.  Before an audit can count as a hit, the artifact must
+   therefore be bound to the *live* problem: its recorded fingerprint and
+   every problem field the audit trusts must equal the current config's,
+   bit-exactly.  Anything else is a miss, never a soundness hole. *)
+let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let rect_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (alo, ahi) (blo, bhi) -> float_bits_equal alo blo && float_bits_equal ahi bhi)
+       a b
+
+let binds_problem (a : Artifact.t) (fp : Artifact.fingerprint) (config : Engine.config) =
+  String.equal a.Artifact.fingerprint.Artifact.combined fp.Artifact.combined
+  && float_bits_equal a.Artifact.gamma config.Engine.gamma
+  && float_bits_equal a.Artifact.delta config.Engine.smt.Solver.delta
+  && rect_equal a.Artifact.x0_rect config.Engine.x0_rect
+  && rect_equal a.Artifact.safe_rect config.Engine.safe_rect
+
 let provenance_stats (st : Engine.stats) source =
   [
     ("source", source);
@@ -57,6 +79,8 @@ let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
     else
       match Store.load ~root:store fp.Artifact.combined with
       | Error _ -> None
+      | Ok entry when not (binds_problem entry.Store.artifact fp config) ->
+        None (* artifact records a different problem: never a hit *)
       | Ok entry -> (
         match
           Checker.audit ~engine:audit_engine ~budget ?network ~system entry.Store.artifact

@@ -3,10 +3,15 @@
     [verify] is {!Engine.verify} with a certificate store in front of it:
 
     - {b exact hit} — the problem's combined fingerprint is in the store:
-      the stored artifact is {e audited} ({!Checker.audit}, an independent
-      re-proof) and, when certified, returned without running CEGIS at all.
-      An artifact that fails its audit is treated as a miss — a stale or
-      tampered store can cost time, never soundness.
+      the stored artifact is first {e bound} to the live problem (its
+      recorded fingerprint, gamma, delta and rectangles must equal the
+      current config's bit-exactly — the audit re-proves the conditions
+      against the problem the artifact records, so an artifact rewritten
+      for a weaker problem would otherwise audit clean) and then
+      {e audited} ({!Checker.audit}, an independent re-proof); only a
+      certified, problem-bound artifact is returned without running CEGIS.
+      Anything else is treated as a miss — a stale or tampered store can
+      cost time, never soundness.
     - {b nearby miss} — no exact entry, but some entry shares the
       [config_hash] (same rectangles/template/options, different network):
       its coefficient vector seeds the engine as a warm-start candidate

@@ -67,6 +67,19 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
     Array.length a.Artifact.x0_rect <> Array.length a.Artifact.vars
     || Array.length a.Artifact.safe_rect <> Array.length a.Artifact.vars
   then reject (Ill_formed "rectangle arity does not match the variables")
+  else if not (Float.is_finite a.Artifact.gamma) || a.Artifact.gamma < 0.0 then
+    (* Condition (5) is the unsatisfiability of [lie >= -gamma]; with a
+       negative gamma, Unsat only bounds the Lie derivative below a
+       positive value, which does not entail decrease. *)
+    reject
+      (Ill_formed
+         (Printf.sprintf "gamma %h does not entail barrier decrease (must be finite and >= 0)"
+            a.Artifact.gamma))
+  else if not (Float.is_finite a.Artifact.delta) || a.Artifact.delta <= 0.0 then
+    reject
+      (Ill_formed
+         (Printf.sprintf "delta %h is not a valid solver precision (must be finite and > 0)"
+            a.Artifact.delta))
   else begin
     (* 2. Binding: recompute the content hashes the artifact claims. *)
     let dynamics = Artifact.hash_dynamics system in

@@ -24,13 +24,19 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Temp-file + rename so readers never observe a half-written artifact. *)
+(* Temp-file + rename so readers never observe a half-written artifact.
+   [Filename.temp_file] creates 0600 files; the store is meant to be
+   shareable (entry directories are 0755), so reopen them as 0644. *)
 let write_file path content =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir "cert" ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc content;
+         try Unix.chmod tmp 0o644 with Unix.Unix_error _ -> ())
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
@@ -39,10 +45,13 @@ let write_file path content =
 let save ~root ?network artifact =
   let dir = dir_of ~root artifact.Artifact.fingerprint.Artifact.combined in
   ensure_dir dir;
-  write_file (Filename.concat dir cert_file) (Artifact.to_string artifact);
+  (* The network goes first: cert.txt's presence is the entry's existence
+     signal, so a concurrent reader that sees the cert also sees its
+     network, never a cert paired with a missing/stale network. *)
   (match network with
   | None -> ()
   | Some net -> write_file (Filename.concat dir network_file) (Nn.to_string net));
+  write_file (Filename.concat dir cert_file) (Artifact.to_string artifact);
   dir
 
 let load_dir dir =

@@ -204,6 +204,29 @@ let test_audit_rejects_arity_mismatch () =
   | Checker.Rejected (Checker.Ill_formed _) -> ()
   | v -> Alcotest.failf "arity mismatch: expected Ill_formed, got %s" (Checker.string_of_verdict v)
 
+(* A negative recorded gamma turns condition (5)'s Unsat into a vacuous
+   bound (lie < |gamma|), so the checker must refuse it structurally
+   rather than "re-prove" a non-theorem. *)
+let test_audit_rejects_negative_gamma () =
+  let a = artifact () in
+  (match audit ~network { a with Artifact.gamma = -.Float.abs a.Artifact.gamma -. 1.0 } with
+  | Checker.Rejected (Checker.Ill_formed _) -> ()
+  | v -> Alcotest.failf "negative gamma: expected Ill_formed, got %s" (Checker.string_of_verdict v));
+  match audit ~network { a with Artifact.gamma = Float.nan } with
+  | Checker.Rejected (Checker.Ill_formed _) -> ()
+  | v -> Alcotest.failf "NaN gamma: expected Ill_formed, got %s" (Checker.string_of_verdict v)
+
+let test_audit_rejects_nonpositive_delta () =
+  let a = artifact () in
+  List.iter
+    (fun delta ->
+      match audit ~network { a with Artifact.delta } with
+      | Checker.Rejected (Checker.Ill_formed _) -> ()
+      | v ->
+        Alcotest.failf "delta %h: expected Ill_formed, got %s" delta
+          (Checker.string_of_verdict v))
+    [ 0.0; -1e-3; Float.infinity ]
+
 (* --- warm start ------------------------------------------------------- *)
 
 let test_warm_start_skips_lp () =
@@ -282,6 +305,31 @@ let test_cache_rejects_tampered_hit () =
   | Engine.Proved _ -> ()
   | Engine.Failed _ -> Alcotest.fail "fallback run after rejected hit failed"
 
+(* Semantic tampering with a valid checksum: the audit re-proves the
+   conditions against the problem the artifact itself records, so an
+   artifact rewritten for a weaker problem (shrunken rectangles, negated
+   gamma) audits clean against *its own* problem.  The cache must bind the
+   artifact to the live config and refuse the hit. *)
+let test_cache_rejects_tampered_problem_fields () =
+  let a = artifact () in
+  let shrink rect = Array.map (fun (lo, hi) -> (lo /. 2.0, hi /. 2.0)) rect in
+  List.iter
+    (fun (name, tampered) ->
+      let root = fresh_store () in
+      (* The fingerprint field is untouched, so Store.save plants the
+         tampered artifact exactly at the live problem's lookup address. *)
+      let _dir = Store.save ~root ~network tampered in
+      let result = Cache.verify ~config ~network ~store:root ~rng:(Rng.create 8) system in
+      match result.Cache.source with
+      | Cache.Cache_hit _ -> Alcotest.failf "%s must not be served as a hit" name
+      | Cache.Cold | Cache.Warm_started _ -> ())
+    [
+      ("shrunken safe_rect", { a with Artifact.safe_rect = shrink a.Artifact.safe_rect });
+      ("shrunken x0_rect", { a with Artifact.x0_rect = shrink a.Artifact.x0_rect });
+      ("negated gamma", { a with Artifact.gamma = -.a.Artifact.gamma -. 1.0 });
+      ("zeroed delta", { a with Artifact.delta = 0.0 });
+    ]
+
 (* --- golden SMT-LIB dumps --------------------------------------------- *)
 
 (* The queries [dump_smt2] writes are the external-audit interface (dReal
@@ -341,6 +389,9 @@ let () =
           Alcotest.test_case "fingerprint mismatch rejected" `Quick
             test_audit_rejects_wrong_fingerprint;
           Alcotest.test_case "arity mismatch ill-formed" `Quick test_audit_rejects_arity_mismatch;
+          Alcotest.test_case "negative gamma ill-formed" `Quick test_audit_rejects_negative_gamma;
+          Alcotest.test_case "nonpositive delta ill-formed" `Quick
+            test_audit_rejects_nonpositive_delta;
         ] );
       ( "warm-start",
         [
@@ -353,6 +404,8 @@ let () =
           Alcotest.test_case "nearby entry warm-starts" `Quick test_cache_warm_start_nearby;
           Alcotest.test_case "tampered hit falls back to a real run" `Quick
             test_cache_rejects_tampered_hit;
+          Alcotest.test_case "tampered problem fields never hit" `Quick
+            test_cache_rejects_tampered_problem_fields;
         ] );
       ("golden", [ Alcotest.test_case "dump_smt2 snapshot" `Quick test_dump_smt2_golden ]);
     ]
