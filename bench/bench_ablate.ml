@@ -49,13 +49,13 @@ let ablate_icp () =
       List.iter
         (fun (name, use_backward, use_mvf) ->
           let options = { Solver.default_options with Solver.use_backward; use_mvf } in
-          let t0 = Unix.gettimeofday () in
+          let t0 = Timing.now () in
           let verdict, st = Solver.solve ~options ~bounds formula in
           Format.printf "%6d | %13s | %8s | %9d | %9d | %8.3f@." width name
             (Format.asprintf "%a" Solver.pp_verdict verdict
             |> fun s -> if String.length s > 8 then String.sub s 0 8 else s)
             st.Solver.branches st.Solver.hc4_calls
-            (Unix.gettimeofday () -. t0))
+            (Timing.now () -. t0))
         [ ("hc4+mvf", true, true); ("hc4 only", true, false); ("forward-only", false, false) ])
     [ 10; 100 ]
 

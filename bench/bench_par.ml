@@ -40,7 +40,13 @@ let verdict_string = function
   | Solver.Delta_sat _ -> "delta-sat"
   | Solver.Unknown -> "unknown"
 
-type run = { jobs : int; wall_s : float; branches : int; verdict : string }
+type run = {
+  jobs : int;
+  wall_s : float;
+  branches : int;
+  verdict : string;
+  counters : (string * int) list;  (* Obs.Metrics totals over the repeats *)
+}
 
 (* Full mode benchmarks the CMA-ES-trained width-10 controller shipped with
    the repo (the paper's Table-1 subject) when present; smoke mode and the
@@ -135,9 +141,15 @@ let () =
     let (verdict, stats), dt = Timing.time (fun () -> Solver.solve ~options ~bounds formula) in
     (dt, stats.Solver.branches, verdict_string verdict)
   in
+  (* Timed runs keep the metrics sink ON: its overhead is one atomic add
+     per solver query (totals are recorded per solve, not per branch), so
+     the wall clock is unaffected while every run carries its counter
+     snapshot into the JSON. *)
+  Obs.Metrics.enable ();
   let runs =
     List.map
       (fun jobs ->
+        Obs.Metrics.reset ();
         let best = ref infinity and branches = ref 0 and verdict = ref "unknown" in
         for _ = 1 to max 1 repeats do
           let dt, br, v = time_once jobs in
@@ -149,7 +161,13 @@ let () =
         done;
         Format.printf "condition(5) jobs=%d  wall %.4fs  branches %d  %s@." jobs !best
           !branches !verdict;
-        { jobs; wall_s = !best; branches = !branches; verdict = !verdict })
+        {
+          jobs;
+          wall_s = !best;
+          branches = !branches;
+          verdict = !verdict;
+          counters = List.filter (fun (_, v) -> v <> 0) (Obs.Metrics.dump_counters ());
+        })
       jobs_list
   in
   let t1 =
@@ -169,28 +187,26 @@ let () =
         end)
       rest
   | [] -> ());
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"parallel_condition5_dubins\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
-  Buffer.add_string buf (Printf.sprintf "  \"delta\": %g,\n" delta);
-  Buffer.add_string buf (Printf.sprintf "  \"repeats\": %d,\n" repeats);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Pool.default_jobs ()));
-  Buffer.add_string buf "  \"runs\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"jobs\": %d, \"wall_s\": %.6f, \"branches\": %d, \"verdict\": \"%s\", \
-            \"speedup_vs_1\": %.3f}%s\n"
-           r.jobs r.wall_s r.branches r.verdict
-           (if r.wall_s > 0.0 then t1 /. r.wall_s else 1.0)
-           (if i = List.length runs - 1 then "" else ",")))
-    runs;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out out in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
+  let run_json r =
+    Obs.Json.Obj
+      [
+        ("jobs", Obs.Json.Int r.jobs);
+        ("wall_s", Obs.Json.Float r.wall_s);
+        ("branches", Obs.Json.Int r.branches);
+        ("verdict", Obs.Json.String r.verdict);
+        ("speedup_vs_1", Obs.Json.Float (if r.wall_s > 0.0 then t1 /. r.wall_s else 1.0));
+        ( "counters",
+          Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) r.counters) );
+      ]
+  in
+  Obs.Json.write_file out
+    (Obs.Json.Obj
+       [
+         ("bench", Obs.Json.String "parallel_condition5_dubins");
+         ("smoke", Obs.Json.Bool smoke);
+         ("delta", Obs.Json.Float delta);
+         ("repeats", Obs.Json.Int repeats);
+         ("recommended_domains", Obs.Json.Int (Pool.default_jobs ()));
+         ("runs", Obs.Json.List (List.map run_json runs));
+       ]);
   Format.printf "wrote %s@." out

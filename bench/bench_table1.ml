@@ -20,6 +20,12 @@ type row = {
   generator_total : float;
   other : float;
   total : float;
+  (* Per-stage averages for the machine-readable breakdown. *)
+  sim : float;
+  lp : float;
+  cond5 : float;
+  cond6 : float;
+  cond7 : float;
   proved : int;
   runs : int;
 }
@@ -30,49 +36,82 @@ let run_one width seed =
   let rng = Rng.create seed in
   let report = Engine.verify ~rng system in
   let st = report.Engine.stats in
-  (* "Computing generator" = the Fig-1 upper loop (LP + condition-5 SMT);
-     seed simulations, level-set selection and conditions (6)/(7) are the
-     paper's "other steps". *)
-  let generator = st.Engine.lp_time +. st.Engine.smt5_time in
   let proved = match report.Engine.outcome with Engine.Proved _ -> 1 | Engine.Failed _ -> 0 in
-  ( float_of_int st.Engine.candidate_iterations,
-    st.Engine.lp_time /. float_of_int (max 1 st.Engine.lp_calls),
-    st.Engine.smt5_time /. float_of_int (max 1 st.Engine.smt5_calls),
-    generator,
-    st.Engine.total_time -. generator,
-    st.Engine.total_time,
-    proved )
+  (st, proved)
 
 let bench_width ~seeds width =
   let runs = List.init seeds (fun i -> run_one width (1000 + i)) in
   let n = float_of_int seeds in
-  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 runs in
+  let avg f = List.fold_left (fun acc (st, _) -> acc +. f st) 0.0 runs /. n in
   {
     width;
-    avg_iters = sum (fun (it, _, _, _, _, _, _) -> it) /. n;
-    lp_per_call = sum (fun (_, lp, _, _, _, _, _) -> lp) /. n;
-    query_per_call = sum (fun (_, _, q, _, _, _, _) -> q) /. n;
-    generator_total = sum (fun (_, _, _, g, _, _, _) -> g) /. n;
-    other = sum (fun (_, _, _, _, o, _, _) -> o) /. n;
-    total = sum (fun (_, _, _, _, _, t, _) -> t) /. n;
-    proved = List.fold_left (fun acc (_, _, _, _, _, _, p) -> acc + p) 0 runs;
+    avg_iters = avg (fun st -> float_of_int st.Engine.candidate_iterations);
+    lp_per_call = avg (fun st -> st.Engine.lp_time /. float_of_int (max 1 st.Engine.lp_calls));
+    query_per_call =
+      avg (fun st -> st.Engine.smt5_time /. float_of_int (max 1 st.Engine.smt5_calls));
+    (* "Computing generator" = the Fig-1 upper loop (LP + condition-5 SMT);
+       seed simulations, level-set selection and conditions (6)/(7) are the
+       paper's "other steps". *)
+    generator_total = avg (fun st -> st.Engine.lp_time +. st.Engine.smt5_time);
+    other = avg (fun st -> st.Engine.total_time -. st.Engine.lp_time -. st.Engine.smt5_time);
+    total = avg (fun st -> st.Engine.total_time);
+    sim = avg (fun st -> st.Engine.sim_time);
+    lp = avg (fun st -> st.Engine.lp_time);
+    cond5 = avg (fun st -> st.Engine.smt5_time);
+    cond6 = avg (fun st -> st.Engine.smt6_time);
+    cond7 = avg (fun st -> st.Engine.smt7_time);
+    proved = List.fold_left (fun acc (_, p) -> acc + p) 0 runs;
     runs = seeds;
   }
 
-let run ~seeds =
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("width", Obs.Json.Int r.width);
+      ("avg_iters", Obs.Json.Float r.avg_iters);
+      ("lp_per_call_s", Obs.Json.Float r.lp_per_call);
+      ("query_per_call_s", Obs.Json.Float r.query_per_call);
+      ("generator_total_s", Obs.Json.Float r.generator_total);
+      ("other_s", Obs.Json.Float r.other);
+      ("total_s", Obs.Json.Float r.total);
+      ( "stages",
+        Obs.Json.Obj
+          [
+            ("simulation", Obs.Json.Float r.sim);
+            ("lp", Obs.Json.Float r.lp);
+            ("condition5", Obs.Json.Float r.cond5);
+            ("condition6", Obs.Json.Float r.cond6);
+            ("condition7", Obs.Json.Float r.cond7);
+          ] );
+      ("proved", Obs.Json.Int r.proved);
+      ("runs", Obs.Json.Int r.runs);
+    ]
+
+let run ?(out = "BENCH_table1.json") ~seeds () =
   Bench_common.hr "Table 1: safety-verification timing vs hidden-layer width";
   Format.printf
     "%6s | %9s | %8s | %9s | %9s | %8s | %8s | %s@."
     "Nh" "avg iters" "LP(s)" "Query(s)" "GenTot(s)" "Other(s)" "Total(s)" "proved";
   Format.printf "%s@." (String.make 84 '-');
-  List.iter
-    (fun width ->
-      let r = bench_width ~seeds width in
-      Format.printf
-        "%6d | %9.1f | %8.3f | %9.3f | %9.3f | %8.3f | %8.3f | %d/%d@."
-        r.width r.avg_iters r.lp_per_call r.query_per_call r.generator_total r.other r.total
-        r.proved r.runs)
-    widths;
+  let rows =
+    List.map
+      (fun width ->
+        let r = bench_width ~seeds width in
+        Format.printf
+          "%6d | %9.1f | %8.3f | %9.3f | %9.3f | %8.3f | %8.3f | %d/%d@."
+          r.width r.avg_iters r.lp_per_call r.query_per_call r.generator_total r.other r.total
+          r.proved r.runs;
+        r)
+      widths
+  in
+  Obs.Json.write_file out
+    (Obs.Json.Obj
+       [
+         ("bench", Obs.Json.String "table1_dubins");
+         ("seeds", Obs.Json.Int seeds);
+         ("rows", Obs.Json.List (List.map row_json rows));
+       ]);
+  Format.printf "wrote %s@." out;
   Format.printf
     "@.Shape check vs paper: LP per-call time ~flat; SMT query time grows with Nh;@.\
      iteration counts stay small (1-3); totals dominated by the SMT query column.@."

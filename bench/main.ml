@@ -27,7 +27,7 @@ let parse_args () =
 
 let () =
   let which, seeds = parse_args () in
-  let table1 () = Bench_table1.run ~seeds in
+  let table1 () = Bench_table1.run ~seeds () in
   let fig4 () = Bench_fig4.run ~seed:42 ~population:15 ~iterations:50 in
   let fig5 () = Bench_fig5.run ~seed:7 in
   let ablate () = Bench_ablate.run () in

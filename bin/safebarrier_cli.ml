@@ -134,6 +134,19 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Enable span tracing and write the collected span tree as versioned JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc =
+    "Write a structured JSON run report (per-stage times, metric counters, outcome) to \
+     $(docv).  The file is written even when verification fails, before the nonzero exit."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
 let make_config ~lie ~linear_terms ~gamma ~jobs =
   let base = Engine.default_config in
   {
@@ -161,7 +174,11 @@ let verify_via_store ~config ~budget ~rng ~store ~no_cache net system =
 
 let verify_cmd =
   let run width network seed lie linear_terms gamma deadline restarts seed_retry jobs store
-      no_cache =
+      no_cache trace_file report_file =
+    if trace_file <> None || report_file <> None then begin
+      Obs.Trace.enable ();
+      Obs.Metrics.enable ()
+    end;
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
     let config = make_config ~lie ~linear_terms ~gamma ~jobs in
@@ -169,6 +186,53 @@ let verify_cmd =
       match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
     in
     let rng = Rng.create seed in
+    (* Store runs measure the cache lookup/audit overhead around the engine,
+       so the run report can account for it as its own stage. *)
+    let store_wall = ref None in
+    (* Observability files are written before [finish_report]'s nonzero
+       exit, so a failed run still leaves its trace and report behind. *)
+    let finish report =
+      (match trace_file with Some path -> Obs.Trace.write_file path | None -> ());
+      (match report_file with
+      | None -> ()
+      | Some path ->
+        let stats = report.Engine.stats in
+        let extra_stages, total_seconds =
+          match !store_wall with
+          | Some dt when dt > stats.Engine.total_time ->
+            ( [
+                Obs.Report.stage ~name:"cache"
+                  ~seconds:(dt -. stats.Engine.total_time)
+                  ();
+              ],
+              dt )
+          | Some dt -> ([], Float.max dt stats.Engine.total_time)
+          | None -> ([], stats.Engine.total_time)
+        in
+        let meta =
+          [
+            ("controller",
+             Obs.Json.String
+               (match network with
+               | Some p -> p
+               | None -> Printf.sprintf "builtin-width-%d" width));
+            ("jobs", Obs.Json.Int jobs);
+            ("seed", Obs.Json.Int seed);
+            ("gamma", Obs.Json.Float gamma);
+          ]
+        in
+        let doc =
+          Obs.Report.make
+            ~meta:(Engine.outcome_meta report.Engine.outcome @ meta)
+            ~stages:(Engine.run_stages ~extra:extra_stages stats)
+            ~total_seconds
+            ~counters:(Obs.Metrics.dump_counters () |> List.filter (fun (_, v) -> v <> 0))
+            ~spans:(Obs.Trace.spans ()) ()
+        in
+        Obs.Report.write_file path doc;
+        Format.printf "run report: %s@." path);
+      finish_report report
+    in
     (* With a store, the cached/warm-started run replaces the plain first
        attempt; the restart ladders below only engage if it fails (and run
        cold — escalated configs no longer match the store fingerprint, so
@@ -176,13 +240,18 @@ let verify_cmd =
     let first_report =
       match store with
       | Some root ->
-        Some (verify_via_store ~config ~budget ~rng ~store:root ~no_cache net system).Cache.report
+        let result, dt =
+          Timing.time (fun () ->
+              verify_via_store ~config ~budget ~rng ~store:root ~no_cache net system)
+        in
+        store_wall := Some dt;
+        Some result.Cache.report
       | None -> if restarts = 0 then Some (Engine.verify ~config ~budget ~rng system) else None
     in
     match first_report with
-    | Some ({ Engine.outcome = Engine.Proved _; _ } as report) -> finish_report report
+    | Some ({ Engine.outcome = Engine.Proved _; _ } as report) -> finish report
     | first ->
-      if restarts = 0 then finish_report (Option.get first)
+      if restarts = 0 then finish (Option.get first)
       else if seed_retry then begin
         (* Plain fresh-seed restarts: same config every time, new seed traces. *)
         let rec go attempt =
@@ -195,7 +264,7 @@ let verify_cmd =
             go (attempt + 1)
           | Engine.Failed _ -> report
         in
-        finish_report (go 0)
+        finish (go 0)
       end
       else begin
         let res = Engine.verify_resilient ~config ~budget ~restarts ~rng system in
@@ -204,7 +273,7 @@ let verify_cmd =
             Format.printf "attempt %d (%s): %s@." (i + 1) a.Engine.label
               (outcome_string a.Engine.report.Engine.outcome))
           res.Engine.attempts;
-        finish_report res.Engine.best
+        finish res.Engine.best
       end
   in
   let doc = "Verify safety of an NN-controlled Dubins car via a barrier certificate." in
@@ -212,7 +281,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc)
     Term.(
       const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
-      $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg $ store_arg $ no_cache_arg)
+      $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg $ store_arg $ no_cache_arg
+      $ trace_arg $ report_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -496,6 +566,42 @@ let smt2_cmd =
   let doc = "Verify, then export the certificate's SMT queries as .smt2 files." in
   Cmd.v (Cmd.info "smt2" ~doc) Term.(const run $ network_arg $ width_arg $ seed_arg $ dir)
 
+(* --- report-validate --------------------------------------------------- *)
+
+let report_validate_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Run-report JSON file (written by verify --report).")
+  in
+  let min_coverage =
+    let doc =
+      "Additionally require the per-stage times to sum to at least $(docv) (a fraction in \
+       [0,1]) of the reported total_seconds."
+    in
+    Arg.(value & opt (some float) None & info [ "min-coverage" ] ~docv:"FRAC" ~doc)
+  in
+  let run file min_coverage =
+    match Obs.Json.read_file file with
+    | Error msg ->
+      Format.eprintf "report-validate: %s: %s@." file msg;
+      exit 1
+    | Ok json -> (
+      match Obs.Report.validate ?min_stage_coverage:min_coverage json with
+      | Ok () ->
+        Format.printf "%s: valid %s (schema version %d)@." file Obs.Report.schema_name
+          Obs.Report.schema_version
+      | Error msg ->
+        Format.eprintf "report-validate: %s: %s@." file msg;
+        exit 1)
+  in
+  let doc =
+    "Validate a JSON run report against the safebarrier.run_report schema (CI gating for \
+     verify --report)."
+  in
+  Cmd.v (Cmd.info "report-validate" ~doc) Term.(const run $ file $ min_coverage)
+
 (* --- plan -------------------------------------------------------------- *)
 
 let plan_cmd =
@@ -540,5 +646,6 @@ let () =
             falsify_cmd;
             lyapunov_cmd;
             smt2_cmd;
+            report_validate_cmd;
             plan_cmd;
           ]))

@@ -54,6 +54,8 @@ type stats = {
   smt5_calls : int;
   smt5_branches : int;
   smt67_time : float;
+  smt6_time : float;
+  smt7_time : float;
   sim_time : float;
   total_time : float;
   lp_rows : int;
@@ -166,6 +168,8 @@ type accounting = {
   mutable smt5_calls : int;
   mutable smt5_branches : int;
   mutable smt67_time : float;
+  mutable smt6_time : float;
+  mutable smt7_time : float;
   mutable sim_time : float;
   mutable candidate_iterations : int;
   mutable level_iterations : int;
@@ -181,6 +185,8 @@ let fresh_accounting () =
     smt5_calls = 0;
     smt5_branches = 0;
     smt67_time = 0.0;
+    smt6_time = 0.0;
+    smt7_time = 0.0;
     sim_time = 0.0;
     candidate_iterations = 0;
     level_iterations = 0;
@@ -209,6 +215,8 @@ let witness_to_state vars witness =
    skips the LP entirely; when the check refutes it, the witness becomes an
    ordinary CEX cut and the loop falls back to cold CEGIS from iteration 2
    with that cut already in place. *)
+let c_cex_cuts = Obs.Metrics.counter "cegis.cex_cuts"
+
 let find_generator ~budget ?warm_start config system acc template traces_ref cexs_ref =
   let timeout stage stop =
     acc.budget_stop <- Some stop;
@@ -232,9 +240,10 @@ let find_generator ~budget ?warm_start config system acc template traces_ref cex
         | None ->
           let outcome, lp_dt =
             Timing.time (fun () ->
-                Synthesis.synthesize ~options:config.synthesis ~budget
-                  ~cex_points:!cexs_ref ~template ~field:system.numeric_field
-                  !traces_ref)
+                Obs.Trace.with_span "synthesis.lp" (fun () ->
+                    Synthesis.synthesize ~options:config.synthesis ~budget
+                      ~cex_points:!cexs_ref ~template ~field:system.numeric_field
+                      !traces_ref))
           in
           acc.lp_time <- acc.lp_time +. lp_dt;
           acc.lp_calls <- acc.lp_calls + 1;
@@ -266,7 +275,9 @@ let find_generator ~budget ?warm_start config system acc template traces_ref cex
         in
         let rec decide options refinements =
           let (verdict, st), smt_dt =
-            Timing.time (fun () -> Solver.solve ~options ~budget ~bounds formula)
+            Timing.time (fun () ->
+                Obs.Trace.with_span "condition5" (fun () ->
+                    Solver.solve ~options ~budget ~bounds formula))
           in
           acc.smt5_time <- acc.smt5_time +. smt_dt;
           acc.smt5_calls <- acc.smt5_calls + 1;
@@ -293,9 +304,12 @@ let find_generator ~budget ?warm_start config system acc template traces_ref cex
                 (refinements + 1)
         in
         let continue_with x_star =
+          Obs.Metrics.incr c_cex_cuts;
           cexs_ref := x_star :: !cexs_ref;
           let trace, sim_dt =
-            Timing.time (fun () -> simulate_trace ~budget config system x_star)
+            Timing.time (fun () ->
+                Obs.Trace.with_span "cex_simulation" (fun () ->
+                    simulate_trace ~budget config system x_star))
           in
           acc.sim_time <- acc.sim_time +. sim_dt;
           traces_ref := trace :: !traces_ref;
@@ -338,6 +352,8 @@ let find_level ~budget config system acc template coeffs =
   in
   let result = Level_search.search ~budget spec template coeffs in
   acc.smt67_time <- acc.smt67_time +. result.Level_search.smt_time;
+  acc.smt6_time <- acc.smt6_time +. result.Level_search.smt6_time;
+  acc.smt7_time <- acc.smt7_time +. result.Level_search.smt7_time;
   acc.level_iterations <- acc.level_iterations + result.Level_search.iterations;
   match result.Level_search.level with
   | Ok level -> Ok level
@@ -349,6 +365,7 @@ let find_level ~budget config system acc template coeffs =
     Error (Timeout "level")
 
 let verify ?(config = default_config) ?(budget = Budget.unlimited) ?warm_start ~rng system =
+  Obs.Trace.with_span "engine.verify" @@ fun () ->
   (* The LP constrains W only where condition (5) is checked: D \ X0. *)
   let config =
     let synthesis =
@@ -379,10 +396,13 @@ let verify ?(config = default_config) ?(budget = Budget.unlimited) ?warm_start ~
          (and everything downstream of it) is identical for any [jobs]. *)
       let traces, seed_sim_dt =
         Timing.time (fun () ->
-            Array.to_list
-              (Pool.parallel_map ~jobs:config.jobs
-                 (simulate_trace ~budget config system)
-                 (Array.of_list seeds)))
+            Obs.Trace.with_span "seed_simulation" (fun () ->
+                Array.to_list
+                  (Pool.parallel_map ~jobs:config.jobs
+                     (fun x0 ->
+                       Obs.Trace.with_span "seed_trace" (fun () ->
+                           simulate_trace ~budget config system x0))
+                     (Array.of_list seeds))))
       in
       acc.sim_time <- acc.sim_time +. seed_sim_dt;
       traces_ref := traces;
@@ -417,6 +437,8 @@ let verify ?(config = default_config) ?(budget = Budget.unlimited) ?warm_start ~
         smt5_calls = acc.smt5_calls;
         smt5_branches = acc.smt5_branches;
         smt67_time = acc.smt67_time;
+        smt6_time = acc.smt6_time;
+        smt7_time = acc.smt7_time;
         sim_time = acc.sim_time;
         total_time;
         lp_rows = acc.lp_rows;
@@ -430,6 +452,57 @@ let exit_code = function
   | Proved _ -> 0
   | Failed (Timeout _) -> 3
   | Failed _ -> 2
+
+(* --- Run reports ----------------------------------------------------------- *)
+
+let run_stages ?(extra = []) (stats : stats) =
+  [
+    Obs.Report.stage ~name:"simulation" ~seconds:stats.sim_time ();
+    Obs.Report.stage ~calls:stats.lp_calls ~name:"lp" ~seconds:stats.lp_time ();
+    Obs.Report.stage ~calls:stats.smt5_calls ~name:"condition5" ~seconds:stats.smt5_time ();
+    Obs.Report.stage ~name:"condition6" ~seconds:stats.smt6_time ();
+    Obs.Report.stage ~name:"condition7" ~seconds:stats.smt7_time ();
+  ]
+  @ extra
+
+let outcome_meta outcome =
+  let reason_string = function
+    | Lp_failed s -> "lp failed: " ^ s
+    | Cex_budget_exhausted -> "cex budget exhausted"
+    | Level_range_empty -> "level range empty"
+    | Level_budget_exhausted -> "level budget exhausted"
+    | Solver_inconclusive s -> "solver inconclusive: " ^ s
+    | Timeout s -> "timeout: " ^ s
+    | Seed_shortfall (got, wanted) -> Printf.sprintf "seed shortfall: %d/%d" got wanted
+  in
+  match outcome with
+  | Proved cert ->
+    [
+      ("outcome", Obs.Json.String "proved");
+      ("level", Obs.Json.Float cert.level);
+    ]
+  | Failed reason ->
+    [
+      ("outcome", Obs.Json.String "failed");
+      ("failure", Obs.Json.String (reason_string reason));
+    ]
+
+let run_report ?generated_at ?(meta = []) ?(extra_stages = []) ?(spans = []) report =
+  let stats = report.stats in
+  let counter_meta =
+    [
+      ("candidate_iterations", Obs.Json.Int stats.candidate_iterations);
+      ("level_iterations", Obs.Json.Int stats.level_iterations);
+      ("smt5_branches", Obs.Json.Int stats.smt5_branches);
+      ("lp_rows", Obs.Json.Int stats.lp_rows);
+    ]
+  in
+  Obs.Report.make ?generated_at
+    ~meta:(outcome_meta report.outcome @ counter_meta @ meta)
+    ~stages:(run_stages ~extra:extra_stages stats)
+    ~total_seconds:stats.total_time
+    ~counters:(Obs.Metrics.dump_counters () |> List.filter (fun (_, v) -> v <> 0))
+    ~spans ()
 
 (* Retry/degradation ladder.  Each rung transforms the previous attempt's
    config, so escalations accumulate: once δ is widened it stays widened

@@ -61,6 +61,8 @@ type stats = {
   smt5_calls : int;
   smt5_branches : int;  (** branch-and-prune boxes over all (5) queries *)
   smt67_time : float;  (** total seconds deciding conditions (6)/(7) *)
+  smt6_time : float;  (** condition-(6) share of [smt67_time] *)
+  smt7_time : float;  (** condition-(7) share of [smt67_time] *)
   sim_time : float;
       (** trace generation — wall clock of the (possibly parallel) seed
           batch plus the sequential CEX re-simulations *)
@@ -150,6 +152,29 @@ val exit_code : outcome -> int
 (** Process exit code for CLI/CI gating: 0 for [Proved], 3 for
     [Failed (Timeout _)], 2 for every other failure.  (1 is left to the
     [check] subcommand's audit rejection, and cmdliner reserves 123–125.) *)
+
+(** {1 Run reports} *)
+
+val outcome_meta : outcome -> (string * Obs.Json.t) list
+(** Report-meta fields describing an outcome: [outcome] ("proved"/"failed")
+    plus the level or a human-readable failure reason. *)
+
+val run_stages : ?extra:Obs.Report.stage list -> stats -> Obs.Report.stage list
+(** The pipeline's per-stage time breakdown as report stages: [simulation],
+    [lp], [condition5], [condition6], [condition7], followed by [extra]
+    (e.g. a certificate-cache stage added by the CLI). *)
+
+val run_report :
+  ?generated_at:float ->
+  ?meta:(string * Obs.Json.t) list ->
+  ?extra_stages:Obs.Report.stage list ->
+  ?spans:Obs.Trace.span list ->
+  report ->
+  Obs.Json.t
+(** Versioned [safebarrier.run_report] JSON document for one {!verify}
+    run: outcome and iteration counts in [meta], {!run_stages} as the
+    stage table, [stats.total_time] as the total, plus a snapshot of all
+    non-zero {!Obs.Metrics} counters and (optionally) the span tree. *)
 
 (** {1 Resilient verification} *)
 

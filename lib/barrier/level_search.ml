@@ -17,7 +17,11 @@ type result = {
   level : (float, failure) Result.t;
   iterations : int;
   smt_time : float;
+  smt6_time : float;
+  smt7_time : float;
 }
+
+let c_bisections = Obs.Metrics.counter "level_search.bisections"
 
 let rect_bounds vars rect =
   Array.to_list (Array.mapi (fun i v -> (v, fst rect.(i), snd rect.(i))) vars)
@@ -56,14 +60,24 @@ let ellipsoid_center template coeffs p =
     Vec.scale (-0.5) (Lu.solve p b)
 
 let search ?(budget = Budget.unlimited) spec template coeffs =
-  let iterations = ref 0 and smt_time = ref 0.0 in
+  Obs.Trace.with_span "level_search.search" @@ fun () ->
+  let iterations = ref 0 in
+  let smt6_time = ref 0.0 and smt7_time = ref 0.0 in
   let p = Template.p_matrix template coeffs in
   let w_of_point x = Template.w_eval template coeffs x in
-  let finish level = { level; iterations = !iterations; smt_time = !smt_time } in
+  let finish level =
+    {
+      level;
+      iterations = !iterations;
+      smt_time = !smt6_time +. !smt7_time;
+      smt6_time = !smt6_time;
+      smt7_time = !smt7_time;
+    }
+  in
   match
     let center = ellipsoid_center template coeffs p in
     (center, Levelset.analytic_range_centered ~p ~center ~w_of_point ~x0_rect:spec.x0_rect
-               ~safe_rect:spec.unsafe_rect)
+               ~unsafe_complement_rect:spec.unsafe_rect)
   with
   | exception Levelset.Not_definite -> finish (Error Range_empty)
   | exception Invalid_argument _ -> finish (Error Range_empty)
@@ -76,11 +90,13 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
          distinguished (via [stats.interrupted]) from a plain Unknown so the
          caller can report Timeout rather than Inconclusive. *)
       let interrupted = ref None in
-      let solve formula bounds =
+      let solve span_name acc formula bounds =
         let (verdict, stats), dt =
-          Timing.time (fun () -> Solver.solve ~options:spec.smt ~budget ~bounds formula)
+          Timing.time (fun () ->
+              Obs.Trace.with_span span_name (fun () ->
+                  Solver.solve ~options:spec.smt ~budget ~bounds formula))
         in
-        smt_time := !smt_time +. dt;
+        acc := !acc +. dt;
         (match (verdict, stats.Solver.interrupted) with
         | Solver.Unknown, (Some (Budget.Deadline | Budget.Cancelled) as s) ->
           interrupted := s
@@ -94,6 +110,7 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
         if iter > spec.max_iters then Error Budget_exhausted
         else begin
           incr iterations;
+          Obs.Metrics.incr c_bisections;
           let level = 0.5 *. (lo +. hi) in
           let timed_out_or kind =
             match !interrupted with
@@ -101,7 +118,8 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
             | None -> Error (Inconclusive kind)
           in
           match
-            solve (condition6 template coeffs level) (rect_bounds spec.vars spec.x0_rect)
+            solve "condition6" smt6_time (condition6 template coeffs level)
+              (rect_bounds spec.vars spec.x0_rect)
           with
           | Solver.Unknown -> timed_out_or "condition (6)"
           | Solver.Delta_sat _ ->
@@ -121,7 +139,9 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
                 bbox
             in
             match
-              solve (condition7 spec template coeffs level) (rect_bounds spec.vars query_rect)
+              solve "condition7" smt7_time
+                (condition7 spec template coeffs level)
+                (rect_bounds spec.vars query_rect)
             with
             | Solver.Unknown -> timed_out_or "condition (7)"
             | Solver.Delta_sat _ ->

@@ -35,7 +35,9 @@ type failure =
 type result = {
   level : (float, failure) Result.t;
   iterations : int;
-  smt_time : float;  (** seconds spent in conditions (6)/(7) *)
+  smt_time : float;  (** seconds spent in conditions (6)/(7) combined *)
+  smt6_time : float;  (** seconds spent in condition (6) queries *)
+  smt7_time : float;  (** seconds spent in condition (7) queries *)
 }
 
 val condition6 : Template.t -> float array -> float -> Formula.t

@@ -29,7 +29,7 @@ let inverse_spd p =
   if not (Cholesky.is_positive_definite p) then raise Not_definite;
   Lu.inverse p
 
-let analytic_range ~p ~x0_rect ~safe_rect =
+let analytic_range ~p ~x0_rect ~unsafe_complement_rect =
   let p_inv = inverse_spd p in
   let l_min =
     List.fold_left
@@ -44,11 +44,11 @@ let analytic_range ~p ~x0_rect ~safe_rect =
         let q = Vec.dot a (Mat.mul_vec p_inv a) in
         Float.min acc (b *. b /. q))
       infinity
-      (complement_halfspaces safe_rect)
+      (complement_halfspaces unsafe_complement_rect)
   in
   { l_min; l_max }
 
-let analytic_range_centered ~p ~center ~w_of_point ~x0_rect ~safe_rect =
+let analytic_range_centered ~p ~center ~w_of_point ~x0_rect ~unsafe_complement_rect =
   let p_inv = inverse_spd p in
   let w_center = w_of_point center in
   let l_min =
@@ -65,7 +65,7 @@ let analytic_range_centered ~p ~center ~w_of_point ~x0_rect ~safe_rect =
         let q = Vec.dot a (Mat.mul_vec p_inv a) in
         Float.min acc (w_center +. (margin *. margin /. q)))
       infinity
-      (complement_halfspaces safe_rect)
+      (complement_halfspaces unsafe_complement_rect)
   in
   { l_min; l_max }
 

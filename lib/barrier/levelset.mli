@@ -32,27 +32,33 @@ exception Not_definite
     are then unbounded and no ellipsoidal barrier exists). *)
 
 val analytic_range :
-  p:Mat.t -> x0_rect:(float * float) array -> safe_rect:(float * float) array -> range
-(** Bounds for [X0 ⊂ L] and [L ∩ U = ∅].  Note the rectangle convention:
-    [safe_rect] holds the rectangle of safe states, and the unsafe set [U]
-    is its {e complement} — the faces of [safe_rect] are exactly the
-    half-space boundaries of [U] (see {!complement_halfspaces}).  Raises
-    {!Not_definite} when [P] is not SPD, and [Invalid_argument] when a
-    safe-rectangle face touches the origin side ([b ≤ 0]). *)
+  p:Mat.t ->
+  x0_rect:(float * float) array ->
+  unsafe_complement_rect:(float * float) array ->
+  range
+(** Bounds for [X0 ⊂ L] and [L ∩ U = ∅].  [unsafe_complement_rect] is the
+    rectangle whose {e complement} is the unsafe set [U] — its faces are
+    exactly the half-space boundaries of [U] (see
+    {!complement_halfspaces}).  (The parameter was formerly called
+    [safe_rect], which invited confusion with {!Level_search.spec}'s
+    [safe_rect] query domain: callers actually pass the {e unsafe-set}
+    rectangle here, e.g. [spec.unsafe_rect] in [Level_search.search].)
+    Raises {!Not_definite} when [P] is not SPD, and [Invalid_argument] when
+    a rectangle face touches the origin side ([b ≤ 0]). *)
 
 val analytic_range_centered :
   p:Mat.t ->
   center:float array ->
   w_of_point:(float array -> float) ->
   x0_rect:(float * float) array ->
-  safe_rect:(float * float) array ->
+  unsafe_complement_rect:(float * float) array ->
   range
 (** Generalization of {!analytic_range} to quadratics with linear terms:
     [W(x) = (x−x_c)ᵀP(x−x_c) + W(x_c)].  [w_of_point] evaluates the full
     [W]; separation from the half-space [aᵀx ≥ b] requires
     [ℓ < W(x_c) + (b − aᵀx_c)² / (aᵀP⁻¹a)] (and [aᵀx_c < b]).  The same
-    rectangle convention as {!analytic_range} applies: [safe_rect] is the
-    safe rectangle and [U] is its complement. *)
+    rectangle convention as {!analytic_range} applies:
+    [unsafe_complement_rect] bounds the region whose complement is [U]. *)
 
 val ellipsoid_bounding_box : p:Mat.t -> level:float -> (float * float) array
 (** Axis-aligned enclosure of [{xᵀPx ≤ ℓ}]: [|x_i| ≤ √(ℓ·(P⁻¹)_ii)]. *)

@@ -30,6 +30,8 @@ let report_of_hit cert (audit : Checker.stats) =
         smt5_calls = 1;
         smt5_branches = audit.Checker.branches;
         smt67_time = audit.Checker.cond67_time;
+        smt6_time = audit.Checker.cond6_time;
+        smt7_time = audit.Checker.cond7_time;
         sim_time = 0.0;
         total_time = audit.Checker.total_time;
         lp_rows = 0;
@@ -71,6 +73,10 @@ let provenance_stats (st : Engine.stats) source =
     ("total_time", Printf.sprintf "%.6f" st.Engine.total_time);
   ]
 
+let c_hits = Obs.Metrics.counter "cert_cache.hit"
+let c_misses = Obs.Metrics.counter "cert_cache.miss"
+let c_warm = Obs.Metrics.counter "cert_cache.warm_start"
+
 let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
     ?(audit_engine = Solver.Tape_eval) ?(use_cache = true) ?network ~store ~rng system =
   let fp = Artifact.fingerprint ?network system config in
@@ -83,13 +89,15 @@ let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
         None (* artifact records a different problem: never a hit *)
       | Ok entry -> (
         match
-          Checker.audit ~engine:audit_engine ~budget ?network ~system entry.Store.artifact
+          Obs.Trace.with_span "cache.audit" (fun () ->
+              Checker.audit ~engine:audit_engine ~budget ?network ~system entry.Store.artifact)
         with
         | Checker.Certified, audit -> Some (entry, audit)
         | Checker.Rejected _, _ -> None (* stale/tampered entry: fall through to a real run *))
   in
   match exact_hit with
   | Some (entry, audit) ->
+    Obs.Metrics.incr c_hits;
     {
       report = report_of_hit (Artifact.certificate entry.Store.artifact) audit;
       source = Cache_hit { fingerprint = fp.Artifact.combined; audit };
@@ -97,10 +105,12 @@ let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
       exported = None;
     }
   | None ->
+    Obs.Metrics.incr c_misses;
     let donor = if use_cache then Store.find_nearby ~root:store fp else None in
     let warm_start =
       Option.map (fun e -> e.Store.artifact.Artifact.coeffs) donor
     in
+    if warm_start <> None then Obs.Metrics.incr c_warm;
     let report = Engine.verify ~config ~budget ?warm_start ~rng system in
     let source =
       match donor with

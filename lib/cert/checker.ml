@@ -20,7 +20,14 @@ let string_of_verdict = function
   | Certified -> "CERTIFIED"
   | Rejected r -> "REJECTED — " ^ string_of_rejection r
 
-type stats = { cond5_time : float; cond67_time : float; branches : int; total_time : float }
+type stats = {
+  cond5_time : float;
+  cond67_time : float;
+  cond6_time : float;
+  cond7_time : float;
+  branches : int;
+  total_time : float;
+}
 
 let exit_code = function Certified -> 0 | Rejected _ -> 1
 
@@ -29,13 +36,16 @@ let rect_bounds vars rect =
 
 let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
     ~(system : Engine.system) (a : Artifact.t) =
+  Obs.Trace.with_span "checker.audit" @@ fun () ->
   let t_start = Timing.now () in
-  let acc5 = ref 0.0 and acc67 = ref 0.0 and branches = ref 0 in
+  let acc5 = ref 0.0 and acc6 = ref 0.0 and acc7 = ref 0.0 and branches = ref 0 in
   let finish verdict =
     ( verdict,
       {
         cond5_time = !acc5;
-        cond67_time = !acc67;
+        cond67_time = !acc6 +. !acc7;
+        cond6_time = !acc6;
+        cond7_time = !acc7;
         branches = !branches;
         total_time = Timing.now () -. t_start;
       } )
@@ -45,7 +55,12 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
   (* The audit decides each condition once, at the δ the proof was accepted
      at; Unsat is the only certifying answer. *)
   let decide ~condition ~acc ~bounds formula k =
-    let (verdict, st), dt = Timing.time (fun () -> Solver.solve ~options ~budget ~bounds formula) in
+    let (verdict, st), dt =
+      Timing.time (fun () ->
+          Obs.Trace.with_span
+            (Printf.sprintf "checker.condition%d" condition)
+            (fun () -> Solver.solve ~options ~budget ~bounds formula))
+    in
     acc := !acc +. dt;
     branches := !branches + st.Solver.branches;
     match verdict with
@@ -138,7 +153,7 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
               (Engine.condition5_formula system config cert)
               (fun () ->
                 (* Condition (6): X0 inside the ℓ-sublevel set. *)
-                decide ~condition:6 ~acc:acc67
+                decide ~condition:6 ~acc:acc6
                   ~bounds:(rect_bounds a.Artifact.vars a.Artifact.x0_rect)
                   (Engine.condition6_formula cert)
                   (fun () ->
@@ -163,7 +178,7 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
                         bbox
                     with
                     | query_rect ->
-                      decide ~condition:7 ~acc:acc67
+                      decide ~condition:7 ~acc:acc7
                         ~bounds:(rect_bounds a.Artifact.vars query_rect)
                         (Formula.and_
                            [

@@ -46,7 +46,9 @@ val string_of_verdict : verdict -> string
 
 type stats = {
   cond5_time : float;
-  cond67_time : float;
+  cond67_time : float;  (** [cond6_time +. cond7_time] *)
+  cond6_time : float;
+  cond7_time : float;
   branches : int;  (** branch-and-prune boxes over all three queries *)
   total_time : float;
 }

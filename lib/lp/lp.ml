@@ -150,6 +150,10 @@ exception Stop of Budget.stop
    termination is guaranteed.  [budget] and [pivots] bound the iteration
    count: each pivot is O(m·n), so a cycling or huge LP is cut off with a
    structured [Stopped] instead of spinning past its deadline. *)
+(* Pivot totals are recorded per simplex run (merged count, not per
+   iteration), keeping the inner loop free of instrumentation. *)
+let c_pivots = Obs.Metrics.counter "lp.pivots"
+
 let run_simplex ?(budget = Budget.unlimited) ?max_pivots t ~allowed =
   let m = Array.length t.a in
   let stall = ref 0 in
@@ -221,7 +225,9 @@ let run_simplex ?(budget = Budget.unlimited) ?max_pivots t ~allowed =
       end
     end
   in
-  try iterate () with Stop s -> Stopped s
+  let outcome = try iterate () with Stop s -> Stopped s in
+  Obs.Metrics.add c_pivots !pivots;
+  outcome
 
 let minimize_exn ~budget ?max_pivots p =
   let maps, ny, rows, obj_row, obj_shift = translate p in
@@ -386,6 +392,7 @@ let minimize_exn ~budget ?max_pivots p =
   end
 
 let minimize ?(budget = Budget.unlimited) ?max_pivots p =
+  Obs.Trace.with_span "lp.minimize" @@ fun () ->
   try minimize_exn ~budget ?max_pivots p with Stop s -> Timeout s
 
 let maximize ?budget ?max_pivots p =

@@ -1,0 +1,37 @@
+(** Minimal dependency-free JSON: a value type, a deterministic printer,
+    and a small parser — enough to emit and validate run reports and trace
+    files without external libraries.
+
+    Printing is deterministic: object keys stay in construction order and
+    floats render at 9 significant digits, so identical inputs produce
+    byte-identical documents (golden-file friendly).  Non-finite floats
+    have no JSON representation and print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Render; [indent] (default true) pretty-prints with two-space
+    indentation and a trailing newline. *)
+
+val write_file : string -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  Numbers without a fraction or
+    exponent land in [Int]; everything else in [Float]. *)
+
+val read_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] — field lookup; [None] on non-objects. *)
+
+val number : t -> float option
+(** [Int]/[Float] as a float; [None] otherwise. *)

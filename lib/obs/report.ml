@@ -1,0 +1,121 @@
+type stage = { name : string; seconds : float; calls : int option }
+
+let schema_name = "safebarrier.run_report"
+
+let schema_version = 1
+
+let stage ?calls ~name ~seconds () = { name; seconds; calls }
+
+let stage_json s =
+  Json.Obj
+    (("name", Json.String s.name)
+     :: ("seconds", Json.Float s.seconds)
+     :: (match s.calls with Some c -> [ ("calls", Json.Int c) ] | None -> []))
+
+let make ?(generated_at = Timing.wall ()) ?(meta = []) ?(stages = []) ?(total_seconds = 0.0)
+    ?(counters = []) ?(spans = []) () =
+  Json.Obj
+    ([
+       ("schema", Json.String schema_name);
+       ("schema_version", Json.Int schema_version);
+       ("generated_at_unix", Json.Float generated_at);
+       ("meta", Json.Obj meta);
+       ("total_seconds", Json.Float total_seconds);
+       ("stages", Json.List (List.map stage_json stages));
+     ]
+    @ (if counters = [] then []
+       else [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)) ])
+    @ if spans = [] then [] else [ ("spans", Trace.to_json spans) ])
+
+let write_file path t = Json.write_file path t
+
+(* --- Validation -----------------------------------------------------------
+   Structural schema check plus the optional stage-coverage invariant the
+   CI gates on: the per-stage breakdown must account for at least
+   [min_stage_coverage] of the reported total wall time. *)
+
+let validate ?min_stage_coverage t =
+  let ( let* ) r f = Result.bind r f in
+  let field k =
+    match Json.member k t with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing required field %S" k)
+  in
+  let* schema = field "schema" in
+  let* () =
+    match schema with
+    | Json.String s when String.equal s schema_name -> Ok ()
+    | Json.String s -> Error (Printf.sprintf "schema is %S, expected %S" s schema_name)
+    | _ -> Error "schema is not a string"
+  in
+  let* version = field "schema_version" in
+  let* () =
+    match version with
+    | Json.Int v when v = schema_version -> Ok ()
+    | Json.Int v -> Error (Printf.sprintf "schema_version %d unsupported (expected %d)" v schema_version)
+    | _ -> Error "schema_version is not an integer"
+  in
+  let* generated = field "generated_at_unix" in
+  let* () =
+    match Json.number generated with
+    | Some _ -> Ok ()
+    | None -> Error "generated_at_unix is not a number"
+  in
+  let* total = field "total_seconds" in
+  let* total =
+    match Json.number total with
+    | Some f when f >= 0.0 -> Ok f
+    | Some _ -> Error "total_seconds is negative"
+    | None -> Error "total_seconds is not a number"
+  in
+  let* stages = field "stages" in
+  let* stage_list =
+    match stages with Json.List l -> Ok l | _ -> Error "stages is not an array"
+  in
+  let* stage_sum =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* name =
+          match Json.member "name" s with
+          | Some (Json.String n) -> Ok n
+          | _ -> Error "stage entry without a string name"
+        in
+        let* seconds =
+          match Option.bind (Json.member "seconds" s) Json.number with
+          | Some f when f >= 0.0 -> Ok f
+          | Some _ -> Error (Printf.sprintf "stage %S has negative seconds" name)
+          | None -> Error (Printf.sprintf "stage %S has no numeric seconds" name)
+        in
+        let* () =
+          match Json.member "calls" s with
+          | None | Some (Json.Int _) -> Ok ()
+          | Some _ -> Error (Printf.sprintf "stage %S has a non-integer calls field" name)
+        in
+        Ok (acc +. seconds))
+      (Ok 0.0) stage_list
+  in
+  let* () =
+    match Json.member "counters" t with
+    | None | Some (Json.Obj _) -> Ok ()
+    | Some _ -> Error "counters is not an object"
+  in
+  let* () =
+    match Json.member "spans" t with
+    | None | Some (Json.List _) -> Ok ()
+    | Some _ -> Error "spans is not an array"
+  in
+  match min_stage_coverage with
+  | None -> Ok ()
+  | Some frac ->
+    if total <= 0.0 then Ok ()
+    else begin
+      let coverage = stage_sum /. total in
+      if coverage +. 1e-12 >= frac then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "stage coverage %.1f%% below the required %.1f%% (stages sum to %.6fs of %.6fs \
+              total)"
+             (100.0 *. coverage) (100.0 *. frac) stage_sum total)
+    end

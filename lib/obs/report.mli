@@ -1,0 +1,35 @@
+(** Versioned JSON run reports.
+
+    A report aggregates the per-stage time breakdown, metric counters, and
+    optionally the span tree of one verification run under the
+    [safebarrier.run_report] schema (version {!schema_version}).  The
+    document is plain {!Json.t}, so callers can graft extra fields before
+    writing. *)
+
+val schema_name : string
+
+val schema_version : int
+
+type stage
+
+val stage : ?calls:int -> name:string -> seconds:float -> unit -> stage
+
+val make :
+  ?generated_at:float ->
+  ?meta:(string * Json.t) list ->
+  ?stages:stage list ->
+  ?total_seconds:float ->
+  ?counters:(string * int) list ->
+  ?spans:Trace.span list ->
+  unit ->
+  Json.t
+(** Build a report document.  [generated_at] defaults to {!Timing.wall}
+    (the raw wall clock — human timestamps, not deadlines); pass it
+    explicitly for deterministic output in tests. *)
+
+val write_file : string -> Json.t -> unit
+
+val validate : ?min_stage_coverage:float -> Json.t -> (unit, string) result
+(** Structural schema check.  With [min_stage_coverage] (a fraction in
+    [0,1]), additionally require the stage seconds to sum to at least that
+    share of [total_seconds] — the invariant CI gates on. *)

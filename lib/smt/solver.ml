@@ -409,8 +409,16 @@ let solve_conjunction_par ~opts ~budget st ~index_of names initial atoms =
       | _ -> Unsat)
   end
 
+(* Counters are bumped once per query with the merged totals (not inside
+   the branch loop), so the numbers are identical across job counts. *)
+let c_solves = Obs.Metrics.counter "solver.solves"
+let c_branches = Obs.Metrics.counter "solver.branches"
+let c_prunes = Obs.Metrics.counter "solver.prunes"
+let c_hc4 = Obs.Metrics.counter "solver.hc4_revise"
+
 let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds formula =
-  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span "solver.solve" @@ fun () ->
+  let t0 = Timing.now () in
   let st = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
   let names = Array.of_list (List.map (fun (n, _, _) -> n) bounds) in
   (* Index the bounds once: used for duplicate/coverage validation here and
@@ -452,13 +460,17 @@ let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds form
         Unknown)
   in
   let verdict = try_disjuncts false disjuncts in
+  Obs.Metrics.incr c_solves;
+  Obs.Metrics.add c_branches st.branches;
+  Obs.Metrics.add c_prunes st.prunes;
+  Obs.Metrics.add c_hc4 st.hc4_calls;
   let stats =
     {
       branches = st.branches;
       prunes = st.prunes;
       hc4_calls = st.hc4_calls;
       max_depth = st.max_depth;
-      elapsed = Unix.gettimeofday () -. t0;
+      elapsed = Float.max 0.0 (Timing.now () -. t0);
       interrupted = !interrupted;
     }
   in

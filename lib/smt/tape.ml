@@ -59,8 +59,11 @@ let compile_counter = Atomic.make 0
 
 let compile_count () = Atomic.get compile_counter
 
+let c_compiles = Obs.Metrics.counter "tape.compile"
+
 let compile ~index_of ?(partials = [||]) (atom : Formula.atom) =
   Atomic.incr compile_counter;
+  Obs.Metrics.incr c_compiles;
   let pool = Dag.create () in
   let atom_root = Dag.intern pool atom.Formula.expr in
   let hc4_limit = Dag.node_count pool in

@@ -1,7 +1,7 @@
 type stop = Deadline | Branch_budget | Cancelled
 
 type t = {
-  deadline : float option; (* absolute, Timing.now scale *)
+  deadline : float option; (* absolute, on the monotonic Timing.now scale *)
   pool : int Atomic.t option; (* shared across sub-budgets and domains *)
   cancel : unit -> bool;
 }

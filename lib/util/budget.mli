@@ -29,10 +29,16 @@ val unlimited : t
 val make :
   ?deadline:float -> ?timeout:float -> ?branches:int -> ?cancel:(unit -> bool) -> unit -> t
 (** [make ()] builds a budget from any combination of limits:
-    [deadline] is an absolute time (seconds since the epoch, as
-    {!Timing.now}); [timeout] is relative seconds from now (the tighter of
-    the two wins); [branches] seeds a shared pool consumed via
-    {!consume_branches}; [cancel] is polled on every {!check}. *)
+    [deadline] is an absolute time on the {e monotonic} {!Timing.now}
+    scale — never a raw wall-clock ([Timing.wall]) timestamp, which may
+    step in either direction; [timeout] is relative seconds from now (the
+    tighter of the two wins); [branches] seeds a shared pool consumed via
+    {!consume_branches}; [cancel] is polled on every {!check}.
+
+    Because every deadline lives on the monotonic scale, a backwards jump
+    of the system wall clock can neither expire a deadline early nor
+    extend it: {!Timing.now} simply holds still until the raw clock
+    catches up. *)
 
 val with_timeout : float -> t
 (** [with_timeout s] expires [s] seconds from now. *)

@@ -181,7 +181,7 @@ let test_analytic_range () =
        y-faces: b=2, a=(0,±1): aP⁻¹a = 1/4 -> 4/0.25 = 16. *)
   let r =
     Levelset.analytic_range ~p:p_identityish ~x0_rect:[| (-1.0, 1.0); (-1.0, 1.0) |]
-      ~safe_rect:[| (-5.0, 5.0); (-2.0, 2.0) |]
+      ~unsafe_complement_rect:[| (-5.0, 5.0); (-2.0, 2.0) |]
   in
   check_float "l_min" 5.0 r.Levelset.l_min;
   check_float "l_max" 16.0 r.Levelset.l_max
@@ -191,7 +191,7 @@ let test_analytic_range_not_definite () =
   Alcotest.check_raises "indefinite" Levelset.Not_definite (fun () ->
       ignore
         (Levelset.analytic_range ~p:indefinite ~x0_rect:[| (-1.0, 1.0); (-1.0, 1.0) |]
-           ~safe_rect:[| (-5.0, 5.0); (-2.0, 2.0) |]))
+           ~unsafe_complement_rect:[| (-5.0, 5.0); (-2.0, 2.0) |]))
 
 let test_bounding_box () =
   let bb = Levelset.ellipsoid_bounding_box ~p:p_identityish ~level:4.0 in
@@ -211,11 +211,11 @@ let test_boundary_points_on_level () =
 let test_range_centered_matches_plain () =
   (* With center 0 and w_of_point = quadratic form, both functions agree. *)
   let x0 = [| (-1.0, 1.0); (-1.0, 1.0) |] and safe = [| (-5.0, 5.0); (-2.0, 2.0) |] in
-  let plain = Levelset.analytic_range ~p:p_identityish ~x0_rect:x0 ~safe_rect:safe in
+  let plain = Levelset.analytic_range ~p:p_identityish ~x0_rect:x0 ~unsafe_complement_rect:safe in
   let centered =
     Levelset.analytic_range_centered ~p:p_identityish ~center:[| 0.0; 0.0 |]
       ~w_of_point:(fun v -> Mat.quadratic_form p_identityish v)
-      ~x0_rect:x0 ~safe_rect:safe
+      ~x0_rect:x0 ~unsafe_complement_rect:safe
   in
   check_float "l_min" plain.Levelset.l_min centered.Levelset.l_min;
   check_float "l_max" plain.Levelset.l_max centered.Levelset.l_max

@@ -110,6 +110,46 @@ let test_timing_accumulator () =
   Timing.reset acc;
   Alcotest.(check int) "reset count" 0 (Timing.count acc)
 
+(* Run [f] against an injectable raw clock, always restoring the real one. *)
+let with_fake_clock cell f =
+  Timing.set_clock_for_tests (Some (fun () -> !cell));
+  Fun.protect ~finally:(fun () -> Timing.set_clock_for_tests None) f
+
+let test_timing_monotonic_under_backwards_jump () =
+  let clock = ref 100.0 in
+  with_fake_clock clock (fun () ->
+      check_float "reads the raw clock" 100.0 (Timing.now ());
+      clock := 50.0;  (* NTP-style backwards step *)
+      check_float "never decreases" 100.0 (Timing.now ());
+      clock := 100.5;
+      check_float "resumes once raw catches up" 100.5 (Timing.now ()))
+
+let test_timing_accumulator_clamped_under_backwards_jump () =
+  let clock = ref 100.0 in
+  with_fake_clock clock (fun () ->
+      let acc = Timing.accumulator () in
+      ignore (Timing.record acc (fun () -> clock := 50.0));
+      Alcotest.(check bool) "delta clamped at zero" true (Timing.total acc >= 0.0);
+      let _, dt = Timing.time (fun () -> clock := 10.0) in
+      Alcotest.(check bool) "time clamped at zero" true (dt >= 0.0))
+
+(* The headline regression: a backwards wall-clock jump must neither expire
+   a Budget deadline early nor extend it. *)
+let test_budget_immune_to_backwards_jump () =
+  let clock = ref 100.0 in
+  with_fake_clock clock (fun () ->
+      let budget = Budget.with_timeout 10.0 in
+      Alcotest.(check bool) "fresh budget alive" false (Budget.expired budget);
+      clock := 50.0;  (* jump back 50s: deadline must not move *)
+      Alcotest.(check bool) "not expired by the jump" false (Budget.expired budget);
+      Alcotest.(check bool) "remaining not extended" true (Budget.remaining budget <= 10.0);
+      clock := 109.0;  (* 9s of monotonic progress since creation *)
+      Alcotest.(check bool) "still inside the deadline" false (Budget.expired budget);
+      clock := 110.5;
+      Alcotest.(check bool) "expires on monotonic time" true (Budget.expired budget);
+      Alcotest.(check bool) "check reports deadline" true
+        (match Budget.check budget with Some Budget.Deadline -> true | _ -> false))
+
 let prop_wrap_angle_range =
   QCheck.Test.make ~name:"wrap_angle lands in (-pi, pi]" ~count:500
     QCheck.(float_range (-100.0) 100.0)
@@ -159,5 +199,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_clamp_idempotent;
         ] );
       ( "timing",
-        [ Alcotest.test_case "accumulator" `Quick test_timing_accumulator ] );
+        [
+          Alcotest.test_case "accumulator" `Quick test_timing_accumulator;
+          Alcotest.test_case "monotonic under backwards jump" `Quick
+            test_timing_monotonic_under_backwards_jump;
+          Alcotest.test_case "accumulator clamped under backwards jump" `Quick
+            test_timing_accumulator_clamped_under_backwards_jump;
+          Alcotest.test_case "budget immune to backwards jump" `Quick
+            test_budget_immune_to_backwards_jump;
+        ] );
     ]
