@@ -1,0 +1,186 @@
+(* Serve-daemon throughput benchmark: requests/second and p50/p99 latency
+   of `safebarrier serve` at 1 versus 4 worker domains, with a cold store
+   (every request runs the engine) versus a warm one (every request is a
+   cache-hit audit), emitting machine-readable BENCH_serve.json.
+
+   The daemon runs in-process (one listener + N worker domains) and is
+   driven over its real Unix socket, so the numbers include framing,
+   queueing, and response writing — the serve overhead a batch client
+   actually sees.  Latencies are the daemon's own enqueue-to-response
+   measurements.
+
+   Usage: bench_serve [--smoke] [--requests N] [--out FILE]
+
+   --smoke restricts the batch to 4 requests — the CI mode. *)
+
+let parse_args () =
+  let smoke = ref false
+  and requests = ref 16
+  and out = ref "BENCH_serve.json" in
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      requests := 4;
+      go rest
+    | "--requests" :: n :: rest ->
+      requests := int_of_string n;
+      go rest
+    | "--out" :: path :: rest ->
+      out := path;
+      go rest
+    | arg :: _ ->
+      Format.eprintf "bench_serve: unknown argument %s@." arg;
+      exit 1
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!smoke, !requests, !out)
+
+let fresh_path =
+  let counter = ref 0 in
+  fun kind ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sb_bench_serve_%s_%d_%d" kind (Unix.getpid ()) !counter)
+
+(* --- minimal socket client ---------------------------------------------- *)
+
+let connect path =
+  let rec go tries =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when tries > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.02;
+      go (tries - 1)
+  in
+  go 250
+
+(* Send [requests] pipelined verify requests and require an "ok" answer
+   for each. *)
+let drive ~socket ~no_cache ~requests =
+  let fd = connect socket in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  for i = 1 to requests do
+    output_string oc
+      (Protocol.verify_line ~id:(Printf.sprintf "b%d" i) ~width:2 ~seed:7 ~no_cache ());
+    output_char oc '\n'
+  done;
+  flush oc;
+  for _ = 1 to requests do
+    let line = input_line ic in
+    match Result.bind (Obs.Json.of_string line) (fun j ->
+              Option.to_result ~none:"no status" (Protocol.response_status j))
+    with
+    | Ok "ok" -> ()
+    | Ok status ->
+      Format.eprintf "bench_serve: request answered %s: %s@." status line;
+      exit 1
+    | Error e ->
+      Format.eprintf "bench_serve: bad response line %S: %s@." line e;
+      exit 1
+  done;
+  Unix.close fd
+
+(* --- one scenario ------------------------------------------------------- *)
+
+type row = {
+  workers : int;
+  cache : string; (* "cold" | "warm" *)
+  requests : int;
+  wall_s : float;
+  req_per_s : float;
+  p50_s : float;
+  p99_s : float;
+  cache_hits : int;
+}
+
+(* [warm]: prime the store with one request first, so the measured batch is
+   all cache hits.  [cold]: force engine runs with no_cache (the store
+   still absorbs the exports, as a long-lived daemon's would). *)
+let scenario ~workers ~warm ~requests =
+  let store = fresh_path "store" in
+  let socket = fresh_path "sock" ^ ".sock" in
+  (try Unix.mkdir store 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+  let cfg =
+    { (Daemon.default_config ~socket_path:socket) with Daemon.workers; queue_capacity = 256 }
+  in
+  let ctrl = Daemon.control () in
+  let daemon =
+    Domain.spawn (fun () -> Daemon.run ~control:ctrl ~handler:(Serve_handler.make ~store ()) cfg)
+  in
+  (* warm: one priming request exports the certificate so the measured
+     batch is all cache hits *)
+  if warm then drive ~socket ~no_cache:false ~requests:1;
+  let (), wall_s = Timing.time (fun () -> drive ~socket ~no_cache:(not warm) ~requests) in
+  Daemon.request_drain ctrl;
+  let stats = Domain.join daemon in
+  (* the priming request's latency would pollute the warm percentiles *)
+  let latencies =
+    let ls = List.sort compare stats.Daemon.latencies in
+    if warm then List.filteri (fun i _ -> i < requests) ls else ls
+  in
+  let cache = if warm then "warm" else "cold" in
+  let row =
+    {
+      workers;
+      cache;
+      requests;
+      wall_s;
+      req_per_s = float_of_int requests /. wall_s;
+      p50_s = Obs.Report.percentile 0.50 latencies;
+      p99_s = Obs.Report.percentile 0.99 latencies;
+      cache_hits = stats.Daemon.counts.Daemon.cache_hits;
+    }
+  in
+  Format.printf "workers=%d %-4s  %2d reqs in %.3fs  %.1f req/s  p50 %.4fs  p99 %.4fs@." workers
+    cache requests wall_s row.req_per_s row.p50_s row.p99_s;
+  row
+
+let () =
+  let smoke, requests, out = parse_args () in
+  let rows =
+    List.concat_map
+      (fun workers ->
+        [ scenario ~workers ~warm:false ~requests; scenario ~workers ~warm:true ~requests ])
+      [ 1; 4 ]
+  in
+  (* Sanity: warm (cache-hit) requests must be much cheaper than cold
+     engine runs — the reason a daemon fronts the store at all. *)
+  List.iter
+    (fun w ->
+      let find cache = List.find (fun r -> r.workers = w && r.cache = cache) rows in
+      let cold = find "cold" and warmr = find "warm" in
+      if warmr.cache_hits < warmr.requests then begin
+        Format.eprintf "bench_serve: warm run had %d/%d cache hits@." warmr.cache_hits
+          warmr.requests;
+        exit 1
+      end;
+      if cold.p50_s < 2.0 *. warmr.p50_s then begin
+        Format.eprintf "bench_serve: warm p50 only %.2fx cheaper than cold at workers=%d@."
+          (cold.p50_s /. warmr.p50_s) w;
+        exit 1
+      end)
+    [ 1; 4 ];
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"serve\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workers\": %d, \"cache\": \"%s\", \"requests\": %d, \"wall_s\": %.6f, \
+            \"req_per_s\": %.3f, \"p50_s\": %.6f, \"p99_s\": %.6f, \"cache_hits\": %d}%s\n"
+           r.workers r.cache r.requests r.wall_s r.req_per_s r.p50_s r.p99_s r.cache_hits
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Format.printf "wrote %s@." out

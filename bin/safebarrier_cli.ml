@@ -7,6 +7,9 @@
      train     CMA-ES policy search for a path-following controller
      sweep     Table-1 style scaling sweep over hidden-layer widths
      portrait  Figure-5 style phase-portrait data
+     serve     fault-tolerant batch verification daemon (Unix socket)
+     request   client for a running serve daemon
+     store-fsck  integrity-scan (and quarantine) a certificate store
 
    Exit codes (for CI/script gating): 0 success/proved/certified,
    1 audit rejection, 2 verification failure, 3 deadline timeout. *)
@@ -602,6 +605,255 @@ let report_validate_cmd =
   in
   Cmd.v (Cmd.info "report-validate" ~doc) Term.(const run $ file $ min_coverage)
 
+(* --- store-fsck -------------------------------------------------------- *)
+
+let store_fsck_cmd =
+  let store =
+    let doc = "Certificate store directory to scan." in
+    Arg.(value & opt string "data/certs" & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let quarantine =
+    let doc =
+      "Move bad entries into <store>/.quarantine so lookups can never serve them (the serve \
+       daemon always scans with this on).  Without it the scan only reports."
+    in
+    Arg.(value & flag & info [ "quarantine" ] ~doc)
+  in
+  let run store quarantine =
+    let report = Store.fsck ~quarantine ~root:store () in
+    Format.printf "scanned %d entr%s: %d healthy, %d bad@." report.Store.scanned
+      (if report.Store.scanned = 1 then "y" else "ies")
+      report.Store.healthy
+      (List.length report.Store.findings);
+    List.iter
+      (fun f ->
+        Format.printf "  %s: %s%s@." f.Store.fingerprint
+          (Store.string_of_issue f.Store.issue)
+          (match f.Store.quarantined_to with
+          | Some dest -> " -> quarantined to " ^ dest
+          | None -> ""))
+      report.Store.findings;
+    if report.Store.findings <> [] then exit 1
+  in
+  let doc =
+    "Integrity-scan a certificate store: detect checksum failures, unparseable artifacts, \
+     wrong-address entries, and missing/mismatched network.nn files; optionally quarantine \
+     them.  Exits 1 when anything is wrong."
+  in
+  Cmd.v (Cmd.info "store-fsck" ~doc) Term.(const run $ store $ quarantine)
+
+(* --- serve ------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path." in
+  Arg.(value & opt string "safebarrier.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers =
+    let doc = "Worker domains executing verification requests concurrently." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_capacity =
+    let doc =
+      "Bounded request-queue capacity; requests arriving while it is full are shed with a \
+       structured {\"status\":\"shed\"} response."
+    in
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let request_timeout =
+    let doc = "Default per-request budget in seconds (requests may set their own, tighter)." in
+    Arg.(value & opt (some float) None & info [ "request-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let serve_deadline =
+    let doc = "Serve-level lifetime in seconds; on expiry the daemon drains and exits 0." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_grace =
+    let doc =
+      "On SIGTERM/SIGINT: seconds to let queued and in-flight requests finish before \
+       time-boxing them via budget cancellation."
+    in
+    Arg.(value & opt float 5.0 & info [ "drain-grace" ] ~docv:"SECONDS" ~doc)
+  in
+  let store =
+    let doc =
+      "Certificate store fronting every request (exact hits audited, donors warm-started, \
+       fresh proofs exported).  The store is fsck'd — bad entries quarantined — before the \
+       daemon serves from it."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let report_file =
+    let doc = "Write the serve-level JSON report (request counts, hit rate, queue high-water, \
+               p50/p99 latency) to $(docv) during drain." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run socket workers queue_capacity request_timeout serve_deadline drain_grace store
+      report_file =
+    (* A daemon must never serve from a store an earlier crash corrupted:
+       scan and quarantine before accepting the first request. *)
+    (match store with
+    | None -> ()
+    | Some root ->
+      let fsck = Store.fsck ~quarantine:true ~root () in
+      Format.printf "store fsck: %d scanned, %d quarantined@." fsck.Store.scanned
+        (List.length fsck.Store.findings);
+      List.iter
+        (fun f ->
+          Format.printf "  quarantined %s: %s@." f.Store.fingerprint
+            (Store.string_of_issue f.Store.issue))
+        fsck.Store.findings);
+    let cfg =
+      {
+        (Daemon.default_config ~socket_path:socket) with
+        Daemon.workers;
+        queue_capacity;
+        default_timeout = request_timeout;
+        deadline = serve_deadline;
+        drain_grace;
+      }
+    in
+    let ctrl = Daemon.control () in
+    let drain_signal _ = Daemon.request_drain ctrl in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain_signal);
+    Format.printf "safebarrier serve: listening on %s (%d workers, queue %d)@." socket workers
+      queue_capacity;
+    Format.print_flush ();
+    let stats = Daemon.run ~control:ctrl ~handler:(Serve_handler.make ?store ()) cfg in
+    let c = stats.Daemon.counts in
+    Format.printf
+      "drained %s: %d received | %d ok, %d failed, %d timeout, %d error, %d invalid, %d shed, \
+       %d ping | queue high-water %d@."
+      (if stats.Daemon.timeboxed then "(time-boxed)" else "cleanly")
+      c.Daemon.received c.Daemon.ok c.Daemon.failed c.Daemon.timed_out c.Daemon.errors
+      c.Daemon.invalid c.Daemon.shed c.Daemon.pings stats.Daemon.queue_high_water;
+    (match report_file with
+    | None -> ()
+    | Some path ->
+      Obs.Report.write_file path (Daemon.serve_report cfg stats);
+      Format.printf "serve report: %s@." path)
+    (* Graceful drain is the success path: exit 0. *)
+  in
+  let doc =
+    "Run the fault-tolerant batch verification daemon: line-oriented JSON requests over a \
+     Unix socket, bounded queue with load shedding, per-request budgets, crash isolation, \
+     and graceful drain on SIGTERM/SIGINT."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ workers $ queue_capacity $ request_timeout $ serve_deadline
+      $ drain_grace $ store $ report_file)
+
+(* --- request (client) -------------------------------------------------- *)
+
+let request_cmd =
+  let id =
+    let doc = "Request id echoed in the response." in
+    Arg.(value & opt string "req-1" & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let timeout =
+    let doc = "Per-request budget in seconds." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let raw =
+    let doc = "Send $(docv) verbatim as one request line instead of building a verify request \
+               (protocol testing: malformed or hand-written lines)." in
+    Arg.(value & opt (some string) None & info [ "raw" ] ~docv:"LINE" ~doc)
+  in
+  let ping =
+    let doc = "Send a ping instead of a verify request." in
+    Arg.(value & flag & info [ "ping" ] ~doc)
+  in
+  let count =
+    let doc = "Send the request $(docv) times (ids suffixed -1, -2, ...)." in
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let wait_ready =
+    let doc = "Retry the connection for up to $(docv) seconds while the daemon starts." in
+    Arg.(value & opt float 5.0 & info [ "wait-ready" ] ~docv:"SECONDS" ~doc)
+  in
+  let expect =
+    let doc = "Exit 1 unless every response has this status (e.g. ok, shed, invalid)." in
+    Arg.(value & opt (some string) None & info [ "expect-status" ] ~docv:"STATUS" ~doc)
+  in
+  let gamma =
+    let doc = "Condition-(5) slack override." in
+    Arg.(value & opt (some float) None & info [ "gamma" ] ~docv:"G" ~doc)
+  in
+  let run socket id network width seed gamma timeout lie linear_terms no_cache raw ping count
+      wait_ready expect =
+    let lines =
+      if ping then [ Protocol.ping_line ~id ]
+      else
+        match raw with
+        | Some line -> [ line ]
+        | None ->
+          List.init count (fun i ->
+              let id = if count = 1 then id else Printf.sprintf "%s-%d" id (i + 1) in
+              Protocol.verify_line ~id ?network_path:network ~width ~seed ?gamma ?timeout ~lie
+                ~linear_terms ~no_cache ())
+    in
+    let deadline = Unix.gettimeofday () +. wait_ready in
+    let rec connect () =
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      match Unix.connect fd (ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+        when Unix.gettimeofday () < deadline ->
+        Unix.close fd;
+        Unix.sleepf 0.05;
+        connect ()
+      | exception e ->
+        Unix.close fd;
+        raise e
+    in
+    let fd =
+      try connect ()
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "request: cannot connect to %s: %s@." socket (Unix.error_message e);
+        exit 1
+    in
+    let out = Unix.out_channel_of_descr fd in
+    List.iter
+      (fun line ->
+        output_string out line;
+        output_char out '\n')
+      lines;
+    flush out;
+    let ic = Unix.in_channel_of_descr fd in
+    let bad = ref 0 in
+    (try
+       for _ = 1 to List.length lines do
+         let line = input_line ic in
+         print_endline line;
+         match expect with
+         | None -> ()
+         | Some want -> (
+           match Result.bind (Obs.Json.of_string line) (fun j ->
+                     Option.to_result ~none:"no status" (Protocol.response_status j))
+           with
+           | Ok got when String.equal got want -> ()
+           | Ok _ | Error _ -> incr bad)
+       done
+     with End_of_file ->
+       Format.eprintf "request: connection closed before all responses arrived@.";
+       exit 1);
+    Unix.close fd;
+    if !bad > 0 then exit 1
+  in
+  let doc =
+    "Send verification requests to a running serve daemon and print the response lines \
+     (one JSON object per line, correlated by id)."
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc)
+    Term.(
+      const run $ socket_arg $ id $ network_arg $ width_arg $ seed_arg $ gamma $ timeout
+      $ lie_arg $ linear_template_arg $ no_cache_arg $ raw $ ping $ count $ wait_ready
+      $ expect)
+
 (* --- plan -------------------------------------------------------------- *)
 
 let plan_cmd =
@@ -648,4 +900,7 @@ let () =
             smt2_cmd;
             report_validate_cmd;
             plan_cmd;
+            serve_cmd;
+            request_cmd;
+            store_fsck_cmd;
           ]))

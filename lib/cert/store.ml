@@ -80,6 +80,86 @@ let list ~root =
     |> List.sort String.compare
   | exception Sys_error _ -> []
 
+(* --- Integrity scan (fsck) ------------------------------------------- *)
+
+type fsck_issue =
+  | Corrupt_entry of string
+  | Address_mismatch of string
+  | Missing_network
+  | Network_mismatch of string
+
+let string_of_issue = function
+  | Corrupt_entry reason -> "corrupt entry: " ^ reason
+  | Address_mismatch recorded -> "entry address differs from recorded fingerprint " ^ recorded
+  | Missing_network -> "artifact records a network hash but network.nn is missing"
+  | Network_mismatch actual -> "network.nn hashes to " ^ actual ^ ", not the recorded nn_hash"
+
+type fsck_finding = {
+  fingerprint : string;
+  issue : fsck_issue;
+  quarantined_to : string option;
+}
+
+type fsck_report = { scanned : int; healthy : int; findings : fsck_finding list }
+
+let quarantine_root ~root = Filename.concat root ".quarantine"
+
+(* Move a bad entry aside.  The destination keeps the fingerprint name
+   (suffixed when a previous quarantine of the same entry exists), so a
+   post-mortem can still address it. *)
+let quarantine_entry ~root fp =
+  let qroot = quarantine_root ~root in
+  ensure_dir qroot;
+  let rec fresh k =
+    let name = if k = 0 then fp else Printf.sprintf "%s-%d" fp k in
+    let dest = Filename.concat qroot name in
+    if Sys.file_exists dest then fresh (k + 1) else dest
+  in
+  let dest = fresh 0 in
+  match Sys.rename (dir_of ~root fp) dest with
+  | () -> Some dest
+  | exception Sys_error _ -> None  (* entry vanished mid-scan: nothing to move *)
+
+(* Validate one loaded entry beyond what [load] checks: the directory name
+   must be the content address the artifact records, and a recorded
+   controller hash must be backed by a matching network.nn. *)
+let fsck_entry fp (entry : entry) =
+  let art_fp = entry.artifact.Artifact.fingerprint in
+  if not (String.equal art_fp.Artifact.combined fp) then
+    Some (Address_mismatch art_fp.Artifact.combined)
+  else if String.equal art_fp.Artifact.nn_hash Artifact.no_nn then None
+  else
+    match entry.network with
+    | None -> Some Missing_network
+    | Some net ->
+      let actual = Artifact.hash_network net in
+      if String.equal actual art_fp.Artifact.nn_hash then None
+      else Some (Network_mismatch actual)
+
+let fsck ?(quarantine = false) ?(on_entry = fun _ -> ()) ~root () =
+  let entries = list ~root in
+  let scanned = ref 0 and healthy = ref 0 and findings = ref [] in
+  List.iter
+    (fun fp ->
+      on_entry fp;
+      match load ~root fp with
+      | Error Missing -> ()  (* removed mid-scan by a concurrent writer *)
+      | (Error (Corrupt _) | Ok _) as loaded -> (
+        incr scanned;
+        let issue =
+          match loaded with
+          | Error (Corrupt reason) -> Some (Corrupt_entry reason)
+          | Error Missing -> assert false
+          | Ok entry -> fsck_entry fp entry
+        in
+        match issue with
+        | None -> incr healthy
+        | Some issue ->
+          let quarantined_to = if quarantine then quarantine_entry ~root fp else None in
+          findings := { fingerprint = fp; issue; quarantined_to } :: !findings))
+    entries;
+  { scanned = !scanned; healthy = !healthy; findings = List.rev !findings }
+
 let find_nearby ~root (fp : Artifact.fingerprint) =
   let candidate name =
     if String.equal name fp.Artifact.combined then None

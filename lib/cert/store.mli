@@ -50,6 +50,63 @@ val load_dir : string -> (entry, error) result
 val list : root:string -> string list
 (** Fingerprints present under [root], sorted ([] for a missing root). *)
 
+(** {1 Integrity scan}
+
+    A daemon serves from the store for its whole lifetime, so a corrupt
+    entry must be found {e before} it is ever offered as a cache hit or a
+    warm-start donor.  [fsck] walks every entry and classifies it; with
+    [~quarantine:true] bad entries are moved aside (into
+    [root/.quarantine/]) so later lookups cannot see them — quarantined,
+    never served, and kept on disk for post-mortems.
+
+    The scan is safe against concurrent writers: [Store.save] goes through
+    temp-file + rename, so a reader sees either the old or the new
+    complete entry, never a torn one, and in-progress temp files
+    ([cert*.tmp]) are invisible to the scan.  A directory holding only
+    [network.nn] (a writer that has not yet renamed its [cert.txt], or
+    died before doing so) does not exist as an entry and is skipped. *)
+
+type fsck_issue =
+  | Corrupt_entry of string
+      (** checksum mismatch, unparseable artifact, or unreadable
+          [network.nn] (the {!load} [Corrupt] reasons) *)
+  | Address_mismatch of string
+      (** the entry directory name differs from the artifact's recorded
+          combined fingerprint (payload: the recorded one) — the entry
+          would be served for the wrong problem *)
+  | Missing_network
+      (** the artifact records an [nn_hash] but the entry has no
+          [network.nn] alongside it *)
+  | Network_mismatch of string
+      (** [network.nn] is present but hashes to the payload, not the
+          artifact's recorded [nn_hash] *)
+
+val string_of_issue : fsck_issue -> string
+
+type fsck_finding = {
+  fingerprint : string;  (** entry directory name *)
+  issue : fsck_issue;
+  quarantined_to : string option;
+      (** where the entry was moved, when quarantine was requested and the
+          move succeeded *)
+}
+
+type fsck_report = {
+  scanned : int;  (** entries examined *)
+  healthy : int;
+  findings : fsck_finding list;  (** bad entries, in fingerprint order *)
+}
+
+val quarantine_root : root:string -> string
+(** [root/.quarantine] — never listed by {!list}, so quarantined entries
+    are invisible to lookups. *)
+
+val fsck : ?quarantine:bool -> ?on_entry:(string -> unit) -> root:string -> unit -> fsck_report
+(** Scan every entry under [root].  [quarantine] (default false) moves bad
+    entries into {!quarantine_root}.  [on_entry] is a test hook called
+    with each fingerprint {e before} that entry is validated (used to
+    interleave concurrent saves mid-scan); it defaults to a no-op. *)
+
 val find_nearby : root:string -> Artifact.fingerprint -> entry option
 (** First (in sorted fingerprint order, for determinism) readable entry
     whose [config_hash] matches the probe but whose combined fingerprint

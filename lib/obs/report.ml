@@ -29,6 +29,18 @@ let make ?(generated_at = Timing.wall ()) ?(meta = []) ?(stages = []) ?(total_se
 
 let write_file path t = Json.write_file path t
 
+(* Nearest-rank quantile: ceil(p*n)-th smallest (1-based), so the answer is
+   always a value that was actually observed. *)
+let percentile p xs =
+  match xs with
+  | [] -> 0.0
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    arr.(Stdlib.min (n - 1) (Stdlib.max 0 (rank - 1)))
+
 (* --- Validation -----------------------------------------------------------
    Structural schema check plus the optional stage-coverage invariant the
    CI gates on: the per-stage breakdown must account for at least

@@ -29,6 +29,12 @@ val make :
 
 val write_file : string -> Json.t -> unit
 
+val percentile : float -> float list -> float
+(** [percentile p xs] — nearest-rank [p]-quantile of [xs] ([p] a fraction
+    in [[0,1]]; [0.] on an empty list).  The serve daemon uses it for the
+    p50/p99 latency fields of its drain report; nearest-rank keeps the
+    result an actually observed latency. *)
+
 val validate : ?min_stage_coverage:float -> Json.t -> (unit, string) result
 (** Structural schema check.  With [min_stage_coverage] (a fraction in
     [0,1]), additionally require the stage seconds to sum to at least that

@@ -1,0 +1,35 @@
+(** Bounded multi-producer / multi-consumer job queue — the backpressure
+    point of the serve daemon.
+
+    Capacity is a hard bound: {!try_push} never blocks and never grows the
+    queue past it, so an overloaded daemon sheds load {e at enqueue time}
+    with a structured response instead of buffering without limit (memory
+    blowup) or silently dropping requests.  Consumers block in {!pop}
+    until an item or {!close}; after [close] the remaining items still
+    drain — closing loses nothing that was accepted. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed — the caller must answer the
+    request with a shed/drain response, never drop it silently. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed {e
+    and} drained ([None] — the consumer's signal to exit). *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked consumer.  Items already
+    accepted remain poppable.  Idempotent. *)
+
+val depth : 'a t -> int
+(** Current occupancy. *)
+
+val high_water : 'a t -> int
+(** Highest occupancy ever observed — the serve report's queue-pressure
+    figure. *)

@@ -1,0 +1,63 @@
+let source_token = function
+  | Cache.Cold -> "cold"
+  | Cache.Cache_hit _ -> "cache_hit"
+  | Cache.Warm_started _ -> "warm_start"
+
+let load_controller (p : Protocol.verify_params) =
+  match p.Protocol.network_path with
+  | Some path -> Nn.load path
+  | None ->
+    if p.Protocol.width = 2 then Case_study.reference_controller
+    else Case_study.controller_of_width p.Protocol.width
+
+let config_of_params (p : Protocol.verify_params) =
+  let base = Engine.default_config in
+  {
+    base with
+    Engine.gamma = Option.value ~default:base.Engine.gamma p.Protocol.gamma;
+    synthesis =
+      {
+        base.Engine.synthesis with
+        Synthesis.mode =
+          (if p.Protocol.lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
+      };
+    template_kind =
+      (if p.Protocol.linear_terms then Template.Quadratic_linear else Template.Quadratic);
+    (* Request-level parallelism comes from the daemon's worker domains;
+       each verification runs sequentially inside its worker. *)
+  }
+
+let make ?store () : Daemon.handler =
+ fun ~budget (p : Protocol.verify_params) ->
+  let net = load_controller p in
+  let system = Case_study.system_of_network net in
+  let config = config_of_params p in
+  let rng = Rng.create p.Protocol.seed in
+  let report, store_fields =
+    match store with
+    | Some root ->
+      let result =
+        Cache.verify ~config ~budget ~use_cache:(not p.Protocol.no_cache) ~network:net
+          ~store:root ~rng system
+      in
+      let exported =
+        match result.Cache.exported with
+        | Some dir -> [ ("exported", Obs.Json.String dir) ]
+        | None -> []
+      in
+      ( result.Cache.report,
+        ("source", Obs.Json.String (source_token result.Cache.source)) :: exported )
+    | None -> (Engine.verify ~config ~budget ~rng system, [])
+  in
+  let fields =
+    Engine.outcome_meta report.Engine.outcome
+    @ store_fields
+    @ [ ("seconds", Obs.Json.Float report.Engine.stats.Engine.total_time) ]
+  in
+  let status =
+    match report.Engine.outcome with
+    | Engine.Proved _ -> "ok"
+    | Engine.Failed (Engine.Timeout _) -> "timeout"
+    | Engine.Failed _ -> "failed"
+  in
+  (status, fields)

@@ -1,0 +1,18 @@
+(** The real verification handler behind {!Daemon.run}: one request = one
+    barrier-certificate verification of the Dubins case study, fronted by
+    the certificate cache when a store is configured.
+
+    The handler deliberately raises on unusable inputs (missing network
+    file, bad width) instead of pre-validating — the daemon's crash
+    isolation turns any of it into that request's [{"status":"error"}]
+    response, which keeps the error taxonomy in exactly one place. *)
+
+val make : ?store:string -> unit -> Daemon.handler
+(** [make ~store ()] verifies each request under its budget via
+    [Cache.verify] (exact hits audited, nearby donors warm-started, fresh
+    proofs exported); without [store] it runs the plain engine.  Response
+    fields: [outcome]/[level] or [failure], [seconds], and — with a
+    store — [source] ("cache_hit" | "warm_start" | "cold") plus
+    [exported] for fresh proofs. *)
+
+val source_token : Cache.source -> string

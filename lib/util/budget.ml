@@ -42,6 +42,18 @@ let sub_budget ?timeout ?fraction parent =
   in
   { parent with deadline }
 
+let child ?timeout ?branches parent =
+  let from_timeout = Option.map (fun s -> Timing.now () +. s) timeout in
+  let deadline =
+    match (parent.deadline, from_timeout) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  let pool =
+    match branches with Some n -> Some (Atomic.make n) | None -> parent.pool
+  in
+  { deadline; pool; cancel = parent.cancel }
+
 let check t =
   if t.cancel () then Some Cancelled
   else

@@ -49,6 +49,19 @@ val sub_budget : ?timeout:float -> ?fraction:float -> t -> t
     fraction 1.0).  Branch pool and cancellation hook are shared with the
     parent — never reset. *)
 
+val child : ?timeout:float -> ?branches:int -> t -> t
+(** [child ?timeout ?branches parent] — a per-request budget for serving:
+    its deadline is the tighter of the parent's and [now + timeout], so a
+    child can never outlive the parent; cancelling the parent (its hook or
+    an enclosing {!with_switch}) cancels every child, while cancelling one
+    child (wrap it in its own {!with_switch}) leaves siblings and the
+    parent untouched.
+
+    Unlike {!sub_budget}, [branches] seeds a {e fresh} pool private to the
+    child: one runaway request exhausts its own pool, not the
+    daemon's.  Without [branches] the parent's pool (if any) is shared,
+    exactly as in {!sub_budget}. *)
+
 val check : t -> stop option
 (** [None] while the budget is live; the binding stop reason once any limit
     is hit.  Cheap enough for per-branch polling. *)

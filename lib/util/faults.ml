@@ -39,3 +39,21 @@ let wrap_map ?counter:cnt injection map =
 let delay_oracle s f x =
   sleep s;
   f x
+
+(* --- Protocol-level faults ------------------------------------------- *)
+
+let malformed_json_line () = "{\"id\":\"bad\", this is not json}"
+
+let oversized_line ~target_bytes =
+  let skeleton = {|{"id":"oversized","op":"ping","pad":""}|} in
+  let pad = Stdlib.max 1 (target_bytes - String.length skeleton) in
+  Printf.sprintf {|{"id":"oversized","op":"ping","pad":"%s"}|} (String.make pad 'x')
+
+let chopped line = String.sub line 0 (String.length line / 2)
+
+let raising_oracle ?(after = 1) exn f =
+  let cnt = counter () in
+  fun x ->
+    cnt.calls <- cnt.calls + 1;
+    if cnt.calls >= after then raise exn;
+    f x

@@ -41,3 +41,30 @@ val wrap_map :
 val delay_oracle : float -> ('a -> 'b) -> 'a -> 'b
 (** [delay_oracle s f] sleeps [s] seconds before every call to [f] — a
     generic stall for oracles (solvers, fitness functions). *)
+
+(** {1 Protocol-level faults}
+
+    Raw wire-level inputs for hammering a line-oriented protocol endpoint
+    (the [safebarrier serve] daemon): syntactically broken lines, lines
+    engineered to blow the size limit, and truncated request prefixes
+    simulating a client that dies mid-line.  [test/test_serve.ml] feeds a
+    mix of these into a live daemon and asserts zero daemon exits with a
+    structured per-request error for every complete line. *)
+
+val malformed_json_line : unit -> string
+(** A line that is not valid JSON (no trailing newline included). *)
+
+val oversized_line : target_bytes:int -> string
+(** A {e syntactically valid} JSON object line of at least [target_bytes]
+    bytes (padding lives in a ["pad"] field), for exercising max-line
+    limits: the parse is fine, the size is not. *)
+
+val chopped : string -> string
+(** The first half of [line] — a request whose sender hung up before the
+    newline.  Feeding it unterminated must never produce a response or
+    kill the reader. *)
+
+val raising_oracle : ?after:int -> exn -> ('a -> 'b) -> 'a -> 'b
+(** [raising_oracle ~after exn f] behaves like [f] for the first
+    [after - 1] calls (default [after = 1]: never), then raises [exn] on
+    every later call — the crash-isolation probe for request handlers. *)

@@ -362,6 +362,147 @@ let test_dump_smt2_golden () =
       Alcotest.(check string) (Filename.basename path) (read golden) (read path))
     written
 
+(* --- store fsck -------------------------------------------------------- *)
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let issue_name = function
+  | Store.Corrupt_entry _ -> "corrupt"
+  | Store.Address_mismatch _ -> "address"
+  | Store.Missing_network -> "missing-network"
+  | Store.Network_mismatch _ -> "network-mismatch"
+
+(* A second artifact with a distinct fingerprint (different gamma), so a
+   store can hold a healthy entry next to the corrupted ones. *)
+let other_artifact () =
+  let config2 = { config with Engine.gamma = config.Engine.gamma *. 2.0 } in
+  let fp = Artifact.fingerprint ~network system config2 in
+  Artifact.make ~fingerprint:fp ~config:config2 ~stats:[ ("source", "test") ]
+    (Lazy.force proved)
+
+(* Plant every corruption fsck knows about in one store and assert each is
+   quarantined — invisible to list/load afterwards — while the healthy
+   entry survives untouched. *)
+let test_fsck_quarantines_each_corruption () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let entry_dir = Store.save ~root ~network a in
+  let healthy = other_artifact () in
+  let healthy_fp = healthy.Artifact.fingerprint.Artifact.combined in
+  ignore (Store.save ~root ~network:(Case_study.controller_of_width 10) healthy);
+  let plant name f =
+    let d = Filename.concat root name in
+    Sys.mkdir d 0o755;
+    f d
+  in
+  (* bad checksum: one flipped byte *)
+  plant "00badsum" (fun d ->
+      let b = Bytes.of_string (Artifact.to_string a) in
+      Bytes.set b 0 (if Bytes.get b 0 = 'v' then 'V' else 'v');
+      write_raw (Filename.concat d Store.cert_file) (Bytes.to_string b));
+  (* unparseable artifact *)
+  plant "01garbage" (fun d ->
+      write_raw (Filename.concat d Store.cert_file) "not an artifact\n");
+  (* valid artifact stored under the wrong content address *)
+  plant "02wrongaddr" (fun d ->
+      write_raw (Filename.concat d Store.cert_file) (Artifact.to_string a);
+      write_raw (Filename.concat d Store.network_file) (Nn.to_string network));
+  (* the real entry, with its recorded network.nn deleted *)
+  Sys.remove (Filename.concat entry_dir Store.network_file);
+  let report = Store.fsck ~quarantine:true ~root () in
+  Alcotest.(check int) "scanned" 5 report.Store.scanned;
+  Alcotest.(check int) "healthy" 1 report.Store.healthy;
+  let findings =
+    List.map
+      (fun f -> (f.Store.fingerprint, issue_name f.Store.issue))
+      report.Store.findings
+  in
+  Alcotest.(check (list (pair string string)))
+    "each corruption classified"
+    [
+      ("00badsum", "corrupt");
+      ("01garbage", "corrupt");
+      ("02wrongaddr", "address");
+      (a.Artifact.fingerprint.Artifact.combined, "missing-network");
+    ]
+    (List.sort compare findings);
+  List.iter
+    (fun f ->
+      match f.Store.quarantined_to with
+      | Some dest ->
+        Alcotest.(check bool) ("moved " ^ f.Store.fingerprint) true (Sys.file_exists dest)
+      | None -> Alcotest.fail ("not quarantined: " ^ f.Store.fingerprint))
+    report.Store.findings;
+  (* Quarantined entries are invisible to every lookup path. *)
+  Alcotest.(check (list string)) "only the healthy entry listed" [ healthy_fp ]
+    (Store.list ~root);
+  (match Store.load ~root a.Artifact.fingerprint.Artifact.combined with
+  | Error Store.Missing -> ()
+  | _ -> Alcotest.fail "quarantined entry still loadable");
+  (* A second scan over the cleaned store is quiet. *)
+  let again = Store.fsck ~quarantine:true ~root () in
+  Alcotest.(check int) "clean rescan" 0 (List.length again.Store.findings)
+
+let test_fsck_network_mismatch () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let dir = Store.save ~root ~network a in
+  (* Swap in a parseable but different controller. *)
+  write_raw (Filename.concat dir Store.network_file)
+    (Nn.to_string (Case_study.controller_of_width 12));
+  let report = Store.fsck ~quarantine:true ~root () in
+  (match report.Store.findings with
+  | [ { Store.issue = Store.Network_mismatch _; _ } ] -> ()
+  | fs ->
+    Alcotest.failf "expected one network-mismatch finding, got %s"
+      (String.concat "," (List.map (fun f -> issue_name f.Store.issue) fs)));
+  Alcotest.(check (list string)) "entry quarantined" [] (Store.list ~root)
+
+(* Without ~quarantine fsck only reports: nothing moves, lookups still see
+   the (bad) entry — the CLI's dry-run mode. *)
+let test_fsck_report_only_leaves_store_untouched () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let dir = Store.save ~root ~network a in
+  Sys.remove (Filename.concat dir Store.network_file);
+  let report = Store.fsck ~root () in
+  (match report.Store.findings with
+  | [ { Store.quarantined_to = None; issue = Store.Missing_network; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one unquarantined missing-network finding");
+  Alcotest.(check (list string)) "entry still listed"
+    [ a.Artifact.fingerprint.Artifact.combined ]
+    (Store.list ~root)
+
+(* Temp-file + rename atomicity: a Store.save racing the scan — even of the
+   very fingerprint being examined — must never be flagged, and stray
+   in-progress temp files are invisible. *)
+let test_fsck_ignores_concurrent_save () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let dir = Store.save ~root ~network a in
+  (* A writer that died mid-save leaves a temp file behind. *)
+  write_raw (Filename.concat dir "cert1a2b3c.tmp") "half-written";
+  let resaved = ref false in
+  let on_entry fp =
+    if String.equal fp a.Artifact.fingerprint.Artifact.combined then begin
+      (* Overwrite the entry mid-scan with a byte-different but valid
+         artifact (fresh stats) at the same address. *)
+      let a' =
+        Artifact.make ~fingerprint:a.Artifact.fingerprint ~config
+          ~stats:[ ("source", "rewrite") ] (Lazy.force proved)
+      in
+      ignore (Store.save ~root ~network a');
+      resaved := true
+    end
+  in
+  let report = Store.fsck ~quarantine:true ~on_entry ~root () in
+  Alcotest.(check bool) "save raced the scan" true !resaved;
+  Alcotest.(check int) "nothing flagged" 0 (List.length report.Store.findings);
+  Alcotest.(check int) "entry healthy" 1 report.Store.healthy
+
 let () =
   Alcotest.run "cert"
     [
@@ -406,6 +547,16 @@ let () =
             test_cache_rejects_tampered_hit;
           Alcotest.test_case "tampered problem fields never hit" `Quick
             test_cache_rejects_tampered_problem_fields;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "each corruption quarantined" `Quick
+            test_fsck_quarantines_each_corruption;
+          Alcotest.test_case "network mismatch quarantined" `Quick test_fsck_network_mismatch;
+          Alcotest.test_case "report-only leaves store untouched" `Quick
+            test_fsck_report_only_leaves_store_untouched;
+          Alcotest.test_case "concurrent save not flagged" `Quick
+            test_fsck_ignores_concurrent_save;
         ] );
       ("golden", [ Alcotest.test_case "dump_smt2 snapshot" `Quick test_dump_smt2_golden ]);
     ]

@@ -150,6 +150,60 @@ let test_budget_immune_to_backwards_jump () =
       Alcotest.(check bool) "check reports deadline" true
         (match Budget.check budget with Some Budget.Deadline -> true | _ -> false))
 
+(* Budget.child: the per-request budget of the serve daemon.  A child may
+   never outlive its parent, a parent's cancellation must reach every
+   child, and a child's private branch pool must not draw down the
+   parent's. *)
+let test_budget_child_never_outlives_parent () =
+  let clock = ref 100.0 in
+  with_fake_clock clock (fun () ->
+      let parent = Budget.with_timeout 5.0 in
+      (* Child asks for far more time than the parent has left. *)
+      let lavish = Budget.child ~timeout:100.0 parent in
+      Alcotest.(check bool) "clamped to parent remaining" true
+        (Budget.remaining lavish <= 5.0);
+      clock := 105.5;
+      Alcotest.(check bool) "child expired with parent" true (Budget.expired lavish);
+      (* A tighter child expires before the parent. *)
+      clock := 200.0;
+      let parent = Budget.with_timeout 50.0 in
+      let tight = Budget.child ~timeout:1.0 parent in
+      clock := 202.0;
+      Alcotest.(check bool) "tight child expired" true (Budget.expired tight);
+      Alcotest.(check bool) "parent still live" false (Budget.expired parent))
+
+let test_budget_child_parent_cancel_propagates () =
+  let sw = Budget.switch () in
+  let parent = Budget.with_switch sw Budget.unlimited in
+  let child = Budget.child ~timeout:1000.0 parent in
+  Alcotest.(check bool) "child live before cancel" false (Budget.expired child);
+  Budget.fire sw;
+  Alcotest.(check bool) "parent cancel reaches child" true
+    (match Budget.check child with Some Budget.Cancelled -> true | _ -> false);
+  (* A child's own switch stays private: siblings and parent unaffected. *)
+  let sw2 = Budget.switch () in
+  let parent = Budget.unlimited in
+  let a = Budget.with_switch sw2 (Budget.child parent) in
+  let b = Budget.child parent in
+  Budget.fire sw2;
+  Alcotest.(check bool) "cancelled child stops" true (Budget.expired a);
+  Alcotest.(check bool) "sibling unaffected" false (Budget.expired b);
+  Alcotest.(check bool) "parent unaffected" false (Budget.expired parent)
+
+let test_budget_child_private_branch_pool () =
+  let parent = Budget.make ~branches:100 () in
+  let isolated = Budget.child ~branches:5 parent in
+  ignore (Budget.consume_branches isolated 5);
+  Alcotest.(check bool) "child pool dry" true
+    (match Budget.check isolated with Some Budget.Branch_budget -> true | _ -> false);
+  Alcotest.(check (option int)) "parent pool untouched" (Some 100)
+    (Budget.remaining_branches parent);
+  (* Without ~branches the parent's pool is shared, as in sub_budget. *)
+  let shared = Budget.child parent in
+  ignore (Budget.consume_branches shared 40);
+  Alcotest.(check (option int)) "shared pool drawn down" (Some 60)
+    (Budget.remaining_branches parent)
+
 let prop_wrap_angle_range =
   QCheck.Test.make ~name:"wrap_angle lands in (-pi, pi]" ~count:500
     QCheck.(float_range (-100.0) 100.0)
@@ -207,5 +261,14 @@ let () =
             test_timing_accumulator_clamped_under_backwards_jump;
           Alcotest.test_case "budget immune to backwards jump" `Quick
             test_budget_immune_to_backwards_jump;
+        ] );
+      ( "budget.child",
+        [
+          Alcotest.test_case "never outlives parent" `Quick
+            test_budget_child_never_outlives_parent;
+          Alcotest.test_case "parent cancel propagates" `Quick
+            test_budget_child_parent_cancel_propagates;
+          Alcotest.test_case "private branch pool" `Quick
+            test_budget_child_private_branch_pool;
         ] );
     ]
