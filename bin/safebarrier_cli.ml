@@ -87,6 +87,17 @@ let linear_template_arg =
   let doc = "Add linear terms to the quadratic generator template." in
   Arg.(value & flag & info [ "linear-terms" ] ~doc)
 
+let lp_engine_arg =
+  let doc =
+    "Simplex engine for the synthesis LP: $(b,revised) (warm-started revised simplex, the \
+     default) or $(b,tableau) (the dense two-phase tableau, kept as a differential-testing \
+     oracle).  Both produce the same verdicts."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("revised", Lp.Revised); ("tableau", Lp.Tableau) ]) Lp.Revised
+    & info [ "lp-engine" ] ~docv:"ENGINE" ~doc)
+
 let gamma_arg =
   let doc = "Slack of the decrease condition (paper: 1e-6)." in
   Arg.(value & opt float 1e-6 & info [ "gamma" ] ~docv:"G" ~doc)
@@ -150,7 +161,7 @@ let report_arg =
   in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
-let make_config ~lie ~linear_terms ~gamma ~jobs =
+let make_config ?(lp_engine = Lp.Revised) ~lie ~linear_terms ~gamma ~jobs () =
   let base = Engine.default_config in
   {
     base with
@@ -159,6 +170,7 @@ let make_config ~lie ~linear_terms ~gamma ~jobs =
       {
         base.Engine.synthesis with
         Synthesis.mode = (if lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
+        lp_engine;
       };
     template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
     smt = { base.Engine.smt with Solver.jobs };
@@ -176,15 +188,15 @@ let verify_via_store ~config ~budget ~rng ~store ~no_cache net system =
   result
 
 let verify_cmd =
-  let run width network seed lie linear_terms gamma deadline restarts seed_retry jobs store
-      no_cache trace_file report_file =
+  let run width network seed lie linear_terms lp_engine gamma deadline restarts seed_retry jobs
+      store no_cache trace_file report_file =
     if trace_file <> None || report_file <> None then begin
       Obs.Trace.enable ();
       Obs.Metrics.enable ()
     end;
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
-    let config = make_config ~lie ~linear_terms ~gamma ~jobs in
+    let config = make_config ~lp_engine ~lie ~linear_terms ~gamma ~jobs () in
     let budget =
       match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
     in
@@ -283,9 +295,9 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc)
     Term.(
-      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
-      $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg $ store_arg $ no_cache_arg
-      $ trace_arg $ report_arg)
+      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg
+      $ lp_engine_arg $ gamma_arg $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg
+      $ store_arg $ no_cache_arg $ trace_arg $ report_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -294,10 +306,10 @@ let export_cmd =
     let doc = "Certificate store directory to export into." in
     Arg.(value & opt string "data/certs" & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run width network seed lie linear_terms gamma jobs store =
+  let run width network seed lie linear_terms lp_engine gamma jobs store =
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
-    let config = make_config ~lie ~linear_terms ~gamma ~jobs in
+    let config = make_config ~lp_engine ~lie ~linear_terms ~gamma ~jobs () in
     let rng = Rng.create seed in
     let result =
       verify_via_store ~config ~budget:Budget.unlimited ~rng ~store ~no_cache:false net system
@@ -318,8 +330,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc)
     Term.(
-      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg $ gamma_arg
-      $ jobs_arg $ store)
+      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg
+      $ lp_engine_arg $ gamma_arg $ jobs_arg $ store)
 
 (* --- check ------------------------------------------------------------ *)
 

@@ -227,6 +227,23 @@ let find_generator ~budget ?warm_start config system acc template traces_ref cex
     | Some coeffs when Array.length coeffs = Template.dimension template -> Some coeffs
     | _ -> None  (* arity mismatch: the hint is unusable, ignore it *)
   in
+  (* The incremental LP is created lazily on the first synthesis call (a
+     warm-start hint may satisfy condition (5) with zero LP solves) and
+     then lives across CEGIS iterations: each counterexample appends a cut
+     and its simulated trace's rows, and with [lp_engine = Revised] every
+     re-solve starts from the previous iteration's optimal basis. *)
+  let inc = ref None in
+  let get_inc () =
+    match !inc with
+    | Some i -> i
+    | None ->
+      let i =
+        Synthesis.Incremental.create ~options:config.synthesis ~cex_points:!cexs_ref
+          ~template ~field:system.numeric_field !traces_ref
+      in
+      inc := Some i;
+      i
+  in
   let rec attempt ?warm iter =
     match Budget.check budget with
     | Some stop -> timeout "candidate loop" stop
@@ -241,14 +258,11 @@ let find_generator ~budget ?warm_start config system acc template traces_ref cex
           let outcome, lp_dt =
             Timing.time (fun () ->
                 Obs.Trace.with_span "synthesis.lp" (fun () ->
-                    Synthesis.synthesize ~options:config.synthesis ~budget
-                      ~cex_points:!cexs_ref ~template ~field:system.numeric_field
-                      !traces_ref))
+                    Synthesis.Incremental.solve ~budget (get_inc ())))
           in
           acc.lp_time <- acc.lp_time +. lp_dt;
           acc.lp_calls <- acc.lp_calls + 1;
-          acc.lp_rows <-
-            Synthesis.count_rows ~options:config.synthesis ~template !traces_ref;
+          acc.lp_rows <- Synthesis.Incremental.row_count (get_inc ());
           (match outcome with
           | Synthesis.Lp_infeasible -> Error (Lp_failed "LP infeasible")
           | Synthesis.Margin_too_small m ->
@@ -313,6 +327,14 @@ let find_generator ~budget ?warm_start config system acc template traces_ref cex
           in
           acc.sim_time <- acc.sim_time +. sim_dt;
           traces_ref := trace :: !traces_ref;
+          (* Feed the live LP; if it has not been created yet (warm-start
+             hint failed before any solve) the cut and trace are already in
+             [cexs_ref]/[traces_ref] and will seed it on creation. *)
+          (match !inc with
+          | Some i ->
+            Synthesis.Incremental.add_cex i x_star;
+            Synthesis.Incremental.add_trace i trace
+          | None -> ());
           attempt (iter + 1)
         in
         (* Compare against *every* accumulated counterexample, not just the

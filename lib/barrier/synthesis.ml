@@ -8,6 +8,7 @@ type options = {
   min_margin : float;
   exclude_rect : (float * float) array option;
   separation_rects : ((float * float) array * (float * float) array) option;
+  lp_engine : Lp.engine;
 }
 
 let default_options =
@@ -19,6 +20,7 @@ let default_options =
     min_margin = 1e-5;
     exclude_rect = None;
     separation_rects = None;
+    lp_engine = Lp.Revised;
   }
 
 let excluded options x =
@@ -216,27 +218,91 @@ let shape_cut_row ~template p (face_point, vertex) =
   done;
   { Lp.coeffs = row; relation = Lp.Ge; rhs = 0.0 }
 
-let synthesize ?(options = default_options) ?budget ?(cex_points = [])
-    ?(exact_traces = []) ?(shape_cuts = []) ~template ~field traces =
-  let problem = build_problem options ~cex_points ~exact_traces ~template ~field traces in
-  let p = Template.dimension template in
-  let problem =
-    {
-      problem with
-      Lp.constraints =
-        List.map (shape_cut_row ~template p) shape_cuts @ problem.Lp.constraints;
-    }
-  in
-  match Lp.minimize ?budget problem with
+let outcome_of_result options p result =
+  match result with
   | Lp.Infeasible -> Lp_infeasible
   | Lp.Unbounded -> Lp_infeasible (* cannot happen: all variables bounded *)
   | Lp.Timeout stop -> Lp_timed_out stop
-  | Lp.Optimal { x; _ } ->
-    let p = Template.dimension template in
+  | Lp.Optimal { Lp.x; _ } ->
     let margin = x.(p) in
     if margin <= options.min_margin then Margin_too_small margin
     else Candidate { coeffs = Array.sub x 0 p; margin }
 
+let assemble_problem options ~cex_points ~exact_traces ~shape_cuts ~template ~field traces =
+  let problem = build_problem options ~cex_points ~exact_traces ~template ~field traces in
+  let p = Template.dimension template in
+  {
+    problem with
+    Lp.constraints =
+      List.map (shape_cut_row ~template p) shape_cuts @ problem.Lp.constraints;
+  }
+
+let synthesize ?(options = default_options) ?budget ?(cex_points = [])
+    ?(exact_traces = []) ?(shape_cuts = []) ~template ~field traces =
+  let problem =
+    assemble_problem options ~cex_points ~exact_traces ~shape_cuts ~template ~field traces
+  in
+  outcome_of_result options (Template.dimension template)
+    (Lp.minimize ~engine:options.lp_engine ?budget problem)
+
 let count_rows ?(options = default_options) ~template traces =
   let field _ x = Vec.zeros (Vec.dim x) in
   List.length (List.concat_map (rows_of_trace options ~template ~field) traces)
+
+(* The CEGIS-facing incremental wrapper: the LP is assembled once from the
+   seed traces, and each refinement (counterexample point, its simulated
+   trace, a shape cut) appends rows to a live {!Lp.Incremental} instance —
+   so with [options.lp_engine = Lp.Revised] iteration k resolves from
+   iteration k−1's optimal basis instead of a phase-1 cold start. *)
+module Incremental = struct
+  type t = {
+    options : options;
+    template : Template.t;
+    field : Ode.field;
+    p : int;
+    lp : Lp.Incremental.t;
+  }
+
+  let finite_row r =
+    Array.for_all Float.is_finite r.Lp.coeffs && Float.is_finite r.Lp.rhs
+
+  let create ?(options = default_options) ?(cex_points = []) ?(exact_traces = [])
+      ?(shape_cuts = []) ~template ~field traces =
+    let problem =
+      assemble_problem options ~cex_points ~exact_traces ~shape_cuts ~template ~field
+        traces
+    in
+    {
+      options;
+      template;
+      field;
+      p = Template.dimension template;
+      lp = Lp.Incremental.create ~engine:options.lp_engine problem;
+    }
+
+  (* Same last-line-of-defence filter as [build_problem]: a non-finite row
+     (faulty dynamics) is dropped, not added. *)
+  let add_row t row = if finite_row row then Lp.Incremental.add_constraint t.lp row
+
+  let add_cex t x =
+    if rho x >= t.options.min_rho then
+      add_row t (cex_row ~template:t.template ~field:t.field t.p x)
+
+  let add_trace t tr =
+    List.iter (add_row t) (rows_of_trace t.options ~template:t.template ~field:t.field tr)
+
+  let add_exact_trace t tr =
+    let exact_options = { t.options with subsample = 1 } in
+    List.iter (add_row t)
+      (rows_of_trace exact_options ~template:t.template ~field:t.field tr)
+
+  let add_shape_cut t pair = add_row t (shape_cut_row ~template:t.template t.p pair)
+
+  let row_count t = Lp.Incremental.nrows t.lp
+
+  let warm t = Lp.Incremental.warm t.lp
+
+  let problem t = Lp.Incremental.problem t.lp
+
+  let solve ?budget t = outcome_of_result t.options t.p (Lp.Incremental.resolve ?budget t.lp)
+end

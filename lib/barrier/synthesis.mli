@@ -34,6 +34,11 @@ type options = {
           separate X0 from U (observed with augmented RNN state spaces).
           The rows are a heuristic sufficient *direction*, not a proof —
           conditions (6)/(7) are still SMT-checked; default [None] *)
+  lp_engine : Lp.engine;
+      (** which simplex solves the synthesis LP; default [Lp.Revised].
+          [Lp.Tableau] retains the original dense two-phase tableau as a
+          differential-testing oracle.  An execution-strategy field: it
+          does not affect certificate fingerprints. *)
 }
 
 val default_options : options
@@ -84,3 +89,50 @@ val synthesize :
 
 val count_rows : ?options:options -> template:Template.t -> Ode.trace list -> int
 (** Number of LP rows the traces would generate (diagnostics). *)
+
+(** Incremental synthesis for the CEGIS loop: assemble the LP once from
+    the seed traces, then append each refinement (counterexample cut, its
+    simulated trace, shape cuts) and re-[solve].  With
+    [options.lp_engine = Lp.Revised] each re-solve warm-starts from the
+    previous optimal basis; with [Lp.Tableau] it is a cold solve of the
+    accumulated problem (the differential oracle). *)
+module Incremental : sig
+  type t
+
+  val create :
+    ?options:options ->
+    ?cex_points:float array list ->
+    ?exact_traces:Ode.trace list ->
+    ?shape_cuts:(float array * float array) list ->
+    template:Template.t ->
+    field:Ode.field ->
+    Ode.trace list ->
+    t
+  (** Same row generation as {!synthesize} on the same arguments. *)
+
+  val add_cex : t -> float array -> unit
+  (** Append the exact Lie-derivative cut for a counterexample state
+      (skipped when [ρ(x) < min_rho], matching {!synthesize}). *)
+
+  val add_trace : t -> Ode.trace -> unit
+  (** Append the rows of one more trace (subsampled per [options]). *)
+
+  val add_exact_trace : t -> Ode.trace -> unit
+  (** Like {!add_trace} but with [subsample = 1] (counterexample orbits). *)
+
+  val add_shape_cut : t -> float array * float array -> unit
+  (** Append one [(face_point, x0_vertex)] separation row. *)
+
+  val row_count : t -> int
+  (** Constraint rows currently in the LP (all kinds, after filtering). *)
+
+  val warm : t -> bool
+  (** Whether the next {!solve} warm-starts from a previous basis. *)
+
+  val problem : t -> Lp.problem
+  (** The accumulated LP (what a cold solve would see) — for differential
+      testing and benchmarking against {!Lp.minimize}. *)
+
+  val solve : ?budget:Budget.t -> t -> outcome
+  (** Solve the accumulated LP; same outcome mapping as {!synthesize}. *)
+end

@@ -64,6 +64,36 @@ let solve_factored { lu; perm; _ } b =
   done;
   y
 
+(* Solve Aᵀ x = b from the factors of A.  With P A = L U (and P orthogonal)
+   we have Aᵀ = Uᵀ Lᵀ P, so: forward-substitute Uᵀ z = b, back-substitute
+   Lᵀ w = z, then undo the permutation via x.(perm.(i)) = w.(i). *)
+let solve_transposed_factored { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then
+    invalid_arg "Lu.solve_transposed_factored: dimension mismatch";
+  let z = Array.copy b in
+  (* Forward: Uᵀ z = b (Uᵀ is lower triangular, diag = U's diag). *)
+  for i = 0 to n - 1 do
+    let acc = ref z.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (lu.(j).(i) *. z.(j))
+    done;
+    z.(i) <- !acc /. lu.(i).(i)
+  done;
+  (* Backward: Lᵀ w = z (Lᵀ is unit upper triangular). *)
+  for i = n - 2 downto 0 do
+    let acc = ref z.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (lu.(j).(i) *. z.(j))
+    done;
+    z.(i) <- !acc
+  done;
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(perm.(i)) <- z.(i)
+  done;
+  x
+
 let solve a b = solve_factored (factorize a) b
 
 let det a =

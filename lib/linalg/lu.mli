@@ -13,6 +13,11 @@ val factorize : Mat.t -> factorization
 val solve_factored : factorization -> Vec.t -> Vec.t
 (** Back/forward substitution against an existing factorization. *)
 
+val solve_transposed_factored : factorization -> Vec.t -> Vec.t
+(** [solve_transposed_factored f b] is the [x] with [aᵀ x = b] for the [a]
+    that [f] factorizes — the BTRAN step of a revised simplex, computed
+    from the same factors as the FTRAN ({!solve_factored}). *)
+
 val solve : Mat.t -> Vec.t -> Vec.t
 (** [solve a b] is the [x] with [a x = b]. *)
 
