@@ -42,8 +42,12 @@ let verdict_string = function
 
 type run = {
   jobs : int;
+  scheduler : string;  (* "sequential" | "static" | "stealing" *)
   wall_s : float;
   branches : int;
+  steals : int;
+  steal_failures : int;
+  frontier_high_water : int;
   verdict : string;
   counters : (string * int) list;  (* Obs.Metrics totals over the repeats *)
 }
@@ -136,38 +140,56 @@ let () =
          (fun i v -> (v, fst config.Engine.safe_rect.(i), snd config.Engine.safe_rect.(i)))
          system.Engine.vars)
   in
-  let time_once jobs =
-    let options = { Solver.default_options with Solver.delta; jobs } in
+  let time_once jobs scheduler =
+    let options = { Solver.default_options with Solver.delta; jobs; scheduler } in
     let (verdict, stats), dt = Timing.time (fun () -> Solver.solve ~options ~bounds formula) in
-    (dt, stats.Solver.branches, verdict_string verdict)
+    (dt, stats, verdict_string verdict)
   in
   (* Timed runs keep the metrics sink ON: its overhead is one atomic add
      per solver query (totals are recorded per solve, not per branch), so
      the wall clock is unaffected while every run carries its counter
      snapshot into the JSON. *)
   Obs.Metrics.enable ();
+  let bench_run jobs scheduler sched_name =
+    Obs.Metrics.reset ();
+    let best = ref infinity
+    and stats = ref None
+    and verdict = ref "unknown" in
+    for _ = 1 to max 1 repeats do
+      let dt, st, v = time_once jobs scheduler in
+      if dt < !best then begin
+        best := dt;
+        stats := Some st;
+        verdict := v
+      end
+    done;
+    let st = Option.get !stats in
+    Format.printf "condition(5) jobs=%d sched=%-10s wall %.4fs  branches %d  steals %d  %s@."
+      jobs sched_name !best st.Solver.branches st.Solver.steals !verdict;
+    {
+      jobs;
+      scheduler = sched_name;
+      wall_s = !best;
+      branches = st.Solver.branches;
+      steals = st.Solver.steals;
+      steal_failures = st.Solver.steal_failures;
+      frontier_high_water = st.Solver.frontier_high_water;
+      verdict = !verdict;
+      counters = List.filter (fun (_, v) -> v <> 0) (Obs.Metrics.dump_counters ());
+    }
+  in
+  (* jobs=1 is scheduler-independent (one sequential search), so it runs
+     once; every parallel width runs under both schedulers so the JSON
+     carries the static-vs-stealing comparison per commit. *)
   let runs =
-    List.map
+    List.concat_map
       (fun jobs ->
-        Obs.Metrics.reset ();
-        let best = ref infinity and branches = ref 0 and verdict = ref "unknown" in
-        for _ = 1 to max 1 repeats do
-          let dt, br, v = time_once jobs in
-          if dt < !best then begin
-            best := dt;
-            branches := br;
-            verdict := v
-          end
-        done;
-        Format.printf "condition(5) jobs=%d  wall %.4fs  branches %d  %s@." jobs !best
-          !branches !verdict;
-        {
-          jobs;
-          wall_s = !best;
-          branches = !branches;
-          verdict = !verdict;
-          counters = List.filter (fun (_, v) -> v <> 0) (Obs.Metrics.dump_counters ());
-        })
+        if jobs <= 1 then [ bench_run jobs Solver.Work_stealing "sequential" ]
+        else begin
+          let st = bench_run jobs Solver.Static_split "static" in
+          let ws = bench_run jobs Solver.Work_stealing "stealing" in
+          [ st; ws ]
+        end)
       jobs_list
   in
   let t1 =
@@ -191,22 +213,56 @@ let () =
     Obs.Json.Obj
       [
         ("jobs", Obs.Json.Int r.jobs);
+        ("scheduler", Obs.Json.String r.scheduler);
         ("wall_s", Obs.Json.Float r.wall_s);
         ("branches", Obs.Json.Int r.branches);
+        ("steals", Obs.Json.Int r.steals);
+        ("steal_failures", Obs.Json.Int r.steal_failures);
+        ("frontier_high_water", Obs.Json.Int r.frontier_high_water);
         ("verdict", Obs.Json.String r.verdict);
         ("speedup_vs_1", Obs.Json.Float (if r.wall_s > 0.0 then t1 /. r.wall_s else 1.0));
         ( "counters",
           Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) r.counters) );
       ]
   in
+  (* Head-to-head block at the widest parallel width: the number the CI
+     smoke gate and EXPERIMENTS.md read directly. *)
+  let comparison =
+    let max_jobs = List.fold_left (fun acc r -> max acc r.jobs) 1 runs in
+    let find sched =
+      List.find_opt (fun r -> r.jobs = max_jobs && r.scheduler = sched) runs
+    in
+    match (find "static", find "stealing") with
+    | Some st, Some ws when max_jobs > 1 ->
+      let batched =
+        match List.assoc_opt "tape.batched_sweeps" ws.counters with Some n -> n | None -> 0
+      in
+      [
+        ( "comparison",
+          Obs.Json.Obj
+            [
+              ("jobs", Obs.Json.Int max_jobs);
+              ("static_wall_s", Obs.Json.Float st.wall_s);
+              ("stealing_wall_s", Obs.Json.Float ws.wall_s);
+              ( "stealing_speedup_vs_static",
+                Obs.Json.Float (if ws.wall_s > 0.0 then st.wall_s /. ws.wall_s else 1.0) );
+              ("steals", Obs.Json.Int ws.steals);
+              ("steal_failures", Obs.Json.Int ws.steal_failures);
+              ("frontier_high_water", Obs.Json.Int ws.frontier_high_water);
+              ("batched_sweeps", Obs.Json.Int batched);
+            ] );
+      ]
+    | _ -> []
+  in
   Obs.Json.write_file out
     (Obs.Json.Obj
-       [
-         ("bench", Obs.Json.String "parallel_condition5_dubins");
-         ("smoke", Obs.Json.Bool smoke);
-         ("delta", Obs.Json.Float delta);
-         ("repeats", Obs.Json.Int repeats);
-         ("recommended_domains", Obs.Json.Int (Pool.default_jobs ()));
-         ("runs", Obs.Json.List (List.map run_json runs));
-       ]);
+       ([
+          ("bench", Obs.Json.String "parallel_condition5_dubins");
+          ("smoke", Obs.Json.Bool smoke);
+          ("delta", Obs.Json.Float delta);
+          ("repeats", Obs.Json.Int repeats);
+          ("recommended_domains", Obs.Json.Int (Pool.default_jobs ()));
+          ("runs", Obs.Json.List (List.map run_json runs));
+        ]
+       @ comparison));
   Format.printf "wrote %s@." out

@@ -132,6 +132,18 @@ let jobs_arg =
   in
   Arg.(value & opt int (Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let scheduler_arg =
+  let doc =
+    "Parallel δ-SAT scheduler: $(b,stealing) (dynamic work-stealing deques, the default) or \
+     $(b,static) (static 2^k box split, kept as a differential-testing oracle).  Both produce \
+     the same verdicts; stealing rebalances margin-tight boxes across idle workers."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("stealing", Solver.Work_stealing); ("static", Solver.Static_split) ])
+        Solver.Work_stealing
+    & info [ "scheduler" ] ~docv:"SCHED" ~doc)
+
 let store_arg =
   let doc =
     "Certificate store directory.  Before running CEGIS the store is probed: an exact \
@@ -161,7 +173,8 @@ let report_arg =
   in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
-let make_config ?(lp_engine = Lp.Revised) ~lie ~linear_terms ~gamma ~jobs () =
+let make_config ?(lp_engine = Lp.Revised) ?(scheduler = Solver.Work_stealing) ~lie
+    ~linear_terms ~gamma ~jobs () =
   let base = Engine.default_config in
   {
     base with
@@ -173,7 +186,7 @@ let make_config ?(lp_engine = Lp.Revised) ~lie ~linear_terms ~gamma ~jobs () =
         lp_engine;
       };
     template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
-    smt = { base.Engine.smt with Solver.jobs };
+    smt = { base.Engine.smt with Solver.jobs; scheduler };
     jobs;
   }
 
@@ -189,14 +202,14 @@ let verify_via_store ~config ~budget ~rng ~store ~no_cache net system =
 
 let verify_cmd =
   let run width network seed lie linear_terms lp_engine gamma deadline restarts seed_retry jobs
-      store no_cache trace_file report_file =
+      scheduler store no_cache trace_file report_file =
     if trace_file <> None || report_file <> None then begin
       Obs.Trace.enable ();
       Obs.Metrics.enable ()
     end;
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
-    let config = make_config ~lp_engine ~lie ~linear_terms ~gamma ~jobs () in
+    let config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
     let budget =
       match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
     in
@@ -297,7 +310,7 @@ let verify_cmd =
     Term.(
       const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg
       $ lp_engine_arg $ gamma_arg $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg
-      $ store_arg $ no_cache_arg $ trace_arg $ report_arg)
+      $ scheduler_arg $ store_arg $ no_cache_arg $ trace_arg $ report_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -306,10 +319,10 @@ let export_cmd =
     let doc = "Certificate store directory to export into." in
     Arg.(value & opt string "data/certs" & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run width network seed lie linear_terms lp_engine gamma jobs store =
+  let run width network seed lie linear_terms lp_engine gamma jobs scheduler store =
     let net = load_controller network width in
     let system = Case_study.system_of_network net in
-    let config = make_config ~lp_engine ~lie ~linear_terms ~gamma ~jobs () in
+    let config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
     let rng = Rng.create seed in
     let result =
       verify_via_store ~config ~budget:Budget.unlimited ~rng ~store ~no_cache:false net system
@@ -331,7 +344,7 @@ let export_cmd =
     (Cmd.info "export" ~doc)
     Term.(
       const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg
-      $ lp_engine_arg $ gamma_arg $ jobs_arg $ store)
+      $ lp_engine_arg $ gamma_arg $ jobs_arg $ scheduler_arg $ store)
 
 (* --- check ------------------------------------------------------------ *)
 

@@ -86,15 +86,49 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
     if l_min >= l_max then finish (Error Range_empty)
     else begin
       let w_center = w_of_point center in
+      (* The bisection varies only the level constant, never the template
+         shape, so both conditions are prepared ONCE with the level as a
+         degenerate extra variable (bounds [level, level] per query) —
+         tapes and symbolic partials are compiled here and reused by every
+         iteration instead of being rebuilt per bisection.  A pinned
+         variable is interval-exact, so enclosures, branching and verdicts
+         are identical to the level-as-constant formulation.  Preparation
+         is timed into the per-condition accumulators to keep the
+         run-report stage accounting whole. *)
+      let level_var =
+        let rec fresh v = if Array.exists (String.equal v) spec.vars then fresh (v ^ "_") else v in
+        fresh "_level"
+      in
+      let prep_vars = Array.to_list spec.vars @ [ level_var ] in
+      let prep acc formula =
+        let p, dt =
+          Timing.time (fun () -> Solver.prepare ~options:spec.smt ~vars:prep_vars formula)
+        in
+        acc := !acc +. dt;
+        p
+      in
+      let cond6_prep =
+        prep smt6_time
+          (Formula.gt (Template.w_expr template coeffs) (Expr.var level_var))
+      in
+      let cond7_prep =
+        prep smt7_time
+          (Formula.and_
+             [
+               Formula.le (Template.w_expr template coeffs) (Expr.var level_var);
+               outside_unsafe spec;
+             ])
+      in
       (* Each query gets the shared budget; a deadline/cancellation stop is
          distinguished (via [stats.interrupted]) from a plain Unknown so the
          caller can report Timeout rather than Inconclusive. *)
       let interrupted = ref None in
-      let solve span_name acc formula bounds =
+      let solve span_name acc prepared level bounds =
         let (verdict, stats), dt =
           Timing.time (fun () ->
               Obs.Trace.with_span span_name (fun () ->
-                  Solver.solve ~options:spec.smt ~budget ~bounds formula))
+                  Solver.solve_prepared ~budget prepared
+                    ~bounds:(bounds @ [ (level_var, level, level) ])))
         in
         acc := !acc +. dt;
         (match (verdict, stats.Solver.interrupted) with
@@ -118,7 +152,7 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
             | None -> Error (Inconclusive kind)
           in
           match
-            solve "condition6" smt6_time (condition6 template coeffs level)
+            solve "condition6" smt6_time cond6_prep level
               (rect_bounds spec.vars spec.x0_rect)
           with
           | Solver.Unknown -> timed_out_or "condition (6)"
@@ -139,8 +173,7 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
                 bbox
             in
             match
-              solve "condition7" smt7_time
-                (condition7 spec template coeffs level)
+              solve "condition7" smt7_time cond7_prep level
                 (rect_bounds spec.vars query_rect)
             with
             | Solver.Unknown -> timed_out_or "condition (7)"

@@ -5,6 +5,9 @@ type stats = {
   prunes : int;
   hc4_calls : int;
   max_depth : int;
+  steals : int;
+  steal_failures : int;
+  frontier_high_water : int;
   elapsed : float;
   interrupted : Budget.stop option;
 }
@@ -12,6 +15,8 @@ type stats = {
 type branching = Widest | Smear
 
 type engine = Tree_eval | Tape_eval
+
+type scheduler = Static_split | Work_stealing
 
 type options = {
   delta : float;
@@ -21,6 +26,8 @@ type options = {
   use_mvf : bool;
   jobs : int;
   engine : engine;
+  scheduler : scheduler;
+  steal_seed : int;
 }
 
 let default_options =
@@ -32,6 +39,8 @@ let default_options =
     use_mvf = true;
     jobs = 1;
     engine = Tape_eval;
+    scheduler = Work_stealing;
+    steal_seed = 0;
   }
 
 type search_state = {
@@ -39,7 +48,30 @@ type search_state = {
   mutable prunes : int;
   mutable hc4_calls : int;
   mutable max_depth : int;
+  mutable steals : int;
+  mutable steal_failures : int;
+  mutable frontier_hw : int;
 }
+
+let fresh_state () =
+  {
+    branches = 0;
+    prunes = 0;
+    hc4_calls = 0;
+    max_depth = 0;
+    steals = 0;
+    steal_failures = 0;
+    frontier_hw = 0;
+  }
+
+let merge_state st s =
+  st.branches <- st.branches + s.branches;
+  st.prunes <- st.prunes + s.prunes;
+  st.hc4_calls <- st.hc4_calls + s.hc4_calls;
+  if s.max_depth > st.max_depth then st.max_depth <- s.max_depth;
+  st.steals <- st.steals + s.steals;
+  st.steal_failures <- st.steal_failures + s.steal_failures;
+  if s.frontier_hw > st.frontier_hw then st.frontier_hw <- s.frontier_hw
 
 (* Per-task runtime view of one atom: the search below is written against
    this record only, so the compiled-tape engine and the tree-walking
@@ -57,10 +89,15 @@ type atom_rt = {
   partials_fwd : Interval.t array -> Interval.t array;
       (* gradient enclosures over the box, indexed by variable *)
   eval_mid : float array -> float;  (* point evaluation, indexed by variable *)
+  forward_pair : (Interval.t array -> Interval.t array -> Interval.t * Interval.t) option;
+      (* batched SoA sweep over the two children of a bisection (tape
+         engine only; [None] keeps the tree oracle byte-for-byte on the
+         historical search) *)
 }
 
 let tape_rt ((a : Formula.atom), tape) =
   let b = Tape.make_buffers tape in
+  let pair = Tape.make_batch tape ~width:2 in
   let n_partials = Tape.n_partials tape in
   {
     atom = a;
@@ -76,6 +113,7 @@ let tape_rt ((a : Formula.atom), tape) =
         ignore (Tape.forward_all tape b domains : Interval.t);
         Array.init n_partials (Tape.partial_ival tape b));
     eval_mid = (fun x -> Tape.eval_point tape b x);
+    forward_pair = Some (fun d1 d2 -> Tape.forward_pair tape pair d1 d2);
   }
 
 let tree_rt ~index_of ((a : Formula.atom), partial_exprs) =
@@ -94,6 +132,7 @@ let tree_rt ~index_of ((a : Formula.atom), partial_exprs) =
     certainly_true = (fun domains -> Hc4.certainly_true domains c);
     partials_fwd = (fun domains -> Array.map (Hc4.forward domains) cps);
     eval_mid = (fun x -> Expr.eval (fun v -> x.(index_of v)) a.Formula.expr);
+    forward_pair = None;
   }
 
 (* Atom satisfiable somewhere in the box, from the forward enclosure alone. *)
@@ -158,7 +197,18 @@ let prepare_atoms names atoms =
       (a, partials))
     atoms
 
-let solve_conjunction ~opts ~budget st names rts initial =
+(* One expansion step of the branch-and-prune search: everything that
+   happens to a box after it is claimed — contraction, MVF pruning, the
+   three witness tests, bisection and the batched child pre-filter.  All
+   three drivers (sequential, static split, work-stealing) call this same
+   closure, so the verdict logic cannot drift between schedulers: any
+   scheduler merely chooses the order in which boxes are expanded. *)
+type step =
+  | Step_pruned
+  | Step_witness of float array
+  | Step_split of (Interval.t array * int) list
+
+let make_stepper ~opts st rts =
   (* Mean-value form of an atom over the current box:
      e(x) ∈ e(mid) + Σᵢ ∂e/∂xᵢ(box)·(xᵢ − midᵢ), with a relative fudge for
      the float evaluation of e(mid).  Returns None when midpoint evaluation
@@ -260,66 +310,115 @@ let solve_conjunction ~opts ~budget st names rts initial =
         grads;
       if !best < 0 then widest () else !best
   in
+  (* Batched child pre-filter (tape engine only): one SoA sweep evaluates
+     both bisection children per atom.  A child whose root enclosure
+     already excludes an atom's target is exactly a child whose first
+     [revise] would raise Empty_box on its root meet, so dropping it here
+     never changes a verdict — it only skips the push/claim cycle the
+     doomed box would have cost.  The filter is scheduler- and
+     job-independent, keeping counters identical across both. *)
+  let can_pair = List.for_all (fun rt -> rt.forward_pair <> None) rts in
+  let filter_children c1 c2 =
+    if not can_pair then [ c1; c2 ]
+    else begin
+      let keep1 = ref true and keep2 = ref true in
+      List.iter
+        (fun rt ->
+          if !keep1 || !keep2 then begin
+            match rt.forward_pair with
+            | None -> ()
+            | Some fp ->
+              let i1, i2 = fp (fst c1) (fst c2) in
+              if !keep1 && not (possibly_sat rt.atom i1) then keep1 := false;
+              if !keep2 && not (possibly_sat rt.atom i2) then keep2 := false
+          end)
+        rts;
+      if not !keep1 then st.prunes <- st.prunes + 1;
+      if not !keep2 then st.prunes <- st.prunes + 1;
+      match (!keep1, !keep2) with
+      | true, true -> [ c1; c2 ]
+      | true, false -> [ c1 ]
+      | false, true -> [ c2 ]
+      | false, false -> []
+    end
+  in
+  fun (domains, depth) ->
+    if depth > st.max_depth then st.max_depth <- depth;
+    match contract ~opts st domains rts with
+    | exception Pruned ->
+      st.prunes <- st.prunes + 1;
+      Step_pruned
+    | () ->
+      if List.exists (mvf_infeasible domains) rts then begin
+        st.prunes <- st.prunes + 1;
+        Step_pruned
+      end
+      else begin
+        let mid = Array.map Interval.midpoint domains in
+        let all_true =
+          List.for_all
+            (fun rt -> rt.certainly_true domains || mvf_certainly_true domains rt)
+            rts
+        in
+        if all_true then Step_witness mid
+        else if
+          List.for_all
+            (fun rt -> holds_delta opts.delta rt.atom.Formula.rel (rt.eval_mid mid))
+            rts
+        then Step_witness mid
+        else begin
+          let max_w =
+            Array.fold_left (fun w i -> Float.max w (Interval.width i)) 0.0 domains
+          in
+          if max_w <= opts.delta then Step_witness mid
+          else begin
+            let split_var = pick_split_var domains in
+            let left, right = Interval.split domains.(split_var) in
+            let d1 = Array.copy domains and d2 = Array.copy domains in
+            d1.(split_var) <- left;
+            d2.(split_var) <- right;
+            Step_split (filter_children (d1, depth + 1) (d2, depth + 1))
+          end
+        end
+      end
+
+let witness_of names mid =
+  Delta_sat (Array.to_list (Array.mapi (fun i n -> (n, mid.(i))) names))
+
+let solve_conjunction ~opts ~budget st names rts initial =
+  let step = make_stepper ~opts st rts in
   let stack = ref [ (Array.copy initial, 0) ] in
   let result = ref None in
-  (* Budget_exhausted escapes to [solve], which owns the per-query stats. *)
-  begin
-     while !result = None && !stack <> [] do
-       match !stack with
-       | [] -> ()
-       | (domains, depth) :: rest ->
-         stack := rest;
-         st.branches <- st.branches + 1;
-         if st.branches > opts.max_branches then
-           raise (Budget_exhausted Budget.Branch_budget);
-         (* The budget is the wall-clock/cancellation control threaded down
-            from the pipeline; [max_branches] above is the per-call search
-            bound.  Both surface as Unknown, tagged in [stats.interrupted]. *)
-         (match Budget.consume_branches budget 1 with
-         | Some s -> raise (Budget_exhausted s)
-         | None -> ());
-         if depth > st.max_depth then st.max_depth <- depth;
-         (match contract ~opts st domains rts with
-         | () ->
-           if List.exists (mvf_infeasible domains) rts then st.prunes <- st.prunes + 1
-           else begin
-           let mid = Array.map Interval.midpoint domains in
-           let all_true =
-             List.for_all
-               (fun rt -> rt.certainly_true domains || mvf_certainly_true domains rt)
-               rts
-           in
-           if all_true then result := Some mid
-           else if
-             List.for_all
-               (fun rt -> holds_delta opts.delta rt.atom.Formula.rel (rt.eval_mid mid))
-               rts
-           then result := Some mid
-           else begin
-             let max_w =
-               Array.fold_left (fun w i -> Float.max w (Interval.width i)) 0.0 domains
-             in
-             if max_w <= opts.delta then result := Some mid
-             else begin
-               let split_var = pick_split_var domains in
-               let left, right = Interval.split domains.(split_var) in
-               let d1 = Array.copy domains and d2 = Array.copy domains in
-               d1.(split_var) <- left;
-               d2.(split_var) <- right;
-               stack := (d1, depth + 1) :: (d2, depth + 1) :: !stack
-             end
-           end
-           end
-         | exception Pruned -> st.prunes <- st.prunes + 1)
-     done
-  end;
+  (* Budget_exhausted escapes to [solve_prepared], which owns the per-query
+     stats. *)
+  while !result = None && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | box :: rest ->
+      stack := rest;
+      st.branches <- st.branches + 1;
+      if st.branches > opts.max_branches then
+        raise (Budget_exhausted Budget.Branch_budget);
+      (* The budget is the wall-clock/cancellation control threaded down
+         from the pipeline; [max_branches] above is the per-call search
+         bound.  Both surface as Unknown, tagged in [stats.interrupted]. *)
+      (match Budget.consume_branches budget 1 with
+      | Some s -> raise (Budget_exhausted s)
+      | None -> ());
+      (match step box with
+      | Step_pruned -> ()
+      | Step_witness mid -> result := Some mid
+      | Step_split children -> stack := children @ !stack)
+  done;
   match !result with
-  | Some mid -> Delta_sat (Array.to_list (Array.mapi (fun i n -> (n, mid.(i))) names))
+  | Some mid -> witness_of names mid
   | None -> Unsat
 
 (* Split a box into [2^k] subboxes by repeatedly bisecting each piece's
-   widest dimension — the static domain decomposition behind parallel
-   search (dReal's parallel branch-and-prune does the same at its root). *)
+   widest dimension — the static domain decomposition behind the
+   [Static_split] scheduler (dReal's parallel branch-and-prune does the
+   same at its root); kept as the differential oracle for the default
+   work-stealing scheduler. *)
 let split_box k initial =
   let split_one d =
     let widest = ref 0 and best_w = ref (Interval.width d.(0)) in
@@ -347,83 +446,278 @@ let splits_for jobs =
   let rec go k = if 1 lsl k >= jobs then k else go (k + 1) in
   go 0
 
-(* Decide one conjunction with [opts.jobs] domains: the initial box is
-   statically split into [2^k >= jobs] subboxes searched concurrently under
-   a shared cancellation switch (first witness wins).  Soundness of the
-   merge: the subboxes cover the initial box, so Unsat holds only when
-   every subbox is Unsat; any budget stop in a witness-free merge degrades
-   the verdict to Unknown exactly as in the sequential search. *)
-let solve_conjunction_par ~opts ~budget st ~index_of names initial atoms =
-  let prepared = prepare_atoms names atoms in
-  (* Engine split.  Tape: each atom (with its partials) is compiled ONCE
-     per solve call — the tapes are immutable and shared by every parallel
-     task, which only allocates its own evaluation buffers.  Tree: the
-     HC4 nodes carry mutable interval scratch state, so every task must
-     compile private copies (the pre-tape behaviour, kept as the
-     differential-testing oracle). *)
-  let make_rts =
-    match opts.engine with
-    | Tape_eval ->
-      let tapes =
-        List.map
-          (fun ((a : Formula.atom), partials) -> (a, Tape.compile ~index_of ~partials a))
-          prepared
-      in
-      fun () -> List.map tape_rt tapes
-    | Tree_eval -> fun () -> List.map (tree_rt ~index_of) prepared
+(* Decide one conjunction with [opts.jobs] domains and a static 2^k split:
+   the initial box is split up front into [2^k >= jobs] subboxes searched
+   concurrently under a shared cancellation switch (first witness wins).
+   Soundness of the merge: the subboxes cover the initial box, so Unsat
+   holds only when every subbox is Unsat; any budget stop in a witness-free
+   merge degrades the verdict to Unknown exactly as in the sequential
+   search. *)
+let solve_conjunction_static ~opts ~budget st names make_rts initial =
+  let boxes = Array.of_list (split_box (splits_for opts.jobs) initial) in
+  let sw = Budget.switch () in
+  let task_budget = Budget.with_switch sw budget in
+  let run box =
+    let st_l = fresh_state () in
+    let outcome =
+      match solve_conjunction ~opts ~budget:task_budget st_l names (make_rts ()) box with
+      | Delta_sat w ->
+        Budget.fire sw;
+        `Sat w
+      | Unsat -> `Unsat
+      | Unknown -> `Stop Budget.Branch_budget (* not produced by the search *)
+      | exception Budget_exhausted stop -> `Stop stop
+    in
+    (outcome, st_l)
   in
+  let results = Pool.parallel_map ~jobs:opts.jobs run boxes in
+  Array.iter (fun (_, s) -> merge_state st s) results;
+  let first pred = Array.find_opt (fun (o, _) -> pred o) results in
+  match first (function `Sat _ -> true | _ -> false) with
+  | Some (`Sat w, _) -> Delta_sat w
+  | _ -> (
+    (* No witness anywhere, so the switch never fired: every [`Stop
+       Cancelled] is an external cancellation and propagates as such. *)
+    match first (function `Stop _ -> true | _ -> false) with
+    | Some (`Stop stop, _) -> raise (Budget_exhausted stop)
+    | _ -> Unsat)
+
+(* Dynamic work-stealing driver (the default for [jobs > 1]).
+
+   Topology: one private deque of open boxes per worker.  The owner treats
+   its deque as a LIFO stack — depth-first locally, so per-task evaluation
+   buffers stay cache-hot — while a thief removes the OLDEST entry: the
+   widest, shallowest box, which carries the most remaining subtree, so
+   steals are rare and coarse-grained.
+
+   Termination and Unsat soundness hinge on the [live] counter: it counts
+   boxes that are open in some deque OR in flight (claimed but not yet
+   expanded).  It grows before new children become visible to thieves and
+   shrinks only after a claimed box's fate is settled, so [live = 0]
+   proves the initial box is fully covered by pruned/decided leaves —
+   exactly the condition under which the merge may answer Unsat.  The
+   first witness (or budget stop) lands in a CAS-once cell that doubles as
+   the cancellation epoch: workers poll it between boxes and drain out
+   promptly, mirroring the static scheduler's Budget.switch cancellation.
+
+   Verdict determinism: stealing only permutes the order in which open
+   boxes are expanded, and every verdict-relevant decision (the stepper)
+   is a pure function of the box, so on runs that decide (no budget stop)
+   the Sat/Unsat answer is identical across [jobs], [scheduler] and
+   [steal_seed]; only which witness is reported (among equally valid
+   ones), the stats and the steal counters may vary.
+
+   Unlike the static scheduler — whose subbox searches each get the full
+   [max_branches] — the stealing workers share one global branch count
+   continuing the query's running total, matching the sequential bound. *)
+
+type wdeque = {
+  dq_lock : Mutex.t;
+  mutable dq_boxes : (Interval.t array * int) list; (* front = newest *)
+}
+
+let solve_conjunction_steal ~opts ~budget st names make_rts initial =
+  let jobs = opts.jobs in
+  let deques = Array.init jobs (fun _ -> { dq_lock = Mutex.create (); dq_boxes = [] }) in
+  deques.(0).dq_boxes <- [ (Array.copy initial, 0) ];
+  let live = Atomic.make 1 in
+  let frontier_hw = Atomic.make 1 in
+  let branch_total = Atomic.make st.branches in
+  let witness : float array option Atomic.t = Atomic.make None in
+  let stopped : Budget.stop option Atomic.t = Atomic.make None in
+  let is_some cell = match Atomic.get cell with Some _ -> true | None -> false in
+  let halted () = is_some witness || is_some stopped in
+  let rec set_once cell v =
+    match Atomic.get cell with
+    | Some _ -> ()
+    | None -> if not (Atomic.compare_and_set cell None (Some v)) then set_once cell v
+  in
+  let pop_own dq =
+    Mutex.lock dq.dq_lock;
+    let r =
+      match dq.dq_boxes with
+      | [] -> None
+      | b :: rest ->
+        dq.dq_boxes <- rest;
+        Some b
+    in
+    Mutex.unlock dq.dq_lock;
+    r
+  in
+  let push_children dq children =
+    Mutex.lock dq.dq_lock;
+    dq.dq_boxes <- children @ dq.dq_boxes;
+    Mutex.unlock dq.dq_lock
+  in
+  let steal_oldest dq =
+    Mutex.lock dq.dq_lock;
+    let r =
+      match dq.dq_boxes with
+      | [] -> None
+      | boxes ->
+        let rec go acc = function
+          | [ oldest ] ->
+            dq.dq_boxes <- List.rev acc;
+            Some oldest
+          | b :: tl -> go (b :: acc) tl
+          | [] -> None
+        in
+        go [] boxes
+    in
+    Mutex.unlock dq.dq_lock;
+    r
+  in
+  let box_done () = ignore (Atomic.fetch_and_add live (-1) : int) in
+  let bump_frontier () =
+    let l = Atomic.get live in
+    let rec go () =
+      let hw = Atomic.get frontier_hw in
+      if l > hw && not (Atomic.compare_and_set frontier_hw hw l) then go ()
+    in
+    go ()
+  in
+  let run wid =
+    Obs.Trace.with_span "solver.worker" @@ fun () ->
+    let st_l = fresh_state () in
+    let step = make_stepper ~opts st_l (make_rts ()) in
+    let my = deques.(wid) in
+    (* Seeded victim rotation: distinct [steal_seed]s give distinct (but
+       reproducible) steal interleavings, which the qcheck parity property
+       sweeps. *)
+    let victims =
+      let off = (((opts.steal_seed * 31) + (wid * 17)) mod jobs + jobs) mod jobs in
+      Array.init jobs (fun i -> (wid + off + i) mod jobs)
+      |> Array.to_list
+      |> List.filter (fun v -> v <> wid)
+      |> Array.of_list
+    in
+    let try_steal () =
+      let found = ref None in
+      let i = ref 0 in
+      while !found = None && !i < Array.length victims do
+        (match steal_oldest deques.(victims.(!i)) with
+        | Some b ->
+          st_l.steals <- st_l.steals + 1;
+          found := Some b
+        | None -> ());
+        incr i
+      done;
+      if !found = None then st_l.steal_failures <- st_l.steal_failures + 1;
+      !found
+    in
+    let obtain () =
+      match pop_own my with
+      | Some b -> Some b
+      | None -> (
+        match try_steal () with
+        | Some b -> Some b
+        | None ->
+          if halted () || Atomic.get live = 0 then None
+          else
+            (* Out of work while the search is still live: spin-steal with
+               backoff (mostly asleep, so a few idle workers cannot starve
+               a busy one on a small machine).  The span makes per-worker
+               idle time measurable from the trace. *)
+            Obs.Trace.with_span "solver.steal_idle" (fun () ->
+                let res = ref None in
+                let waiting = ref true in
+                let spins = ref 0 in
+                while !waiting do
+                  if halted () || Atomic.get live = 0 then waiting := false
+                  else begin
+                    match try_steal () with
+                    | Some b ->
+                      res := Some b;
+                      waiting := false
+                    | None ->
+                      incr spins;
+                      if !spins land 63 = 0 then Unix.sleepf 2e-4
+                      else Domain.cpu_relax ()
+                  end
+                done;
+                !res))
+    in
+    let body () =
+      let running = ref true in
+      while !running do
+        if halted () then running := false
+        else begin
+          match obtain () with
+          | None -> running := false
+          | Some box ->
+            st_l.branches <- st_l.branches + 1;
+            let claimed = Atomic.fetch_and_add branch_total 1 in
+            if claimed >= opts.max_branches then begin
+              set_once stopped Budget.Branch_budget;
+              box_done ()
+            end
+            else begin
+              match Budget.consume_branches budget 1 with
+              | Some s ->
+                set_once stopped s;
+                box_done ()
+              | None -> (
+                match step box with
+                | Step_pruned -> box_done ()
+                | Step_witness mid ->
+                  set_once witness mid;
+                  box_done ()
+                | Step_split [] -> box_done ()
+                | Step_split children ->
+                  let n = List.length children in
+                  (* Grow [live] before the children are visible so a
+                     thief can never observe an empty system while work
+                     remains in flight. *)
+                  if n > 1 then ignore (Atomic.fetch_and_add live (n - 1) : int);
+                  push_children my children;
+                  bump_frontier ())
+            end
+        end
+      done
+    in
+    (* Any escaping exception is re-raised to the submitter by the pool;
+       flag the epoch first so sibling workers drain instead of spinning
+       on [live > 0] forever. *)
+    (try body ()
+     with e ->
+       set_once stopped Budget.Cancelled;
+       raise e);
+    st_l
+  in
+  let sts = Pool.parallel_map ~jobs run (Array.init jobs (fun i -> i)) in
+  Array.iter (fun s -> merge_state st s) sts;
+  if Atomic.get frontier_hw > st.frontier_hw then st.frontier_hw <- Atomic.get frontier_hw;
+  match Atomic.get witness with
+  | Some mid -> witness_of names mid
+  | None -> (
+    match Atomic.get stopped with
+    | Some stop -> raise (Budget_exhausted stop)
+    | None -> Unsat)
+
+let solve_conjunction_par ~opts ~budget st names make_rts initial =
   if opts.jobs <= 1 then solve_conjunction ~opts ~budget st names (make_rts ()) initial
   else begin
-    let boxes = Array.of_list (split_box (splits_for opts.jobs) initial) in
-    let sw = Budget.switch () in
-    let task_budget = Budget.with_switch sw budget in
-    let run box =
-      let st_l = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
-      let outcome =
-        match solve_conjunction ~opts ~budget:task_budget st_l names (make_rts ()) box with
-        | Delta_sat w ->
-          Budget.fire sw;
-          `Sat w
-        | Unsat -> `Unsat
-        | Unknown -> `Stop Budget.Branch_budget (* not produced by the search *)
-        | exception Budget_exhausted stop -> `Stop stop
-      in
-      (outcome, st_l)
-    in
-    let results = Pool.parallel_map ~jobs:opts.jobs run boxes in
-    Array.iter
-      (fun (_, s) ->
-        st.branches <- st.branches + s.branches;
-        st.prunes <- st.prunes + s.prunes;
-        st.hc4_calls <- st.hc4_calls + s.hc4_calls;
-        if s.max_depth > st.max_depth then st.max_depth <- s.max_depth)
-      results;
-    let first pred = Array.find_opt (fun (o, _) -> pred o) results in
-    match first (function `Sat _ -> true | _ -> false) with
-    | Some (`Sat w, _) -> Delta_sat w
-    | _ -> (
-      (* No witness anywhere, so the switch never fired: every [`Stop
-         Cancelled] is an external cancellation and propagates as such. *)
-      match first (function `Stop _ -> true | _ -> false) with
-      | Some (`Stop stop, _) -> raise (Budget_exhausted stop)
-      | _ -> Unsat)
+    match opts.scheduler with
+    | Work_stealing -> solve_conjunction_steal ~opts ~budget st names make_rts initial
+    | Static_split -> solve_conjunction_static ~opts ~budget st names make_rts initial
   end
 
-(* Counters are bumped once per query with the merged totals (not inside
-   the branch loop), so the numbers are identical across job counts. *)
-let c_solves = Obs.Metrics.counter "solver.solves"
-let c_branches = Obs.Metrics.counter "solver.branches"
-let c_prunes = Obs.Metrics.counter "solver.prunes"
-let c_hc4 = Obs.Metrics.counter "solver.hc4_revise"
+(* Prepared queries: the formula-shaped work of [solve] — validation, DNF
+   expansion, symbolic differentiation, tape compilation — factored out so
+   callers that decide the same formula over many different bounds (level
+   search bisections, CEGIS δ-refinements) pay it once.  A [prepared]
+   value is immutable and safe to reuse across calls and worker domains;
+   per-task evaluation state is created inside each [solve_prepared]. *)
 
-let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds formula =
-  Obs.Trace.with_span "solver.solve" @@ fun () ->
-  let t0 = Timing.now () in
-  let st = { branches = 0; prunes = 0; hc4_calls = 0; max_depth = 0 } in
-  let names = Array.of_list (List.map (fun (n, _, _) -> n) bounds) in
-  (* Index the bounds once: used for duplicate/coverage validation here and
-     for atom compilation in every conjunction (read-only afterwards, so
-     sharing it across worker domains is safe). *)
+type prepared = {
+  p_options : options;
+  p_names : string array;
+  p_disjuncts : (unit -> atom_rt list) list;
+}
+
+let prepare ?(options = default_options) ~vars formula =
+  Obs.Trace.with_span "solver.prepare" @@ fun () ->
+  let names = Array.of_list vars in
   let index = Hashtbl.create 16 in
   Array.iteri
     (fun i n ->
@@ -436,13 +730,64 @@ let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds form
     | Some i -> i
     | None -> invalid_arg (Printf.sprintf "Solver.solve: variable %s has no bounds" n)
   in
-  List.iter
-    (fun v -> ignore (index_of v : int))
-    (Formula.free_vars formula);
+  List.iter (fun v -> ignore (index_of v : int)) (Formula.free_vars formula);
+  let disjuncts = Formula.to_dnf formula in
+  (* Engine split.  Tape: each atom (with its partials) is compiled ONCE
+     per prepare — the tapes are immutable and shared by every parallel
+     task and every later [solve_prepared], which only allocate their own
+     evaluation buffers.  Tree: the HC4 nodes carry mutable interval
+     scratch state, so every task must compile private copies (the
+     pre-tape behaviour, kept as the differential-testing oracle). *)
+  let prep_conjunction conj =
+    let prepared = prepare_atoms names conj in
+    match options.engine with
+    | Tape_eval ->
+      let tapes =
+        List.map
+          (fun ((a : Formula.atom), partials) -> (a, Tape.compile ~index_of ~partials a))
+          prepared
+      in
+      fun () -> List.map tape_rt tapes
+    | Tree_eval -> fun () -> List.map (tree_rt ~index_of) prepared
+  in
+  { p_options = options; p_names = names; p_disjuncts = List.map prep_conjunction disjuncts }
+
+(* Counters are bumped once per query with the merged totals (not inside
+   the branch loop), so the numbers are identical across job counts. *)
+let c_solves = Obs.Metrics.counter "solver.solves"
+let c_branches = Obs.Metrics.counter "solver.branches"
+let c_prunes = Obs.Metrics.counter "solver.prunes"
+let c_hc4 = Obs.Metrics.counter "solver.hc4_revise"
+let c_steals = Obs.Metrics.counter "solver.steals"
+let c_steal_failures = Obs.Metrics.counter "solver.steal_failures"
+let c_frontier_hw = Obs.Metrics.counter "solver.frontier_high_water"
+
+let solve_prepared ?options ?(budget = Budget.unlimited) p ~bounds =
+  Obs.Trace.with_span "solver.solve" @@ fun () ->
+  let opts =
+    match options with
+    | None -> p.p_options
+    | Some o ->
+      if o.engine <> p.p_options.engine then
+        invalid_arg "Solver.solve_prepared: engine differs from prepare-time engine";
+      o
+  in
+  let t0 = Timing.now () in
+  let st = fresh_state () in
+  let names = p.p_names in
+  if List.length bounds <> Array.length names then
+    invalid_arg "Solver.solve_prepared: bounds arity differs from prepared variables";
+  List.iteri
+    (fun i (n, _, _) ->
+      if not (String.equal n names.(i)) then
+        invalid_arg
+          (Printf.sprintf
+             "Solver.solve_prepared: bounds variable %s does not match prepared variable %s"
+             n names.(i)))
+    bounds;
   let initial =
     Array.of_list (List.map (fun (_, lo, hi) -> Interval.make lo hi) bounds)
   in
-  let disjuncts = Formula.to_dnf formula in
   let interrupted = ref None in
   (* A budget stop ends the whole query: [st.branches] and the deadline are
      shared across disjuncts, so retrying the remaining ones would stop
@@ -450,8 +795,8 @@ let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds form
      Unsat) and the stop reason is recorded in the stats. *)
   let rec try_disjuncts unknown = function
     | [] -> if unknown then Unknown else Unsat
-    | conj :: rest -> (
-      match solve_conjunction_par ~opts:options ~budget st ~index_of names initial conj with
+    | make_rts :: rest -> (
+      match solve_conjunction_par ~opts ~budget st names make_rts initial with
       | Delta_sat w -> Delta_sat w
       | Unsat -> try_disjuncts unknown rest
       | Unknown -> try_disjuncts true rest
@@ -459,22 +804,33 @@ let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds form
         interrupted := Some stop;
         Unknown)
   in
-  let verdict = try_disjuncts false disjuncts in
+  let verdict = try_disjuncts false p.p_disjuncts in
   Obs.Metrics.incr c_solves;
   Obs.Metrics.add c_branches st.branches;
   Obs.Metrics.add c_prunes st.prunes;
   Obs.Metrics.add c_hc4 st.hc4_calls;
+  Obs.Metrics.add c_steals st.steals;
+  Obs.Metrics.add c_steal_failures st.steal_failures;
+  Obs.Metrics.add c_frontier_hw st.frontier_hw;
   let stats =
     {
       branches = st.branches;
       prunes = st.prunes;
       hc4_calls = st.hc4_calls;
       max_depth = st.max_depth;
+      steals = st.steals;
+      steal_failures = st.steal_failures;
+      frontier_high_water = st.frontier_hw;
       elapsed = Float.max 0.0 (Timing.now () -. t0);
       interrupted = !interrupted;
     }
   in
   (verdict, stats)
+
+let solve ?(options = default_options) ?(budget = Budget.unlimited) ~bounds formula =
+  let vars = List.map (fun (n, _, _) -> n) bounds in
+  let p = prepare ~options ~vars formula in
+  solve_prepared ~budget p ~bounds
 
 let pp_verdict fmt = function
   | Unsat -> Format.pp_print_string fmt "unsat"

@@ -27,6 +27,16 @@ type stats = {
   prunes : int;  (** boxes emptied by contraction *)
   hc4_calls : int;  (** individual HC4-revise invocations *)
   max_depth : int;
+  steals : int;
+      (** boxes migrated between workers by the work-stealing scheduler
+          (0 for sequential and static-split runs) *)
+  steal_failures : int;
+      (** full victim scans that found every deque empty — a proxy for
+          worker idle pressure *)
+  frontier_high_water : int;
+      (** peak number of simultaneously open/in-flight boxes under the
+          work-stealing scheduler (available parallelism high-water mark;
+          0 for sequential and static-split runs) *)
   elapsed : float;  (** seconds *)
   interrupted : Budget.stop option;
       (** [Some stop] iff the search was cut short by the per-call branch
@@ -48,6 +58,23 @@ type engine = Tree_eval
           once per [solve] call and shared across parallel tasks.  Same
           enclosures and verdicts as [Tree_eval], faster. *)
 
+type scheduler =
+  | Static_split
+      (** split the initial box into [2^k >= jobs] subboxes up front, one
+          task each — the historical scheduler, kept as the differential
+          oracle ([--scheduler static]).  Load-blind: one margin-tight
+          subbox pins a single domain while the others drain.  Each subbox
+          search gets the full [max_branches] bound. *)
+  | Work_stealing
+      (** the default: each worker owns a private LIFO deque of open boxes
+          (depth-first locally, evaluation buffers cache-hot); an idle
+          worker steals the {e oldest} — widest, shallowest — box from a
+          victim, so load follows the work wherever branching concentrates.
+          All workers share one global branch count continuing the query's
+          running total, matching the sequential [max_branches] semantics.
+          First witness (or budget stop) lands in a CAS-once cell that
+          cancels the siblings. *)
+
 type options = {
   delta : float;  (** box-size threshold for δ-sat answers, default 1e-3 *)
   max_branches : int;  (** search budget per disjunct, default 200_000 *)
@@ -61,19 +88,24 @@ type options = {
           margins; default true *)
   jobs : int;
       (** domain-parallel search width, default 1 (sequential).  With
-          [jobs > 1] each conjunction's initial box is statically split
-          into [2^k >= jobs] subboxes searched concurrently on the global
-          {!Pool}: the first witness cancels the siblings, Unsat requires
-          every subbox Unsat, and a budget stop in a witness-free merge
-          degrades to Unknown exactly as in the sequential search.  The
-          sat/unsat verdict is independent of [jobs]; only the choice of
-          witness (among equally valid ones) and the stats may vary.  Each
-          subbox search gets the full [max_branches] bound. *)
+          [jobs > 1] the conjunction is searched concurrently on the global
+          {!Pool} under [scheduler]: the first witness cancels the
+          siblings, Unsat requires every explored subbox Unsat, and a
+          budget stop in a witness-free merge degrades to Unknown exactly
+          as in the sequential search.  The sat/unsat verdict is
+          independent of [jobs], of [scheduler] and of steal interleaving;
+          only the choice of witness (among equally valid ones) and the
+          stats may vary. *)
   engine : engine;
       (** evaluation/contraction engine, default [Tape_eval].  Verdicts are
           engine-independent on any query where both engines decide (the
           tape contracts at least as tightly, so it can only decide more
           boxes per branch). *)
+  scheduler : scheduler;  (** default [Work_stealing]; ignored at [jobs <= 1] *)
+  steal_seed : int;
+      (** perturbs the work-stealing victim-scan rotation; distinct seeds
+          give distinct, reproducible steal interleavings (the parity
+          qcheck sweeps several).  Default 0. *)
 }
 
 val default_options : options
@@ -93,6 +125,39 @@ val solve :
     hook fires, the query stops promptly with [Unknown] and
     [stats.interrupted = Some stop].  A budget stop never weakens
     soundness: it can only degrade a verdict to [Unknown]. *)
+
+(** {1 Prepared queries}
+
+    [solve] performs two separable jobs: formula-shaped preparation
+    (validation, DNF expansion, symbolic partials, tape compilation) and
+    the numeric search over a concrete box.  Callers that decide the same
+    formula over many different bounds — level-search bisections, CEGIS
+    δ-refinement retries — can split them to pay preparation once. *)
+
+type prepared
+(** Immutable compiled form of one formula against a fixed variable order;
+    safe to reuse across calls and across worker domains. *)
+
+val prepare : ?options:options -> vars:string list -> Formula.t -> prepared
+(** [prepare ~vars f] validates [f] against the variable order [vars]
+    (duplicates and free variables of [f] outside [vars] raise
+    [Invalid_argument], as in {!solve}) and compiles each DNF disjunct.
+    With the tape engine this is where all [Tape.compile] calls happen:
+    one per atom, however many times the result is solved. *)
+
+val solve_prepared :
+  ?options:options ->
+  ?budget:Budget.t ->
+  prepared ->
+  bounds:(string * float * float) list ->
+  verdict * stats
+(** [solve_prepared p ~bounds] runs the branch-and-prune search; [bounds]
+    must list exactly the prepared variables in prepare-time order (else
+    [Invalid_argument]).  [options] overrides the prepare-time options for
+    this call — any field except [engine], which is baked into the
+    compiled form ([Invalid_argument] on mismatch); this is how CEGIS
+    tightens δ across retries without recompiling.  [solve] is precisely
+    [prepare] followed by [solve_prepared]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 

@@ -251,6 +251,214 @@ let forward_all t b domains =
 
 let partial_ival t b i = iv b.flo b.fhi t.partial_roots.(i)
 
+(* Batched structure-of-arrays forward sweeps.  A batch holds [width] lanes
+   per atom slot, laid out slot-major ([blo.(k * width + i)] is lane [i] of
+   slot [k]), so one left-to-right pass over the instruction array decodes
+   each opcode once and applies it to every lane while the operand lanes
+   are still cache-resident.  Lanes reuse the scalar kernels and the scalar
+   [iv]/[set]/[set_empty] bridges on flat indices, so a batched sweep is
+   bit-for-bit the scalar [forward] applied lane by lane — the qcheck suite
+   asserts exactly that.  Only the forward sweep batches; HC4 [revise]
+   stays per-box (its requirement accumulators are inherently per-box). *)
+
+type batch = {
+  width : int;
+  blo : float array;
+  bhi : float array;
+}
+
+let sweep_counter = Atomic.make 0
+
+let batched_sweep_count () = Atomic.get sweep_counter
+
+let c_batched_sweeps = Obs.Metrics.counter "tape.batched_sweeps"
+
+let make_batch t ~width =
+  if width < 1 then invalid_arg "Tape.make_batch: width must be >= 1";
+  let n = t.hc4_limit * width in
+  let blo = Array.make n infinity and bhi = Array.make n neg_infinity in
+  (* Constant lanes are prefilled once, like [make_buffers]. *)
+  Array.iteri
+    (fun k ins ->
+      match ins with
+      | IConst c when k < t.hc4_limit ->
+        for i = 0 to width - 1 do
+          blo.((k * width) + i) <- c;
+          bhi.((k * width) + i) <- c
+        done
+      | _ -> ())
+    t.instrs;
+  { width; blo; bhi }
+
+let batch_width bt = bt.width
+
+let forward_batch t bt boxes =
+  let n = Array.length boxes in
+  if n < 1 || n > bt.width then
+    invalid_arg "Tape.forward_batch: batch size must be in [1, width]";
+  Atomic.incr sweep_counter;
+  Obs.Metrics.incr c_batched_sweeps;
+  let w = bt.width in
+  let blo = bt.blo and bhi = bt.bhi in
+  let instrs = t.instrs in
+  for k = 0 to t.hc4_limit - 1 do
+    let kb = k * w in
+    match Array.unsafe_get instrs k with
+    | IConst _ -> () (* prefilled *)
+    | IVar j ->
+      for i = 0 to n - 1 do
+        let d = boxes.(i).(j) in
+        if Interval.is_empty d then set_empty blo bhi (kb + i)
+        else begin
+          blo.(kb + i) <- Interval.lo d;
+          bhi.(kb + i) <- Interval.hi d
+        end
+      done
+    | IAdd (a, c) ->
+      let ab = a * w and cb = c * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        let clo = blo.(cb + i) and chi = bhi.(cb + i) in
+        if alo <= ahi && clo <= chi then begin
+          blo.(kb + i) <- down (alo +. clo);
+          bhi.(kb + i) <- up (ahi +. chi)
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | ISub (a, c) ->
+      let ab = a * w and cb = c * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        let clo = blo.(cb + i) and chi = bhi.(cb + i) in
+        if alo <= ahi && clo <= chi then begin
+          blo.(kb + i) <- down (alo -. chi);
+          bhi.(kb + i) <- up (ahi -. clo)
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | IMul (a, c) ->
+      let ab = a * w and cb = c * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        let clo = blo.(cb + i) and chi = bhi.(cb + i) in
+        if alo <= ahi && clo <= chi then begin
+          let p1 = bound_mul alo clo
+          and p2 = bound_mul alo chi
+          and p3 = bound_mul ahi clo
+          and p4 = bound_mul ahi chi in
+          blo.(kb + i) <- down (Float.min (Float.min p1 p2) (Float.min p3 p4));
+          bhi.(kb + i) <- up (Float.max (Float.max p1 p2) (Float.max p3 p4))
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | INeg a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        if alo <= ahi then begin
+          blo.(kb + i) <- -.ahi;
+          bhi.(kb + i) <- -.alo
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | IAbs a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        let l = blo.(ab + i) and h = bhi.(ab + i) in
+        if l <= h then
+          if l >= 0.0 then begin
+            blo.(kb + i) <- l;
+            bhi.(kb + i) <- h
+          end
+          else if h <= 0.0 then begin
+            blo.(kb + i) <- -.h;
+            bhi.(kb + i) <- -.l
+          end
+          else begin
+            blo.(kb + i) <- 0.0;
+            bhi.(kb + i) <- Float.max (-.l) h
+          end
+        else set_empty blo bhi (kb + i)
+      done
+    | ITanh a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        if alo <= ahi then begin
+          blo.(kb + i) <- Float.max (-1.0) (wide_down (Stdlib.tanh alo));
+          bhi.(kb + i) <- Float.min 1.0 (wide_up (Stdlib.tanh ahi))
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | ISigmoid a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        if alo <= ahi then begin
+          blo.(kb + i) <- Float.max 0.0 (wide_down (sigmoid_f alo));
+          bhi.(kb + i) <- Float.min 1.0 (wide_up (sigmoid_f ahi))
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | IExp a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        if alo <= ahi then begin
+          blo.(kb + i) <- Float.max 0.0 (wide_down (Stdlib.exp alo));
+          bhi.(kb + i) <-
+            (if ahi = neg_infinity then 0.0 else wide_up (Stdlib.exp ahi))
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | IAtan a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        let alo = blo.(ab + i) and ahi = bhi.(ab + i) in
+        if alo <= ahi then begin
+          blo.(kb + i) <- Float.max (-.half_pi) (wide_down (Stdlib.atan alo));
+          bhi.(kb + i) <- Float.min half_pi (wide_up (Stdlib.atan ahi))
+        end
+        else set_empty blo bhi (kb + i)
+      done
+    | IDiv (a, c) ->
+      let ab = a * w and cb = c * w in
+      for i = 0 to n - 1 do
+        set blo bhi (kb + i)
+          (Interval.div (iv blo bhi (ab + i)) (iv blo bhi (cb + i)))
+      done
+    | IPow (a, p) ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        set blo bhi (kb + i) (Interval.pow (iv blo bhi (ab + i)) p)
+      done
+    | ISin a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        set blo bhi (kb + i) (Interval.sin (iv blo bhi (ab + i)))
+      done
+    | ICos a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        set blo bhi (kb + i) (Interval.cos (iv blo bhi (ab + i)))
+      done
+    | ILog a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        set blo bhi (kb + i) (Interval.log (iv blo bhi (ab + i)))
+      done
+    | ISqrt a ->
+      let ab = a * w in
+      for i = 0 to n - 1 do
+        set blo bhi (kb + i) (Interval.sqrt (iv blo bhi (ab + i)))
+      done
+  done;
+  Array.init n (fun i -> iv blo bhi ((t.atom_root * w) + i))
+
+let forward_pair t bt d1 d2 =
+  let roots = forward_batch t bt [| d1; d2 |] in
+  (roots.(0), roots.(1))
+
 let certainly_true t b domains =
   let i = forward t b domains in
   if Interval.is_empty i then false

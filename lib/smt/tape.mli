@@ -78,6 +78,36 @@ val partial_ival : t -> buffers -> int -> Interval.t
 val certainly_true : t -> buffers -> Interval.t array -> bool
 (** Whole-box satisfaction test from the forward enclosure alone. *)
 
+type batch
+(** Structure-of-arrays lanes for batched forward sweeps: [width] boxes
+    evaluated in one pass over the instruction array, decoding each opcode
+    once for the whole batch (slot-major layout, so operand lanes are
+    cache-adjacent).  Like {!buffers}, a batch is per-task mutable state:
+    never share one across domains. *)
+
+val make_batch : t -> width:int -> batch
+(** Preallocated lanes for up to [width] boxes over the atom slots of [t]
+    (constant lanes prefilled).  Raises [Invalid_argument] if [width < 1]. *)
+
+val batch_width : batch -> int
+
+val forward_batch : t -> batch -> Interval.t array array -> Interval.t array
+(** [forward_batch t batch boxes] evaluates the atom's enclosure over every
+    box in [boxes] (at most [batch_width batch] of them) in a single
+    instruction-array pass; element [i] of the result is bit-identical to
+    [forward t b boxes.(i)].  Counts one [tape.batched_sweeps] tick.
+    Raises [Invalid_argument] when [boxes] is empty or wider than the
+    batch.  HC4 {!revise} deliberately has no batched form — its backward
+    requirement accumulators are per-box state. *)
+
+val forward_pair : t -> batch -> Interval.t array -> Interval.t array -> Interval.t * Interval.t
+(** [forward_pair t batch d1 d2]: the two-lane special case used for the
+    children of a bisection (requires [batch_width >= 2]). *)
+
+val batched_sweep_count : unit -> int
+(** Cumulative {!forward_batch} calls in this process (all domains), like
+    {!compile_count}; also mirrored in the [tape.batched_sweeps] metric. *)
+
 val revise : t -> buffers -> Interval.t array -> bool
 (** One forward–backward pass.  Narrows [domains] in place; returns whether
     any domain changed; raises {!Empty_box} on infeasibility. *)

@@ -17,6 +17,7 @@ type batch = {
   mutable helpers : int;
   mutable done_ : int;
   mutable error : exn option;
+  mutable dequeued : bool;
   finished : Condition.t;
 }
 
@@ -39,6 +40,16 @@ let max_workers = 64
 
 let exhausted b = Atomic.get b.next >= b.len
 
+(* Called with [mutex] held: drop [b] from the queue exactly once.  Invoked
+   by whichever drainer observes the cursor cross [len] (and again,
+   idempotently, by the submitter on completion), so the queue never
+   accumulates exhausted batches and wake-ups never have to rescan them. *)
+let remove_batch b =
+  if not b.dequeued then begin
+    b.dequeued <- true;
+    queue := List.filter (fun b' -> b' != b) !queue
+  end
+
 (* Run claimed tasks until the batch cursor is exhausted.  The first
    exception is recorded and re-raised by the submitter; later tasks still
    run so the batch always completes. *)
@@ -57,14 +68,24 @@ let drain b =
       Mutex.unlock mutex;
       loop ()
     end
+    else begin
+      (* Cursor just crossed the end: retire the batch from the queue so
+         later worker wake-ups don't have to skip over it. *)
+      Mutex.lock mutex;
+      remove_batch b;
+      Mutex.unlock mutex
+    end
   in
   loop ()
 
 (* Called with [mutex] held: pick a batch with unclaimed tasks and a free
-   helper slot, pruning exhausted batches from the queue. *)
+   helper slot.  Exhausted batches are removed eagerly by their drainers
+   (see [remove_batch]), so this is a plain scan of live batches — no
+   queue rebuild on every wake-up. *)
 let take_ready_batch () =
-  queue := List.filter (fun b -> not (exhausted b)) !queue;
-  match List.find_opt (fun b -> b.helpers < b.max_helpers) !queue with
+  match
+    List.find_opt (fun b -> (not (exhausted b)) && b.helpers < b.max_helpers) !queue
+  with
   | Some b ->
     b.helpers <- b.helpers + 1;
     Some b
@@ -105,6 +126,12 @@ let worker_count () =
   Mutex.unlock mutex;
   n
 
+let queue_length () =
+  Mutex.lock mutex;
+  let n = List.length !queue in
+  Mutex.unlock mutex;
+  n
+
 (* Park the workers and join them so the process exits cleanly even if the
    runtime ever waits on live domains. *)
 let shutdown () =
@@ -133,6 +160,7 @@ let parallel_map ~jobs f xs =
         helpers = 0;
         done_ = 0;
         error = None;
+        dequeued = false;
         finished = Condition.create ();
       }
     in
@@ -147,7 +175,7 @@ let parallel_map ~jobs f xs =
     while b.done_ < b.len do
       Condition.wait b.finished mutex
     done;
-    queue := List.filter (fun b' -> b' != b) !queue;
+    remove_batch b;
     let error = b.error in
     Mutex.unlock mutex;
     (match error with Some e -> raise e | None -> ());

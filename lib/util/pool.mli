@@ -31,3 +31,9 @@ val parallel_map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val worker_count : unit -> int
 (** Worker domains currently alive (0 until the first parallel batch);
     exposed for tests and diagnostics. *)
+
+val queue_length : unit -> int
+(** Batches currently enqueued (live, not yet retired).  Exhausted batches
+    are removed by their drainers as soon as the task cursor crosses the
+    batch length, so a healthy pool reads 0 here between calls; exposed so
+    tests can assert the queue does not accumulate finished batches. *)

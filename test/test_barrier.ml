@@ -282,6 +282,32 @@ let test_level_search_certificate_checks () =
       (fun p -> if w p <= level then Alcotest.fail "unsafe point inside level set")
       [ [| 5.01; 0.0 |]; [| -5.01; 0.0 |]; [| 0.0; 2.01 |]; [| 0.0; -2.01 |] ]
 
+let test_level_search_compiles_once () =
+  (* The bisection varies only the level constant, so both conditions are
+     prepared once up front (with the level as a pinned extra variable):
+     the tape-compile count of a whole search is a small constant fixed by
+     the formula shapes — condition (6) is one atom, condition (7) is
+     W ≤ level conjoined with a 4-disjunct rectangle complement — and
+     independent of how many bisection iterations run. *)
+  let coeffs = [| 1.0; 0.5; 2.0 |] in
+  let before = Tape.compile_count () in
+  let result = Level_search.search level_spec quad coeffs in
+  let compiles = Tape.compile_count () - before in
+  (match result.Level_search.level with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "search should succeed");
+  Alcotest.(check bool) "at least one bisection" true (result.Level_search.iterations >= 1);
+  Alcotest.(check bool) "tapes were compiled" true (compiles >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d compiles for %d iterations stays under the shape bound" compiles
+       result.Level_search.iterations)
+    true (compiles <= 16);
+  (* A second search over the same shapes compiles the same number of
+     tapes, however its iteration count differs. *)
+  let before2 = Tape.compile_count () in
+  ignore (Level_search.search level_spec quad [| 1.0; 0.0; 4.0 |]);
+  Alcotest.(check int) "compiles depend on shape only" compiles (Tape.compile_count () - before2)
+
 (* --- Engine formulas ------------------------------------------------------- *)
 
 let reference_system = Case_study.system_of_network Case_study.reference_controller
@@ -500,6 +526,8 @@ let () =
           Alcotest.test_case "indefinite fails" `Quick test_level_search_indefinite_fails;
           Alcotest.test_case "too-flat fails" `Quick test_level_search_too_flat_fails;
           Alcotest.test_case "certificate point checks" `Quick test_level_search_certificate_checks;
+          Alcotest.test_case "compiles once across bisections" `Quick
+            test_level_search_compiles_once;
         ] );
       ( "benchmark systems",
         [

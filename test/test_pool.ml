@@ -28,6 +28,21 @@ let test_map_empty_and_singleton () =
   Alcotest.(check (array int)) "singleton" [| 7 |]
     (Pool.parallel_map ~jobs:4 (fun x -> x + 1) [| 6 |])
 
+let test_many_tiny_batches () =
+  (* Wake-up-path regression: exhausted batches are unlinked from the queue
+     once, at completion, rather than re-filtered by every worker wake.  A
+     long run of tiny batches must make steady progress and leave the queue
+     empty — a leak here keeps dead batches on the scan path forever. *)
+  for i = 0 to 299 do
+    let xs = Array.init 3 (fun j -> j + i) in
+    let ys = Pool.parallel_map ~jobs:4 (fun v -> v * 2) xs in
+    Alcotest.(check (array int))
+      (Printf.sprintf "tiny batch %d" i)
+      (Array.map (fun v -> v * 2) xs)
+      ys
+  done;
+  Alcotest.(check int) "queue empty between calls" 0 (Pool.queue_length ())
+
 exception Boom of int
 
 let test_map_exception_propagates () =
@@ -136,6 +151,8 @@ let () =
           Alcotest.test_case "exception propagates after batch" `Quick
             test_map_exception_propagates;
           Alcotest.test_case "nested calls do not deadlock" `Quick test_map_nested_no_deadlock;
+          Alcotest.test_case "many tiny batches leave queue empty" `Quick
+            test_many_tiny_batches;
         ] );
       ( "budget",
         [

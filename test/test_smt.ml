@@ -412,9 +412,12 @@ let test_solver_parallel_agreement () =
     cases
 
 let test_solver_parallel_stats_merged () =
-  (* Parallel runs must still account every branch: the merged stats of a
-     jobs=4 refutation cover all subboxes, so the count is positive and at
-     least the per-subbox minimum of one visit each. *)
+  (* Parallel runs must still account every branch.  Under the static
+     scheduler the merged stats of a jobs=4 refutation cover all 2^k
+     subboxes, so the count is at least one visit each; under work
+     stealing the same query may legitimately finish in fewer claimed
+     boxes (no up-front split), but never zero, and the steal counters
+     must come back merged rather than lost. *)
   let f =
     Formula.and_
       [
@@ -422,10 +425,21 @@ let test_solver_parallel_stats_merged () =
         Formula.ge (Expr.( + ) x y) (Expr.const 1.6);
       ]
   in
-  let opts = { Solver.default_options with Solver.jobs = 4 } in
-  let verdict, st = Solver.solve ~options:opts ~bounds:bounds2 f in
-  expect_unsat "parallel circle" verdict;
-  Alcotest.(check bool) "branches accounted" true (st.Solver.branches >= 4)
+  let static =
+    { Solver.default_options with Solver.jobs = 4; scheduler = Solver.Static_split }
+  in
+  let verdict, st = Solver.solve ~options:static ~bounds:bounds2 f in
+  expect_unsat "parallel circle (static)" verdict;
+  Alcotest.(check bool) "static branches accounted" true (st.Solver.branches >= 4);
+  let stealing =
+    { Solver.default_options with Solver.jobs = 4; scheduler = Solver.Work_stealing }
+  in
+  let verdict, st = Solver.solve ~options:stealing ~bounds:bounds2 f in
+  expect_unsat "parallel circle (stealing)" verdict;
+  Alcotest.(check bool) "stealing branches accounted" true (st.Solver.branches >= 1);
+  Alcotest.(check bool)
+    "stealing frontier recorded" true
+    (st.Solver.frontier_high_water >= 1)
 
 let test_solver_mvf_ablation () =
   (* Mean-value-form bounds must preserve verdicts and reduce branching on
@@ -515,6 +529,141 @@ let prop_solver_sound_on_linear =
       | Solver.Unsat -> not !found
       | Solver.Delta_sat _ | Solver.Unknown -> true)
 
+let prop_scheduler_parity =
+  (* The sat/unsat verdict must be independent of the job count, of the
+     scheduler, and of the steal interleaving (exercised through distinct
+     victim-rotation seeds): the branch-and-prune tree is deterministic
+     given the options, so every traversal order reaches the same
+     conclusion.  Witnesses may differ between runs, but every Delta_sat
+     witness must δ-hold. *)
+  QCheck.Test.make ~name:"verdict parity across jobs, schedulers and steal seeds" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let coef () = Expr.const (Rng.uniform rng (-2.0) 2.0) in
+      let term () =
+        match Rng.int rng 4 with
+        | 0 -> Expr.( * ) (coef ()) x
+        | 1 -> Expr.( * ) (coef ()) y
+        | 2 -> Expr.( * ) (coef ()) (Expr.sin x)
+        | _ -> Expr.( * ) (coef ()) (Expr.pow y 2)
+      in
+      let atom () =
+        let lhs = Expr.( + ) (term ()) (term ()) in
+        let rhs = Expr.const (Rng.uniform rng (-1.5) 1.5) in
+        if Rng.int rng 2 = 0 then Formula.le lhs rhs else Formula.ge lhs rhs
+      in
+      let f =
+        match Rng.int rng 3 with
+        | 0 -> atom ()
+        | 1 -> Formula.and_ [ atom (); atom () ]
+        | _ -> Formula.or_ [ atom (); Formula.and_ [ atom (); atom () ] ]
+      in
+      let delta = 1e-2 in
+      let run jobs scheduler steal_seed =
+        fst
+          (Solver.solve
+             ~options:{ Solver.default_options with Solver.delta; jobs; scheduler; steal_seed }
+             ~bounds:bounds2 f)
+      in
+      let witness_ok = function
+        | Solver.Delta_sat w -> Formula.holds_delta delta w f
+        | Solver.Unsat | Solver.Unknown -> true
+      in
+      let base = run 1 Solver.Work_stealing 0 in
+      let runs =
+        run 4 Solver.Static_split 0
+        :: List.map (fun s -> run 4 Solver.Work_stealing s) [ 1; 2; 3 ]
+      in
+      witness_ok base
+      && List.for_all
+           (fun v ->
+             witness_ok v
+             &&
+             match (base, v) with
+             | Solver.Unsat, Solver.Unsat
+             | Solver.Delta_sat _, Solver.Delta_sat _
+             | Solver.Unknown, Solver.Unknown -> true
+             | _ -> false)
+           runs)
+
+let test_solver_steal_imbalanced () =
+  (* Margin-tight refutation whose work concentrates in the corner subtree
+     near x + y = √2: under a static split most subboxes refute instantly
+     and one carries hundreds of branches, so this is the load-imbalance
+     regression for the work-stealing scheduler.  Verdict and branch count
+     must match the sequential run exactly; steals must actually occur.
+     The wall-clock bound is deliberately generous (the CI container may
+     expose a single core, where extra domains only add overhead). *)
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.4142137);
+      ]
+  in
+  let opts jobs = { Solver.default_options with Solver.delta = 1e-7; jobs } in
+  let (v1, st1), dt1 =
+    Timing.time (fun () -> Solver.solve ~options:(opts 1) ~bounds:bounds2 f)
+  in
+  let (v4, st4), dt4 =
+    Timing.time (fun () -> Solver.solve ~options:(opts 4) ~bounds:bounds2 f)
+  in
+  expect_unsat "imbalanced jobs=1" v1;
+  expect_unsat "imbalanced jobs=4" v4;
+  Alcotest.(check int) "branch count matches sequential" st1.Solver.branches st4.Solver.branches;
+  Alcotest.(check bool) "steals occurred" true (st4.Solver.steals > 0);
+  Alcotest.(check bool) "frontier widened" true (st4.Solver.frontier_high_water > 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "stealing wall %.4fs within 10x sequential %.4fs + 0.25s slack" dt4 dt1)
+    true
+    (dt4 <= (10.0 *. dt1) +. 0.25)
+
+let test_solver_prepared_reuse () =
+  (* prepare-once/solve-many: all tape compilation happens in [prepare];
+     subsequent [solve_prepared] calls over different bounds compile
+     nothing. *)
+  let f =
+    Formula.and_
+      [
+        Formula.le (Expr.( + ) (Expr.pow x 2) (Expr.pow y 2)) (Expr.const 1.0);
+        Formula.ge (Expr.( + ) x y) (Expr.const 1.3);
+      ]
+  in
+  let before = Tape.compile_count () in
+  let p = Solver.prepare ~vars:[ "x"; "y" ] f in
+  let compiled_by_prepare = Tape.compile_count () - before in
+  Alcotest.(check bool) "prepare compiles the tapes" true (compiled_by_prepare > 0);
+  let before_solves = Tape.compile_count () in
+  expect_unsat "prepared unsat box"
+    (fst (Solver.solve_prepared p ~bounds:[ ("x", -1.0, -0.5); ("y", -1.0, -0.5) ]));
+  let w = expect_sat "prepared sat box" (fst (Solver.solve_prepared p ~bounds:bounds2)) in
+  Alcotest.(check bool) "prepared witness delta-holds" true
+    (Formula.holds_delta Solver.default_options.Solver.delta w f);
+  Alcotest.(check int) "solve_prepared compiles nothing" before_solves (Tape.compile_count ());
+  (* Per-call option overrides are allowed for everything except the
+     engine, which is baked into the compiled form. *)
+  expect_unsat "prepared with overridden delta"
+    (fst
+       (Solver.solve_prepared
+          ~options:{ Solver.default_options with Solver.delta = 1e-5 }
+          p
+          ~bounds:[ ("x", -1.0, -0.5); ("y", -1.0, -0.5) ]));
+  (match
+     Solver.solve_prepared
+       ~options:{ Solver.default_options with Solver.engine = Solver.Tree_eval }
+       p ~bounds:bounds2
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "engine mismatch must be rejected");
+  (* Bounds must list exactly the prepared variables, in prepare order. *)
+  (match Solver.solve_prepared p ~bounds:[ ("y", -2.0, 2.0); ("x", -2.0, 2.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reordered bounds must be rejected");
+  (match Solver.solve_prepared p ~bounds:[ ("x", -2.0, 2.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing bounds must be rejected")
+
 let () =
   Alcotest.run "smt"
     [
@@ -563,6 +712,9 @@ let () =
           Alcotest.test_case "forward-only ablation" `Quick test_solver_forward_only_ablation;
           Alcotest.test_case "mean-value-form ablation" `Quick test_solver_mvf_ablation;
           Alcotest.test_case "branching heuristics agree" `Quick test_solver_branching_heuristics_agree;
+          Alcotest.test_case "imbalanced workload steals" `Quick test_solver_steal_imbalanced;
+          Alcotest.test_case "prepared query reuse" `Quick test_solver_prepared_reuse;
           QCheck_alcotest.to_alcotest prop_solver_sound_on_linear;
+          QCheck_alcotest.to_alcotest prop_scheduler_parity;
         ] );
     ]

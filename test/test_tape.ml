@@ -197,6 +197,58 @@ let prop_tape_at_least_as_tight =
         (not tape_alive)
         || (Interval.subset dp.(0) dt.(0) && Interval.subset dp.(1) dt.(1)))
 
+let prop_forward_batch_parity =
+  (* Each lane of a batched sweep runs the same transcribed kernels over
+     flat slot indices, so it must agree bit-for-bit with a scalar forward
+     of that lane's box — on every expression, including ones that go
+     non-finite. *)
+  QCheck.Test.make ~name:"batched forward ≡ scalar forward per lane" ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let e = gen_expr rng 4 in
+      let tape = compile_tape { Formula.expr = e; rel = Formula.Le0 } in
+      let b = Tape.make_buffers tape in
+      let box () =
+        [|
+          Interval.make (Rng.uniform rng (-3.0) 0.0) (Rng.uniform rng 0.0 3.0);
+          Interval.make (Rng.uniform rng (-3.0) 0.0) (Rng.uniform rng 0.0 3.0);
+        |]
+      in
+      let d1 = box () and d2 = box () in
+      let bt = Tape.make_batch tape ~width:2 in
+      let i1, i2 = Tape.forward_pair tape bt d1 d2 in
+      Interval.equal i1 (Tape.forward tape b d1) && Interval.equal i2 (Tape.forward tape b d2))
+
+let test_batch_edges () =
+  let e = Expr.( + ) (Expr.pow x 2) (Expr.sin y) in
+  let tape = compile_tape { Formula.expr = e; rel = Formula.Le0 } in
+  let b = Tape.make_buffers tape in
+  let bt = Tape.make_batch tape ~width:3 in
+  Alcotest.(check int) "width" 3 (Tape.batch_width bt);
+  let d = [| Interval.make 0.0 1.0; Interval.make (-1.0) 1.0 |] in
+  let scalar = Tape.forward tape b d in
+  let r1 = Tape.forward_batch tape bt [| d |] in
+  Alcotest.(check int) "n=1 result length" 1 (Array.length r1);
+  Alcotest.(check bool) "n=1 matches scalar" true (Interval.equal r1.(0) scalar);
+  let r3 = Tape.forward_batch tape bt [| d; d; d |] in
+  Alcotest.(check int) "n=width result length" 3 (Array.length r3);
+  Array.iteri
+    (fun i iv ->
+      Alcotest.(check bool) (Printf.sprintf "lane %d matches scalar" i) true
+        (Interval.equal iv scalar))
+    r3;
+  (match Tape.make_batch tape ~width:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 0 must be rejected");
+  (match Tape.forward_batch tape bt [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty batch must be rejected");
+  (match Tape.forward_batch tape bt [| d; d; d; d |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overfull batch must be rejected");
+  Alcotest.(check bool) "batched sweeps counted" true (Tape.batched_sweep_count () > 0)
+
 (* --- NN export --------------------------------------------------------- *)
 
 let test_nn_tape_parity () =
@@ -355,6 +407,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_interval_eval_parity;
           QCheck_alcotest.to_alcotest prop_tape_revise_sound;
           QCheck_alcotest.to_alcotest prop_tape_at_least_as_tight;
+          QCheck_alcotest.to_alcotest prop_forward_batch_parity;
+          Alcotest.test_case "batch width edge cases" `Quick test_batch_edges;
           Alcotest.test_case "nn export parity" `Quick test_nn_tape_parity;
         ] );
       ( "solver",
