@@ -1,0 +1,135 @@
+(* Cross-plant benchmark: every built-in registry scenario verified once
+   with its bundled controller and expectation, emitting machine-readable
+   BENCH_scenarios.json.
+
+   Reported per scenario: wall clock, verdict + whether it matched the
+   registry expectation, branch-and-prune boxes (condition-(5) refinement
+   effort), and LP pivots (synthesis effort).
+
+   Usage: bench_scenarios [--smoke] [--only a,b,c] [--jobs N] [--out FILE]
+
+   --smoke restricts to the fast 2-D scenarios — the CI mode. *)
+
+let smoke_set =
+  [ "dubins"; "duffing"; "linear-stable"; "linear-saddle"; "damped-pendulum" ]
+
+let parse_args () =
+  let smoke = ref false
+  and only = ref None
+  and jobs = ref 1
+  and out = ref "BENCH_scenarios.json" in
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      go rest
+    | "--only" :: spec :: rest ->
+      only := Some (String.split_on_char ',' spec);
+      go rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      go rest
+    | "--out" :: path :: rest ->
+      out := path;
+      go rest
+    | arg :: _ ->
+      Format.eprintf "bench_scenarios: unknown argument %s@." arg;
+      exit 1
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let names =
+    match (!only, !smoke) with
+    | Some names, _ -> names
+    | None, true -> smoke_set
+    | None, false -> List.map (fun e -> e.Registry.name) (Registry.scenarios ())
+  in
+  (names, !jobs, !out)
+
+type row = {
+  name : string;
+  plant : string;
+  dim : int;
+  wall_s : float;
+  verdict : string;
+  expected : string;
+  matched : bool;
+  smt5_branches : int;
+  lp_pivots : int;
+  lp_calls : int;
+}
+
+let lp_pivots_counter = Obs.Metrics.counter "lp.pivots"
+
+let run_one ~jobs name =
+  let entry =
+    match Registry.find_scenario name with
+    | Some e -> e
+    | None ->
+      Format.eprintf "bench_scenarios: unknown scenario %s@." name;
+      exit 1
+  in
+  let scenario = { entry.Registry.scenario with Scenario.jobs = Some jobs } in
+  match Registry.elaborate scenario with
+  | Error reason ->
+    Format.eprintf "bench_scenarios: %s: %s@." name reason;
+    exit 1
+  | Ok elaborated ->
+    let pivots_before = Obs.Metrics.value lp_pivots_counter in
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Engine.verify ~config:elaborated.Scenario.config ~rng:(Rng.create 7)
+        elaborated.Scenario.closed.Plant.system
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let verdict =
+      match report.Engine.outcome with Engine.Proved _ -> "proved" | Engine.Failed _ -> "failed"
+    in
+    let expected =
+      match scenario.Scenario.expectation with
+      | Some Scenario.Should_prove -> "proved"
+      | Some Scenario.Should_fail | None -> "failed"
+    in
+    {
+      name;
+      plant = elaborated.Scenario.closed.Plant.plant.Plant.name;
+      dim = Array.length elaborated.Scenario.closed.Plant.system.Engine.vars;
+      wall_s;
+      verdict;
+      expected;
+      matched = String.equal verdict expected;
+      smt5_branches = report.Engine.stats.Engine.smt5_branches;
+      lp_pivots = Obs.Metrics.value lp_pivots_counter - pivots_before;
+      lp_calls = report.Engine.stats.Engine.lp_calls;
+    }
+
+let emit out jobs rows =
+  let oc = open_out out in
+  let row_json r =
+    Printf.sprintf
+      "    {\"scenario\": %S, \"plant\": %S, \"dim\": %d, \"wall_s\": %.6f, \"verdict\": %S, \
+       \"expected\": %S, \"matched\": %b, \"smt5_branches\": %d, \"lp_pivots\": %d, \
+       \"lp_calls\": %d}"
+      r.name r.plant r.dim r.wall_s r.verdict r.expected r.matched r.smt5_branches r.lp_pivots
+      r.lp_calls
+  in
+  Printf.fprintf oc "{\n  \"bench\": \"scenarios\",\n  \"jobs\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    jobs
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc
+
+let () =
+  let names, jobs, out = parse_args () in
+  Obs.Metrics.enable ();
+  let rows =
+    List.map
+      (fun name ->
+        let r = run_one ~jobs name in
+        Format.printf "%-28s %-20s %8.2fs  %s (expected %s)%s@." r.name r.plant r.wall_s
+          r.verdict r.expected
+          (if r.matched then "" else "  MISMATCH");
+        r)
+      names
+  in
+  emit out jobs rows;
+  Format.printf "wrote %s@." out;
+  if List.exists (fun r -> not r.matched) rows then exit 1

@@ -190,9 +190,9 @@ let make_config ?(lp_engine = Lp.Revised) ?(scheduler = Solver.Work_stealing) ~l
     jobs;
   }
 
-let verify_via_store ~config ~budget ~rng ~store ~no_cache net system =
+let verify_via_store ~config ~budget ~rng ~store ~no_cache ~plant ?network system =
   let result =
-    Cache.verify ~config ~budget ~use_cache:(not no_cache) ~network:net ~store ~rng system
+    Cache.verify ~config ~budget ~use_cache:(not no_cache) ?network ~plant ~store ~rng system
   in
   Format.printf "certificate store: %s@." (Cache.string_of_source result.Cache.source);
   (match result.Cache.exported with
@@ -200,16 +200,82 @@ let verify_via_store ~config ~budget ~rng ~store ~no_cache net system =
   | None -> ());
   result
 
+(* --- scenario resolution ---------------------------------------------- *)
+
+let scenario_arg =
+  let doc =
+    "Load the verification problem (plant, parameters, controller, rectangles, solver \
+     options) from a scenario file instead of the built-in Dubins case study.  Scenario \
+     fields override the corresponding flags; --network still replaces the controller."
+  in
+  Arg.(value & opt (some file) None & info [ "scenario" ] ~docv:"FILE" ~doc)
+
+type problem = {
+  system : Engine.system;
+  config : Engine.config;
+  plant : Artifact.plant_id;
+  network : Nn.t option;
+  controller_label : string;
+}
+
+let problem_of_scenario ~base ~network path =
+  match
+    Result.bind (Scenario.load path) (Registry.elaborate ~base ~dir:(Filename.dirname path))
+  with
+  | Error msg ->
+    Format.eprintf "safebarrier: %s@." msg;
+    exit 2
+  | Ok e ->
+    let closed =
+      match network with
+      | None -> e.Scenario.closed
+      | Some npath -> (
+        match
+          Plant.close ~params:e.Scenario.closed.Plant.params e.Scenario.closed.Plant.plant
+            (Plant.Network (Nn.load npath))
+        with
+        | Ok c -> c
+        | Error msg ->
+          Format.eprintf "safebarrier: %s@." msg;
+          exit 2)
+    in
+    {
+      system = closed.Plant.system;
+      config = e.Scenario.config;
+      plant = closed.Plant.id;
+      network = closed.Plant.network;
+      controller_label = Plant.controller_label closed.Plant.controller;
+    }
+
+(* [config] is the CLI-flag configuration; a scenario file starts from it
+   and overrides whatever it specifies. *)
+let resolve_problem ~scenario ~network ~width ~config =
+  match scenario with
+  | Some path -> problem_of_scenario ~base:config ~network path
+  | None ->
+    let net = load_controller network width in
+    {
+      system = Case_study.system_of_network net;
+      config;
+      plant = Artifact.dubins_plant_id;
+      network = Some net;
+      controller_label =
+        (match network with
+        | Some p -> p
+        | None -> Printf.sprintf "builtin-width-%d" width);
+    }
+
 let verify_cmd =
-  let run width network seed lie linear_terms lp_engine gamma deadline restarts seed_retry jobs
-      scheduler store no_cache trace_file report_file =
+  let run scenario width network seed lie linear_terms lp_engine gamma deadline restarts
+      seed_retry jobs scheduler store no_cache trace_file report_file =
     if trace_file <> None || report_file <> None then begin
       Obs.Trace.enable ();
       Obs.Metrics.enable ()
     end;
-    let net = load_controller network width in
-    let system = Case_study.system_of_network net in
-    let config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
+    let cli_config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
+    let problem = resolve_problem ~scenario ~network ~width ~config:cli_config in
+    let system = problem.system in
+    let config = problem.config in
     let budget =
       match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
     in
@@ -239,14 +305,11 @@ let verify_cmd =
         in
         let meta =
           [
-            ("controller",
-             Obs.Json.String
-               (match network with
-               | Some p -> p
-               | None -> Printf.sprintf "builtin-width-%d" width));
-            ("jobs", Obs.Json.Int jobs);
+            ("controller", Obs.Json.String problem.controller_label);
+            ("plant", Obs.Json.String problem.plant.Artifact.name);
+            ("jobs", Obs.Json.Int config.Engine.jobs);
             ("seed", Obs.Json.Int seed);
-            ("gamma", Obs.Json.Float gamma);
+            ("gamma", Obs.Json.Float config.Engine.gamma);
           ]
         in
         let doc =
@@ -270,7 +333,8 @@ let verify_cmd =
       | Some root ->
         let result, dt =
           Timing.time (fun () ->
-              verify_via_store ~config ~budget ~rng ~store:root ~no_cache net system)
+              verify_via_store ~config ~budget ~rng ~store:root ~no_cache ~plant:problem.plant
+                ?network:problem.network system)
         in
         store_wall := Some dt;
         Some result.Cache.report
@@ -304,13 +368,17 @@ let verify_cmd =
         finish res.Engine.best
       end
   in
-  let doc = "Verify safety of an NN-controlled Dubins car via a barrier certificate." in
+  let doc =
+    "Verify safety of an NN-controlled plant via a barrier certificate (default: the Dubins \
+     case study; --scenario selects any registry plant)."
+  in
   Cmd.v
     (Cmd.info "verify" ~doc)
     Term.(
-      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg
-      $ lp_engine_arg $ gamma_arg $ deadline_arg $ restarts_arg $ seed_retry_arg $ jobs_arg
-      $ scheduler_arg $ store_arg $ no_cache_arg $ trace_arg $ report_arg)
+      const run $ scenario_arg $ width_arg $ network_arg $ seed_arg $ lie_arg
+      $ linear_template_arg $ lp_engine_arg $ gamma_arg $ deadline_arg $ restarts_arg
+      $ seed_retry_arg $ jobs_arg $ scheduler_arg $ store_arg $ no_cache_arg $ trace_arg
+      $ report_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -319,13 +387,13 @@ let export_cmd =
     let doc = "Certificate store directory to export into." in
     Arg.(value & opt string "data/certs" & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run width network seed lie linear_terms lp_engine gamma jobs scheduler store =
-    let net = load_controller network width in
-    let system = Case_study.system_of_network net in
-    let config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
+  let run scenario width network seed lie linear_terms lp_engine gamma jobs scheduler store =
+    let cli_config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
+    let problem = resolve_problem ~scenario ~network ~width ~config:cli_config in
     let rng = Rng.create seed in
     let result =
-      verify_via_store ~config ~budget:Budget.unlimited ~rng ~store ~no_cache:false net system
+      verify_via_store ~config:problem.config ~budget:Budget.unlimited ~rng ~store
+        ~no_cache:false ~plant:problem.plant ?network:problem.network problem.system
     in
     match result.Cache.report.Engine.outcome with
     | Engine.Proved _ ->
@@ -343,8 +411,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc)
     Term.(
-      const run $ width_arg $ network_arg $ seed_arg $ lie_arg $ linear_template_arg
-      $ lp_engine_arg $ gamma_arg $ jobs_arg $ scheduler_arg $ store)
+      const run $ scenario_arg $ width_arg $ network_arg $ seed_arg $ lie_arg
+      $ linear_template_arg $ lp_engine_arg $ gamma_arg $ jobs_arg $ scheduler_arg $ store)
 
 (* --- check ------------------------------------------------------------ *)
 
@@ -368,27 +436,68 @@ let check_cmd =
     let doc = "Wall-clock deadline in seconds for the audit." in
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
   in
-  let run dir diverse deadline =
+  (* Rebuild the closed-loop system the artifact claims to certify.  The
+     artifact records its plant identity (name, version, params hash), so a
+     registry plant under its default parameters rebuilds without help;
+     anything else (non-default parameters, a plant not in this binary's
+     registry, a controller that was not a network) needs the scenario
+     document as the problem statement. *)
+  let rebuild_system ~scenario dir (entry : Store.entry) =
+    let a = entry.Store.artifact in
+    let fail fmt = Format.kasprintf (fun m -> Format.eprintf "check: %s@." m; exit 1) fmt in
+    match scenario with
+    | Some path -> (
+      match Result.bind (Scenario.load path) (Registry.elaborate ~dir:(Filename.dirname path)) with
+      | Error msg -> fail "%s" msg
+      | Ok e -> (
+        (* The stored network, when present, is the binding under audit —
+           it replaces whatever controller the scenario names. *)
+        match entry.Store.network with
+        | None -> e.Scenario.closed.Plant.system
+        | Some net -> (
+          match
+            Plant.close ~params:e.Scenario.closed.Plant.params
+              e.Scenario.closed.Plant.plant (Plant.Network net)
+          with
+          | Ok closed -> closed.Plant.system
+          | Error msg -> fail "%s" msg)))
+    | None -> (
+      match entry.Store.network with
+      | None ->
+        fail
+          "%s has no network.nn — pass --scenario FILE naming the plant and controller to \
+           rebuild the closed-loop system"
+          dir
+      | Some net -> (
+        let pid = a.Artifact.plant in
+        match Registry.find_plant pid.Artifact.name with
+        | None ->
+          fail "artifact records unknown plant %S — pass --scenario FILE" pid.Artifact.name
+        | Some plant ->
+          if Plant.identity plant ~params:plant.Plant.params <> pid then
+            fail
+              "artifact was exported under non-default parameters (or another version) of \
+               plant %s — pass --scenario FILE recording them"
+              pid.Artifact.name
+          else (
+            match Plant.close plant (Plant.Network net) with
+            | Ok closed -> closed.Plant.system
+            | Error msg -> fail "%s" msg)))
+  in
+  let run dir scenario diverse deadline =
     match Store.load_dir dir with
     | Error err ->
       Format.eprintf "check: %s: %s@." dir (Store.string_of_error err);
       exit 1
     | Ok entry ->
-      let network =
-        match entry.Store.network with
-        | Some net -> net
-        | None ->
-          Format.eprintf
-            "check: %s has no network.nn — cannot rebuild the closed-loop system@." dir;
-          exit 1
-      in
-      let system = Case_study.system_of_network network in
+      let system = rebuild_system ~scenario dir entry in
       let engine = if diverse then Solver.Tree_eval else Solver.Tape_eval in
       let budget =
         match deadline with None -> Budget.unlimited | Some s -> Budget.with_timeout s
       in
       let verdict, stats =
-        Checker.audit ~engine ~budget ~network ~system entry.Store.artifact
+        Checker.audit ~engine ~budget ?network:entry.Store.network ~system
+          entry.Store.artifact
       in
       Format.printf "%s@." (Checker.string_of_verdict verdict);
       Format.printf
@@ -403,7 +512,7 @@ let check_cmd =
     "Independently audit a stored certificate artifact: rebuild conditions (5)–(7) from the \
      artifact alone and re-prove them with a fresh solver.  Exits nonzero on rejection."
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ dir $ diverse $ deadline)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ dir $ scenario_arg $ diverse $ deadline)
 
 (* --- train ----------------------------------------------------------- *)
 
@@ -713,8 +822,15 @@ let serve_cmd =
                p50/p99 latency) to $(docv) during drain." in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
+  let scenario =
+    let doc =
+      "Default scenario file for requests that name neither a plant nor a scenario \
+       (elaborated once at startup; a broken file aborts before the socket opens)."
+    in
+    Arg.(value & opt (some file) None & info [ "scenario" ] ~docv:"FILE" ~doc)
+  in
   let run socket workers queue_capacity request_timeout serve_deadline drain_grace store
-      report_file =
+      scenario report_file =
     (* A daemon must never serve from a store an earlier crash corrupted:
        scan and quarantine before accepting the first request. *)
     (match store with
@@ -745,7 +861,13 @@ let serve_cmd =
     Format.printf "safebarrier serve: listening on %s (%d workers, queue %d)@." socket workers
       queue_capacity;
     Format.print_flush ();
-    let stats = Daemon.run ~control:ctrl ~handler:(Serve_handler.make ?store ()) cfg in
+    let handler =
+      try Serve_handler.make ?store ?scenario ()
+      with Invalid_argument msg ->
+        Format.eprintf "serve: %s@." msg;
+        exit 2
+    in
+    let stats = Daemon.run ~control:ctrl ~handler cfg in
     let c = stats.Daemon.counts in
     Format.printf
       "drained %s: %d received | %d ok, %d failed, %d timeout, %d error, %d invalid, %d shed, \
@@ -769,7 +891,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ workers $ queue_capacity $ request_timeout $ serve_deadline
-      $ drain_grace $ store $ report_file)
+      $ drain_grace $ store $ scenario $ report_file)
 
 (* --- request (client) -------------------------------------------------- *)
 
@@ -807,8 +929,16 @@ let request_cmd =
     let doc = "Condition-(5) slack override." in
     Arg.(value & opt (some float) None & info [ "gamma" ] ~docv:"G" ~doc)
   in
-  let run socket id network width seed gamma timeout lie linear_terms no_cache raw ping count
-      wait_ready expect =
+  let plant =
+    let doc = "Registry plant to verify against (daemon-side resolution)." in
+    Arg.(value & opt (some string) None & info [ "plant" ] ~docv:"NAME" ~doc)
+  in
+  let scenario =
+    let doc = "Scenario file path, resolved on the daemon's filesystem; overrides --plant." in
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"FILE" ~doc)
+  in
+  let run socket id network plant scenario width seed gamma timeout lie linear_terms no_cache
+      raw ping count wait_ready expect =
     let lines =
       if ping then [ Protocol.ping_line ~id ]
       else
@@ -817,8 +947,8 @@ let request_cmd =
         | None ->
           List.init count (fun i ->
               let id = if count = 1 then id else Printf.sprintf "%s-%d" id (i + 1) in
-              Protocol.verify_line ~id ?network_path:network ~width ~seed ?gamma ?timeout ~lie
-                ~linear_terms ~no_cache ())
+              Protocol.verify_line ~id ?network_path:network ?plant ?scenario_path:scenario
+                ~width ~seed ?gamma ?timeout ~lie ~linear_terms ~no_cache ())
     in
     let deadline = Unix.gettimeofday () +. wait_ready in
     let rec connect () =
@@ -875,9 +1005,165 @@ let request_cmd =
   Cmd.v
     (Cmd.info "request" ~doc)
     Term.(
-      const run $ socket_arg $ id $ network_arg $ width_arg $ seed_arg $ gamma $ timeout
-      $ lie_arg $ linear_template_arg $ no_cache_arg $ raw $ ping $ count $ wait_ready
-      $ expect)
+      const run $ socket_arg $ id $ network_arg $ plant $ scenario $ width_arg $ seed_arg
+      $ gamma $ timeout $ lie_arg $ linear_template_arg $ no_cache_arg $ raw $ ping $ count
+      $ wait_ready $ expect)
+
+(* --- scenarios --------------------------------------------------------- *)
+
+let scenarios_cmd =
+  let list_cmd =
+    let run () =
+      Format.printf "plants:@.";
+      List.iter
+        (fun p ->
+          Format.printf "  %-22s v%s  %dD, %d control slot%s — %s@." p.Plant.name
+            p.Plant.version
+            (Array.length p.Plant.vars)
+            p.Plant.control_dim
+            (if p.Plant.control_dim = 1 then "" else "s")
+            p.Plant.description)
+        (Registry.plants ());
+      Format.printf "@.scenarios:@.";
+      List.iter
+        (fun e ->
+          Format.printf "  %-28s %-20s %-12s %s@." e.Registry.name
+            e.Registry.scenario.Scenario.plant
+            (match e.Registry.scenario.Scenario.expectation with
+            | Some Scenario.Should_fail -> "should-fail"
+            | Some Scenario.Should_prove | None -> "should-prove")
+            e.Registry.description)
+        (Registry.scenarios ())
+    in
+    let doc = "List the registered plants and built-in scenarios." in
+    Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  in
+  let show_cmd =
+    let name_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"NAME" ~doc:"Built-in scenario name (see $(b,scenarios list)).")
+    in
+    let run name =
+      match Registry.find_scenario name with
+      | None ->
+        Format.eprintf "scenarios show: unknown scenario %S@." name;
+        exit 2
+      | Some entry -> (
+        match Registry.elaborate entry.Registry.scenario with
+        | Error msg ->
+          Format.eprintf "scenarios show: %s@." msg;
+          exit 2
+        | Ok e ->
+          let closed = e.Scenario.closed in
+          Format.printf "%s — %s@." entry.Registry.name entry.Registry.description;
+          Format.printf "  plant:      %s v%s (%s)@." closed.Plant.plant.Plant.name
+            closed.Plant.plant.Plant.version
+            (String.concat ", " (Array.to_list closed.Plant.plant.Plant.vars));
+          Format.printf "  controller: %s@." (Plant.controller_label closed.Plant.controller);
+          Format.printf "  fingerprint (plant): %s@." (Artifact.hash_plant closed.Plant.id);
+          Format.printf "@.%s@."
+            (Obs.Json.to_string ~indent:true (Scenario.to_json (Scenario.re_emit e))))
+    in
+    let doc = "Show one built-in scenario: plant, controller, and its full scenario document." in
+    Cmd.v (Cmd.info "show" ~doc) Term.(const run $ name_arg)
+  in
+  let run_cmd =
+    let only =
+      let doc = "Comma-separated scenario names to run (default: all built-ins)." in
+      Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAMES" ~doc)
+    in
+    let report_file =
+      let doc = "Write a structured JSON suite report (one stage per scenario) to $(docv)." in
+      Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+    in
+    let run only jobs seed report_file =
+      let entries =
+        match only with
+        | None -> Registry.scenarios ()
+        | Some spec ->
+          List.map
+            (fun n ->
+              match Registry.find_scenario n with
+              | Some e -> e
+              | None ->
+                Format.eprintf "scenarios run: unknown scenario %S@." n;
+                exit 2)
+            (String.split_on_char ',' spec)
+      in
+      Obs.Metrics.enable ();
+      let t0 = Unix.gettimeofday () in
+      let rows =
+        List.map
+          (fun entry ->
+            let scenario = { entry.Registry.scenario with Scenario.jobs = Some jobs } in
+            match Registry.elaborate scenario with
+            | Error msg ->
+              Format.eprintf "scenarios run: %s: %s@." entry.Registry.name msg;
+              exit 2
+            | Ok e ->
+              let t = Unix.gettimeofday () in
+              let report =
+                Engine.verify ~config:e.Scenario.config ~rng:(Rng.create seed)
+                  e.Scenario.closed.Plant.system
+              in
+              let dt = Unix.gettimeofday () -. t in
+              (* A should-fail scenario must fail structurally — a verdict
+                 about the problem, not a timeout or a sampling shortfall. *)
+              let verdict, structural =
+                match report.Engine.outcome with
+                | Engine.Proved _ -> ("proved", true)
+                | Engine.Failed (Engine.Timeout _ | Engine.Seed_shortfall _) -> ("failed", false)
+                | Engine.Failed _ -> ("failed", true)
+              in
+              let ok =
+                match scenario.Scenario.expectation with
+                | Some Scenario.Should_fail -> verdict = "failed" && structural
+                | Some Scenario.Should_prove | None -> verdict = "proved"
+              in
+              Format.printf "%-28s %8.2fs  %s%s@." entry.Registry.name dt verdict
+                (if ok then "" else "  UNEXPECTED");
+              (entry.Registry.name, dt, ok, verdict)
+          )
+          entries
+      in
+      let total = Unix.gettimeofday () -. t0 in
+      let failures = List.filter (fun (_, _, ok, _) -> not ok) rows in
+      Format.printf "%d/%d scenarios matched their expectation@."
+        (List.length rows - List.length failures)
+        (List.length rows);
+      (match report_file with
+      | None -> ()
+      | Some path ->
+        let doc =
+          Obs.Report.make
+            ~meta:
+              [
+                ("suite", Obs.Json.String "scenarios");
+                ("jobs", Obs.Json.Int jobs);
+                ("seed", Obs.Json.Int seed);
+                ("scenarios", Obs.Json.Int (List.length rows));
+                ("mismatches", Obs.Json.Int (List.length failures));
+              ]
+            ~stages:
+              (List.map (fun (name, dt, _, _) -> Obs.Report.stage ~name ~seconds:dt ()) rows)
+            ~total_seconds:total
+            ~counters:(Obs.Metrics.dump_counters () |> List.filter (fun (_, v) -> v <> 0))
+            ()
+        in
+        Obs.Report.write_file path doc;
+        Format.printf "suite report: %s@." path);
+      if failures <> [] then exit 1
+    in
+    let doc =
+      "Run built-in scenarios and check each against its should-prove/should-fail \
+       expectation; exits 1 on any mismatch."
+    in
+    Cmd.v (Cmd.info "run" ~doc) Term.(const run $ only $ jobs_arg $ seed_arg $ report_file)
+  in
+  let doc = "Inspect and run the built-in plant/scenario registry." in
+  Cmd.group (Cmd.info "scenarios" ~doc) [ list_cmd; show_cmd; run_cmd ]
 
 (* --- plan -------------------------------------------------------------- *)
 
@@ -928,4 +1214,5 @@ let () =
             serve_cmd;
             request_cmd;
             store_fsck_cmd;
+            scenarios_cmd;
           ]))

@@ -1,0 +1,17 @@
+(* Regenerate data/controllers/: one .nn file per registry plant whose
+   bundled default controller is a network.  The files ship with the repo so
+   scenario documents can reference controllers by path; rerun this after
+   changing a registry default. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "data/controllers" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun p ->
+      match p.Plant.default_controller with
+      | Plant.Network net ->
+        let path = Filename.concat dir (p.Plant.name ^ ".nn") in
+        Nn.save net path;
+        Printf.printf "wrote %s\n" path
+      | Plant.Analytic _ | Plant.Zero -> ())
+    (Registry.plants ())

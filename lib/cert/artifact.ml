@@ -1,7 +1,10 @@
+type plant_id = { name : string; version : string; param_hash : string }
+
 type fingerprint = {
   nn_hash : string;
   dynamics_hash : string;
   config_hash : string;
+  plant_hash : string;
   combined : string;
 }
 
@@ -10,6 +13,23 @@ let no_nn = "-"
 let digest s = Digest.to_hex (Digest.string s)
 
 let hex f = Printf.sprintf "%h" f
+
+(* Canonical parameter rendering: sorted by name, bit-exact hex floats, one
+   per line.  Two parameterizations hash equal iff every parameter is
+   bit-identical. *)
+let hash_params params =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) params in
+  digest (String.concat "\n" (List.map (fun (k, v) -> k ^ "=" ^ hex v) sorted))
+
+let plant_id ~name ~version ~params = { name; version; param_hash = hash_params params }
+
+let hash_plant p = digest (p.name ^ "\n" ^ p.version ^ "\n" ^ p.param_hash)
+
+(* The identity every pre-scenario entry point (legacy CLI flags, serve
+   requests without a plant field) implicitly verified against. *)
+let dubins_plant_id =
+  plant_id ~name:"dubins_error" ~version:"1.0.0"
+    ~params:[ ("v", 1.0); ("theta_r", 0.0) ]
 
 let rect_str rect =
   String.concat " "
@@ -70,20 +90,25 @@ let hash_config (c : Engine.config) =
   in
   digest (String.concat "\n" lines)
 
-let fingerprint ?network system config =
-  let nn_hash = match network with None -> no_nn | Some net -> hash_network net in
-  let dynamics_hash = hash_dynamics system in
-  let config_hash = hash_config config in
-  {
-    nn_hash;
-    dynamics_hash;
-    config_hash;
-    combined = digest (nn_hash ^ "\n" ^ dynamics_hash ^ "\n" ^ config_hash);
-  }
+let combine fp =
+  digest (fp.nn_hash ^ "\n" ^ fp.dynamics_hash ^ "\n" ^ fp.config_hash ^ "\n" ^ fp.plant_hash)
+
+let fingerprint ?network ?(plant = dubins_plant_id) system config =
+  let fp =
+    {
+      nn_hash = (match network with None -> no_nn | Some net -> hash_network net);
+      dynamics_hash = hash_dynamics system;
+      config_hash = hash_config config;
+      plant_hash = hash_plant plant;
+      combined = "";
+    }
+  in
+  { fp with combined = combine fp }
 
 type t = {
   version : int;
   fingerprint : fingerprint;
+  plant : plant_id;
   template_kind : Template.kind;
   vars : string array;
   coeffs : float array;
@@ -98,10 +123,11 @@ type t = {
 
 let tool_version = "safebarrier-1.0.0"
 
-let make ~fingerprint ~config ?(stats = []) (cert : Engine.certificate) =
+let make ~fingerprint ?(plant = dubins_plant_id) ~config ?(stats = []) (cert : Engine.certificate) =
   {
-    version = 1;
+    version = 2;
     fingerprint;
+    plant;
     template_kind = Template.kind cert.Engine.template;
     vars = Template.vars cert.Engine.template;
     coeffs = Array.copy cert.Engine.coeffs;
@@ -135,9 +161,11 @@ let to_string a =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   line "safebarrier-cert v%d" a.version;
   line "tool %s" a.tool;
+  line "plant %s %s %s" a.plant.name a.plant.version a.plant.param_hash;
   line "nn-hash %s" a.fingerprint.nn_hash;
   line "dynamics-hash %s" a.fingerprint.dynamics_hash;
   line "config-hash %s" a.fingerprint.config_hash;
+  line "plant-hash %s" a.fingerprint.plant_hash;
   line "fingerprint %s" a.fingerprint.combined;
   line "template %s" (kind_name a.template_kind);
   line "vars %s" (String.concat " " (Array.to_list a.vars));
@@ -210,16 +238,28 @@ let of_string s =
       | None -> Error (Printf.sprintf "malformed version %S" v))
     | _ -> Error "not a safebarrier certificate artifact"
   in
-  let* () = if version = 1 then Ok () else Error (Printf.sprintf "unsupported version %d" version) in
+  let* () =
+    if version = 2 then Ok ()
+    else if version = 1 then
+      Error "unsupported version 1 (pre-plant artifact format; re-export required)"
+    else Error (Printf.sprintf "unsupported version %d" version)
+  in
   let find key =
     match List.assoc_opt key fields with
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "missing field %S" key)
   in
   let* tool = find "tool" in
+  let* plant =
+    let* plant_s = find "plant" in
+    match String.split_on_char ' ' plant_s |> List.filter (fun t -> t <> "") with
+    | [ name; version; param_hash ] -> Ok { name; version; param_hash }
+    | _ -> Error (Printf.sprintf "malformed plant line %S (want name version param-hash)" plant_s)
+  in
   let* nn_hash = find "nn-hash" in
   let* dynamics_hash = find "dynamics-hash" in
   let* config_hash = find "config-hash" in
+  let* plant_hash = find "plant-hash" in
   let* combined = find "fingerprint" in
   let* kind_s = find "template" in
   let* template_kind = kind_of_name kind_s in
@@ -240,7 +280,8 @@ let of_string s =
   Ok
     {
       version;
-      fingerprint = { nn_hash; dynamics_hash; config_hash; combined };
+      fingerprint = { nn_hash; dynamics_hash; config_hash; plant_hash; combined };
+      plant;
       template_kind;
       vars;
       coeffs;

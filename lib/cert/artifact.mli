@@ -12,7 +12,7 @@
     {2 Fingerprint}
 
     The fingerprint is a content hash over everything that defines the
-    verification problem, split into three components so that the cache can
+    verification problem, split into four components so that the cache can
     distinguish "same problem" from "nearby problem":
 
     - [nn_hash] — digest of the controller's canonical serialization
@@ -29,17 +29,30 @@
       the verdict — [jobs], [smt.jobs], [smt.engine] — are deliberately
       excluded, so a certificate proved sequentially is a cache hit for a
       parallel run.
+    - [plant_hash] — digest of the plant identity (registry name, semantic
+      version, canonical parameter hash).  Two scenarios that happen to
+      produce textually identical dynamics under different plants or
+      parameterizations must never share certificates; the plant component
+      makes that structural rather than accidental.
 
-    [combined] (the content address in the {!Store}) digests the three
+    [combined] (the content address in the {!Store}) digests the four
     components.  Two problems are {e nearby} — warm-start candidates for
-    each other — when their [config_hash] agrees but [combined] differs
-    (same rectangles/template/options, different network). *)
+    each other — when their [config_hash] {e and} [plant_hash] agree but
+    [combined] differs (same plant/rectangles/template/options, different
+    network). *)
+
+type plant_id = {
+  name : string;  (** registry name, e.g. ["dubins_error"]; no spaces *)
+  version : string;  (** the plant's semantic version *)
+  param_hash : string;  (** {!hash_params} of the resolved parameters *)
+}
 
 type fingerprint = {
   nn_hash : string;
   dynamics_hash : string;
   config_hash : string;
-  combined : string;  (** the content address: digest of the other three *)
+  plant_hash : string;
+  combined : string;  (** the content address: digest of the other four *)
 }
 
 val no_nn : string
@@ -51,11 +64,33 @@ val hash_dynamics : Engine.system -> string
 
 val hash_config : Engine.config -> string
 
-val fingerprint : ?network:Nn.t -> Engine.system -> Engine.config -> fingerprint
+val hash_params : (string * float) list -> string
+(** Canonical parameter digest: entries sorted by name, values rendered as
+    bit-exact hex floats.  Order-insensitive; value-bit-sensitive. *)
+
+val plant_id : name:string -> version:string -> params:(string * float) list -> plant_id
+
+val hash_plant : plant_id -> string
+
+val dubins_plant_id : plant_id
+(** The identity implicitly verified by every pre-scenario entry point
+    (legacy CLI flags, serve requests without a [plant] field):
+    [dubins_error] v1.0.0 at its default parameters [v = 1], [θ_r = 0].
+    Default for the [?plant] arguments below, so legacy callers and the
+    registry's [dubins_error] scenario agree on the fingerprint. *)
+
+val fingerprint :
+  ?network:Nn.t -> ?plant:plant_id -> Engine.system -> Engine.config -> fingerprint
+
+val combine : fingerprint -> string
+(** Recompute [combined] from the four component hashes (the [combined]
+    field of the argument is ignored).  The checker and fsck use it to
+    detect component/address tampering. *)
 
 type t = {
-  version : int;  (** format version, currently 1 *)
+  version : int;  (** format version, currently 2 *)
   fingerprint : fingerprint;
+  plant : plant_id;
   template_kind : Template.kind;
   vars : string array;
   coeffs : float array;
@@ -74,13 +109,15 @@ val tool_version : string
 
 val make :
   fingerprint:fingerprint ->
+  ?plant:plant_id ->
   config:Engine.config ->
   ?stats:(string * string) list ->
   Engine.certificate ->
   t
 (** Package a freshly proved certificate: template kind/variables/coeffs/ℓ
     come from the certificate, γ/δ/rectangles from the config it was proved
-    under. *)
+    under, the plant identity ([?plant], default {!dubins_plant_id}) from
+    the scenario that posed the problem. *)
 
 val certificate : t -> Engine.certificate
 (** Rebuild the in-memory certificate (re-making the template from the

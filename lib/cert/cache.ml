@@ -56,8 +56,15 @@ let rect_equal a b =
        (fun (alo, ahi) (blo, bhi) -> float_bits_equal alo blo && float_bits_equal ahi bhi)
        a b
 
-let binds_problem (a : Artifact.t) (fp : Artifact.fingerprint) (config : Engine.config) =
+let plant_equal (a : Artifact.plant_id) (b : Artifact.plant_id) =
+  String.equal a.Artifact.name b.Artifact.name
+  && String.equal a.Artifact.version b.Artifact.version
+  && String.equal a.Artifact.param_hash b.Artifact.param_hash
+
+let binds_problem (a : Artifact.t) (fp : Artifact.fingerprint) (plant : Artifact.plant_id)
+    (config : Engine.config) =
   String.equal a.Artifact.fingerprint.Artifact.combined fp.Artifact.combined
+  && plant_equal a.Artifact.plant plant
   && float_bits_equal a.Artifact.gamma config.Engine.gamma
   && float_bits_equal a.Artifact.delta config.Engine.smt.Solver.delta
   && rect_equal a.Artifact.x0_rect config.Engine.x0_rect
@@ -78,14 +85,15 @@ let c_misses = Obs.Metrics.counter "cert_cache.miss"
 let c_warm = Obs.Metrics.counter "cert_cache.warm_start"
 
 let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
-    ?(audit_engine = Solver.Tape_eval) ?(use_cache = true) ?network ~store ~rng system =
-  let fp = Artifact.fingerprint ?network system config in
+    ?(audit_engine = Solver.Tape_eval) ?(use_cache = true) ?network
+    ?(plant = Artifact.dubins_plant_id) ~store ~rng system =
+  let fp = Artifact.fingerprint ?network ~plant system config in
   let exact_hit =
     if not use_cache then None
     else
       match Store.load ~root:store fp.Artifact.combined with
       | Error _ -> None
-      | Ok entry when not (binds_problem entry.Store.artifact fp config) ->
+      | Ok entry when not (binds_problem entry.Store.artifact fp plant config) ->
         None (* artifact records a different problem: never a hit *)
       | Ok entry -> (
         match
@@ -125,6 +133,8 @@ let verify ?(config = Engine.default_config) ?(budget = Budget.unlimited)
           provenance_stats report.Engine.stats
             (match source with Warm_started _ -> "warm" | _ -> "cold")
         in
-        Some (Store.save ~root:store ?network (Artifact.make ~fingerprint:fp ~config ~stats cert))
+        Some
+          (Store.save ~root:store ?network
+             (Artifact.make ~fingerprint:fp ~plant ~config ~stats cert))
     in
     { report; source; fingerprint = fp; exported }

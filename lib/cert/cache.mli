@@ -4,19 +4,21 @@
 
     - {b exact hit} — the problem's combined fingerprint is in the store:
       the stored artifact is first {e bound} to the live problem (its
-      recorded fingerprint, gamma, delta and rectangles must equal the
-      current config's bit-exactly — the audit re-proves the conditions
-      against the problem the artifact records, so an artifact rewritten
-      for a weaker problem would otherwise audit clean) and then
-      {e audited} ({!Checker.audit}, an independent re-proof); only a
-      certified, problem-bound artifact is returned without running CEGIS.
-      Anything else is treated as a miss — a stale or tampered store can
-      cost time, never soundness.
+      recorded fingerprint, plant identity, gamma, delta and rectangles
+      must equal the current scenario's bit-exactly — the audit re-proves
+      the conditions against the problem the artifact records, so an
+      artifact rewritten for a weaker problem would otherwise audit clean)
+      and then {e audited} ({!Checker.audit}, an independent re-proof);
+      only a certified, problem-bound artifact is returned without running
+      CEGIS.  Anything else is treated as a miss — a stale or tampered
+      store can cost time, never soundness.
     - {b nearby miss} — no exact entry, but some entry shares the
-      [config_hash] (same rectangles/template/options, different network):
-      its coefficient vector seeds the engine as a warm-start candidate
-      ([Engine.verify ~warm_start]), skipping the LP when the stored
-      generator still satisfies condition (5) on the new network.
+      [config_hash] and [plant_hash] (same plant/parameters/rectangles/
+      template/options, different network): its coefficient vector seeds
+      the engine as a warm-start candidate ([Engine.verify ~warm_start]),
+      skipping the LP when the stored generator still satisfies condition
+      (5) on the new network.  Entries under a different plant or
+      parameterization are never donors.
     - {b cold} — otherwise, plain {!Engine.verify}.
 
     Every fresh proof (warm or cold) is exported back into the store under
@@ -47,6 +49,7 @@ val verify :
   ?audit_engine:Solver.engine ->
   ?use_cache:bool ->
   ?network:Nn.t ->
+  ?plant:Artifact.plant_id ->
   store:string ->
   rng:Rng.t ->
   Engine.system ->
@@ -56,5 +59,7 @@ val verify :
     force a cold run, keep populating the store).  [network], when the
     system was built from one, strengthens the fingerprint and is stored
     alongside the artifact so [check] can re-derive the system later.
-    [audit_engine] selects the solver engine used for hit audits (e.g.
-    [Tree_eval] for engine diversity). *)
+    [plant] (default {!Artifact.dubins_plant_id}) is the scenario's plant
+    identity; it enters the fingerprint, the hit binding, and the exported
+    artifact.  [audit_engine] selects the solver engine used for hit audits
+    (e.g. [Tree_eval] for engine diversity). *)

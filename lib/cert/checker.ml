@@ -98,6 +98,8 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
   else begin
     (* 2. Binding: recompute the content hashes the artifact claims. *)
     let dynamics = Artifact.hash_dynamics system in
+    let plant = Artifact.hash_plant a.Artifact.plant in
+    let combined = Artifact.combine a.Artifact.fingerprint in
     if not (String.equal dynamics a.Artifact.fingerprint.Artifact.dynamics_hash) then
       reject
         (Fingerprint_mismatch
@@ -105,6 +107,25 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
              field = "dynamics";
              expected = a.Artifact.fingerprint.Artifact.dynamics_hash;
              got = dynamics;
+           })
+    else if not (String.equal plant a.Artifact.fingerprint.Artifact.plant_hash) then
+      (* The plant line and the plant-hash component must agree, otherwise a
+         tampered artifact could claim one plant's identity while carrying
+         another's hash. *)
+      reject
+        (Fingerprint_mismatch
+           {
+             field = "plant";
+             expected = a.Artifact.fingerprint.Artifact.plant_hash;
+             got = plant;
+           })
+    else if not (String.equal combined a.Artifact.fingerprint.Artifact.combined) then
+      reject
+        (Fingerprint_mismatch
+           {
+             field = "combined";
+             expected = a.Artifact.fingerprint.Artifact.combined;
+             got = combined;
            })
     else
       let nn_ok =

@@ -87,12 +87,15 @@ type fsck_issue =
   | Address_mismatch of string
   | Missing_network
   | Network_mismatch of string
+  | Fingerprint_mismatch of { field : string; got : string }
 
 let string_of_issue = function
   | Corrupt_entry reason -> "corrupt entry: " ^ reason
   | Address_mismatch recorded -> "entry address differs from recorded fingerprint " ^ recorded
   | Missing_network -> "artifact records a network hash but network.nn is missing"
   | Network_mismatch actual -> "network.nn hashes to " ^ actual ^ ", not the recorded nn_hash"
+  | Fingerprint_mismatch { field; got } ->
+    "recorded " ^ field ^ " fingerprint component does not match its recomputation " ^ got
 
 type fsck_finding = {
   fingerprint : string;
@@ -121,12 +124,21 @@ let quarantine_entry ~root fp =
   | exception Sys_error _ -> None  (* entry vanished mid-scan: nothing to move *)
 
 (* Validate one loaded entry beyond what [load] checks: the directory name
-   must be the content address the artifact records, and a recorded
-   controller hash must be backed by a matching network.nn. *)
+   must be the content address the artifact records, the fingerprint
+   components must be internally consistent (a tampered plant line with a
+   rewritten line checksum still fails here: plant-hash no longer digests
+   the plant identity, or combined no longer digests the components), and a
+   recorded controller hash must be backed by a matching network.nn. *)
 let fsck_entry fp (entry : entry) =
   let art_fp = entry.artifact.Artifact.fingerprint in
+  let recomputed_plant = Artifact.hash_plant entry.artifact.Artifact.plant in
+  let recomputed_combined = Artifact.combine art_fp in
   if not (String.equal art_fp.Artifact.combined fp) then
     Some (Address_mismatch art_fp.Artifact.combined)
+  else if not (String.equal recomputed_plant art_fp.Artifact.plant_hash) then
+    Some (Fingerprint_mismatch { field = "plant"; got = recomputed_plant })
+  else if not (String.equal recomputed_combined art_fp.Artifact.combined) then
+    Some (Fingerprint_mismatch { field = "combined"; got = recomputed_combined })
   else if String.equal art_fp.Artifact.nn_hash Artifact.no_nn then None
   else
     match entry.network with
@@ -167,7 +179,16 @@ let find_nearby ~root (fp : Artifact.fingerprint) =
       match load ~root name with
       | Error _ -> None  (* unreadable donors are useless, skip *)
       | Ok entry ->
-        if String.equal entry.artifact.Artifact.fingerprint.Artifact.config_hash fp.Artifact.config_hash
+        (* A donor must pose the same problem *shape*: identical config and
+           identical plant identity.  Matching config alone would let a
+           certificate proved under one plant (or parameterization) seed
+           the search for another — harmless for soundness (every warm
+           candidate is re-proved) but a cross-plant information leak and a
+           wasted first candidate. *)
+        let donor_fp = entry.artifact.Artifact.fingerprint in
+        if
+          String.equal donor_fp.Artifact.config_hash fp.Artifact.config_hash
+          && String.equal donor_fp.Artifact.plant_hash fp.Artifact.plant_hash
         then Some entry
         else None
   in

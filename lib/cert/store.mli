@@ -80,6 +80,12 @@ type fsck_issue =
   | Network_mismatch of string
       (** [network.nn] is present but hashes to the payload, not the
           artifact's recorded [nn_hash] *)
+  | Fingerprint_mismatch of { field : string; got : string }
+      (** a recorded fingerprint component is not the digest of what it
+          claims to digest: [field = "plant"] when the plant identity line
+          was tampered without its [plant-hash] following (or vice versa),
+          [field = "combined"] when the combined address no longer digests
+          the four components.  [got] is the recomputed value. *)
 
 val string_of_issue : fsck_issue -> string
 
@@ -109,8 +115,10 @@ val fsck : ?quarantine:bool -> ?on_entry:(string -> unit) -> root:string -> unit
 
 val find_nearby : root:string -> Artifact.fingerprint -> entry option
 (** First (in sorted fingerprint order, for determinism) readable entry
-    whose [config_hash] matches the probe but whose combined fingerprint
-    differs — i.e. the same rectangles/template/solver options on a {e
-    different} network.  These are the warm-start donors: their coefficient
-    vectors are plausible candidates for the probe's problem.  Corrupt
-    entries are skipped, never reported. *)
+    whose [config_hash] {e and} [plant_hash] both match the probe but whose
+    combined fingerprint differs — i.e. the same plant, parameters,
+    rectangles, template and solver options on a {e different} network.
+    These are the warm-start donors: their coefficient vectors are
+    plausible candidates for the probe's problem.  An entry for a different
+    plant or parameterization is never a donor, even when its config hash
+    matches.  Corrupt entries are skipped, never reported. *)

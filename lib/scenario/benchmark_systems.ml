@@ -1,0 +1,50 @@
+type expectation = Should_prove | Should_fail
+
+type benchmark = {
+  name : string;
+  description : string;
+  system : Engine.system;
+  config : Engine.config;
+  expectation : expectation;
+}
+
+(* Each benchmark is a registry scenario elaborated at module init; the
+   registry's plants reconstruct the historical closed-loop fields exactly
+   (the smart constructors fold the zero-controller and unit/zero parameter
+   terms away deterministically). *)
+let of_entry (entry : Registry.entry) =
+  match Registry.elaborate entry.Registry.scenario with
+  | Error reason ->
+    invalid_arg (Printf.sprintf "Benchmark_systems: scenario %s: %s" entry.Registry.name reason)
+  | Ok elaborated ->
+    {
+      name = entry.Registry.name;
+      description = entry.Registry.description;
+      system = elaborated.Scenario.closed.Plant.system;
+      config = elaborated.Scenario.config;
+      expectation =
+        (match entry.Registry.scenario.Scenario.expectation with
+        | Some Scenario.Should_fail -> Should_fail
+        | Some Scenario.Should_prove | None -> Should_prove);
+    }
+
+let of_scenario name =
+  match Registry.find_scenario name with
+  | Some entry -> of_entry entry
+  | None -> invalid_arg (Printf.sprintf "Benchmark_systems: no registry scenario %S" name)
+
+let damped_pendulum = of_scenario "damped-pendulum"
+
+let undamped_pendulum = of_scenario "undamped-pendulum"
+
+let linear_stable = of_scenario "linear-stable"
+
+let linear_saddle = of_scenario "linear-saddle"
+
+let van_der_pol_reversed = of_scenario "van-der-pol-reversed"
+
+let all =
+  [ damped_pendulum; undamped_pendulum; linear_stable; linear_saddle; van_der_pol_reversed ]
+
+let run ?(rng_seed = 7) bench =
+  Engine.verify ~config:bench.config ~rng:(Rng.create rng_seed) bench.system

@@ -1,0 +1,53 @@
+(** A small library of additional closed-loop systems for the barrier
+    engine, beyond the paper's Dubins case study.  Since the scenario
+    registry became the single source of plant definitions, each benchmark
+    here is a {!Registry} scenario elaborated eagerly — this module survives
+    as a thin compatibility shim for tests and examples that predate the
+    registry.
+
+    All controllers here are smooth saturating laws (tanh), matching the
+    class the paper's method targets. *)
+
+type expectation =
+  | Should_prove  (** the closed loop admits a quadratic barrier *)
+  | Should_fail  (** unsafe or not certifiable with this template *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  system : Engine.system;
+  config : Engine.config;
+  expectation : expectation;
+}
+
+val of_entry : Registry.entry -> benchmark
+(** Elaborate any registry scenario into a runnable benchmark.  Raises
+    [Invalid_argument] if elaboration fails (a registry invariant
+    violation). *)
+
+val damped_pendulum : benchmark
+(** Registry scenario [damped-pendulum]: the [pendulum] plant under its
+    bundled tanh torque law [u = −0.8·tanh(θ) − 0.4·tanh(ω)]. *)
+
+val undamped_pendulum : benchmark
+(** Registry scenario [undamped-pendulum]: [pendulum] with [damping = 0]
+    and zero torque — energy is conserved, trajectories orbit, and no
+    strictly decreasing W exists; the engine must fail. *)
+
+val linear_stable : benchmark
+(** Registry scenario [linear-stable]: the [linear_2d] plant at its default
+    Hurwitz parameterization; barrier synthesis must succeed quickly. *)
+
+val linear_saddle : benchmark
+(** Registry scenario [linear-saddle]: [linear_2d] at a saddle
+    parameterization — trajectories escape along x and the verifier must
+    refuse. *)
+
+val van_der_pol_reversed : benchmark
+(** Registry scenario [van-der-pol-reversed]: sets chosen well inside the
+    basin bounded by the reversed limit cycle. *)
+
+val all : benchmark list
+
+val run : ?rng_seed:int -> benchmark -> Engine.report
+(** Verify one benchmark with its bundled configuration. *)

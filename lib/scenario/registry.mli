@@ -1,0 +1,43 @@
+(** The plant and scenario registry: every built-in plant definition lives
+    here, exactly once; every other layer (benchmarks, serve, CLI, bench)
+    resolves names through it.
+
+    {2 Plants}
+
+    - [dubins_error] — the paper's Dubins-vehicle error dynamics, migrated
+      from {!Case_study}; delegates its numeric field to [Error_dynamics]
+      and builds its symbolic field through the same constructors, so the
+      composed system is bit-compatible with the pre-registry pipeline.
+    - [inverted_pendulum], [duffing] — the benchmarks of Zhao et al.
+      (arXiv:2009.09826), each with a hand-crafted stabilizing tansig
+      controller.
+    - [poly_2d], [poly_3d] — Peruffo/Ahmed/Abate-style polynomial models
+      (arXiv:2007.03251); [poly_3d] exercises the engine's
+      dimension-genericity beyond 2-D.
+    - [pendulum], [linear_2d], [van_der_pol_reversed] — the plants behind
+      the historical {!Benchmark_systems} suite.
+
+    {2 Scenarios}
+
+    Each built-in scenario pairs a plant (+ parameters) with a controller
+    and a [Should_prove]/[Should_fail] expectation; the scenario-suite CI
+    job runs all of them at [--jobs 1,4] and asserts the expectations. *)
+
+val plants : unit -> Plant.t list
+(** All registered plants, in registration order. *)
+
+val find_plant : string -> Plant.t option
+
+type entry = {
+  name : string;
+  description : string;
+  scenario : Scenario.t;  (** [scenario.expectation] is always [Some _] *)
+}
+
+val scenarios : unit -> entry list
+
+val find_scenario : string -> entry option
+
+val elaborate :
+  ?base:Engine.config -> ?dir:string -> Scenario.t -> (Scenario.elaborated, string) result
+(** {!Scenario.elaborate} with this registry's plant lookup. *)

@@ -1,0 +1,96 @@
+(** Scenario configuration documents: one JSON object describing a complete
+    verification problem — plant, parameter overrides, controller,
+    rectangles, γ/δ, and solver/scheduler/LP options — elaborated against a
+    plant registry into an {!Engine.system} and {!Engine.config}.
+
+    {2 File grammar}
+
+    {v
+    {"plant": "<registry name>",        required
+     "name": "<string>",                optional display name
+     "description": "<string>",
+     "params": {"<param>": <number>},   plant parameter overrides
+     "controller": "builtin" | "zero"   default "builtin"
+                 | {"width": <int>}     width-family member
+                 | {"path": "<file.nn>"},  relative to the scenario file
+     "x0": [[lo, hi], ...],             per state variable
+     "safe": [[lo, hi], ...],
+     "gamma": <number>, "delta": <number>,
+     "n_seed": <int>, "sim_dt": <number>, "sim_steps": <int>,
+     "lie": <bool>, "linear_terms": <bool>,
+     "jobs": <int>, "scheduler": "static" | "stealing",
+     "lp_engine": "tableau" | "revised", "max_branches": <int>,
+     "expectation": "should_prove" | "should_fail"}
+    v}
+
+    Unknown fields are rejected (a config-file typo must fail loudly, not
+    silently verify something else), and every parse error names the
+    offending field. *)
+
+type expectation = Should_prove | Should_fail
+
+type controller_spec =
+  | Builtin  (** the plant's bundled default controller *)
+  | Zero_controller
+  | Width of int
+  | File of string  (** [.nn] path, resolved against the scenario file's directory *)
+
+type t = {
+  name : string option;
+  description : string option;
+  plant : string;
+  params : (string * float) list;
+  controller : controller_spec;
+  x0 : (float * float) array option;
+  safe : (float * float) array option;
+  gamma : float option;
+  delta : float option;
+  n_seed : int option;
+  sim_dt : float option;
+  sim_steps : int option;
+  lie : bool option;
+  linear_terms : bool option;
+  jobs : int option;
+  scheduler : Solver.scheduler option;
+  lp_engine : Lp.engine option;
+  max_branches : int option;
+  expectation : expectation option;
+}
+
+val make : plant:string -> unit -> t
+(** A scenario selecting [plant] with every field defaulted ([Builtin]
+    controller, no overrides). *)
+
+val of_json : Obs.Json.t -> (t, string) result
+val to_json : t -> Obs.Json.t
+(** [of_json (to_json t) = Ok t] for any well-formed [t]. *)
+
+val load : string -> (t, string) result
+(** Read and parse a scenario file; errors are prefixed with the path. *)
+
+val save : string -> t -> unit
+
+type elaborated = {
+  scenario : t;
+  closed : Plant.closed;  (** plant, resolved params, controller, system *)
+  config : Engine.config;
+}
+
+val elaborate :
+  plants:(string -> Plant.t option) ->
+  ?base:Engine.config ->
+  ?dir:string ->
+  t ->
+  (elaborated, string) result
+(** Resolve the plant through [plants], the controller spec into a
+    {!Plant.controller} ([dir] anchors relative [File] paths), and the
+    option fields into a config.  Precedence per field: scenario value >
+    plant default (rectangles and γ) or [base] value (everything else;
+    default {!Engine.default_config}).  Errors name the field: unknown
+    plant, unknown parameter, rectangle arity mismatch, unreadable
+    controller file, arity-mismatched controller. *)
+
+val re_emit : elaborated -> t
+(** The scenario as elaborated: resolved parameter values and the concrete
+    rectangles/γ made explicit.  [re_emit] of an elaboration of [re_emit e]
+    is [re_emit e] — emission is idempotent. *)

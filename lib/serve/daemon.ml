@@ -135,6 +135,7 @@ let count_status st status =
   | "ok" -> st.ok <- st.ok + 1
   | "failed" -> st.failed <- st.failed + 1
   | "timeout" -> st.timed_out <- st.timed_out + 1
+  | "invalid" -> st.invalid <- st.invalid + 1
   | _ -> st.errors <- st.errors + 1
 
 let worker st handler =

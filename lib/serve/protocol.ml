@@ -1,5 +1,7 @@
 type verify_params = {
   network_path : string option;
+  plant : string option;
+  scenario_path : string option;
   width : int;
   seed : int;
   gamma : float option;
@@ -61,6 +63,8 @@ let parse_line ?(max_bytes = default_max_line_bytes) line =
         | "ping" -> Ok { id; op = Ping }
         | "verify" ->
           let* network_path = opt_field "network" as_string in
+          let* plant = opt_field "plant" as_string in
+          let* scenario_path = opt_field "scenario" as_string in
           let* width = opt_field "width" as_int in
           let* seed = opt_field "seed" as_int in
           let* gamma = opt_field "gamma" as_finite in
@@ -81,6 +85,8 @@ let parse_line ?(max_bytes = default_max_line_bytes) line =
                 Verify
                   {
                     network_path;
+                    plant;
+                    scenario_path;
                     width = dflt 10 width;
                     seed = dflt 7 seed;
                     gamma;
@@ -95,7 +101,8 @@ let parse_line ?(max_bytes = default_max_line_bytes) line =
 
 let line json = Obs.Json.to_string ~indent:false json
 
-let verify_line ~id ?network_path ?width ?seed ?gamma ?timeout ?lie ?linear_terms ?no_cache () =
+let verify_line ~id ?network_path ?plant ?scenario_path ?width ?seed ?gamma ?timeout ?lie
+    ?linear_terms ?no_cache () =
   let opt name conv v = Option.map (fun x -> (name, conv x)) v in
   let fields =
     List.filter_map Fun.id
@@ -103,6 +110,8 @@ let verify_line ~id ?network_path ?width ?seed ?gamma ?timeout ?lie ?linear_term
         Some ("id", Obs.Json.String id);
         Some ("op", Obs.Json.String "verify");
         opt "network" (fun p -> Obs.Json.String p) network_path;
+        opt "plant" (fun p -> Obs.Json.String p) plant;
+        opt "scenario" (fun p -> Obs.Json.String p) scenario_path;
         opt "width" (fun w -> Obs.Json.Int w) width;
         opt "seed" (fun s -> Obs.Json.Int s) seed;
         opt "gamma" (fun g -> Obs.Json.Float g) gamma;

@@ -8,6 +8,9 @@
      "op": "verify" | "ping",         default "verify"
      -- verify fields (all optional):
      "network": "<path to .nn>",      controller file; else built-in
+     "plant": "<registry name>",      plant to verify against (default the
+                                      daemon's scenario, else dubins_error)
+     "scenario": "<path to .scn>",    full scenario file; overrides plant
      "width": <int>,                  built-in controller width (default 10)
      "seed": <int>,                   PRNG seed (default 7)
      "gamma": <finite float>,         condition-(5) slack override
@@ -29,13 +32,17 @@
       isolated to this request, the daemon keeps serving
     - ["shed"] — the bounded queue was full; retry later
     - ["invalid"] — the line violated the protocol (not JSON, missing
-      [id], oversized); [id] is [null] when it could not be recovered
+      [id], oversized), or the request named an unknown plant/scenario or
+      an arity-mismatched controller; handler-level rejections carry a
+      [field] naming the offending request field and a [reason]
 
     Responses on a shared connection may interleave across requests —
     clients correlate by [id]. *)
 
 type verify_params = {
   network_path : string option;
+  plant : string option;  (** registry plant name; [None] = daemon default *)
+  scenario_path : string option;  (** scenario file; takes precedence over [plant] *)
   width : int;
   seed : int;
   gamma : float option;
@@ -65,6 +72,8 @@ val parse_line : ?max_bytes:int -> string -> (request, parse_error) result
 val verify_line :
   id:string ->
   ?network_path:string ->
+  ?plant:string ->
+  ?scenario_path:string ->
   ?width:int ->
   ?seed:int ->
   ?gamma:float ->

@@ -3,15 +3,85 @@ let source_token = function
   | Cache.Cache_hit _ -> "cache_hit"
   | Cache.Warm_started _ -> "warm_start"
 
-let load_controller (p : Protocol.verify_params) =
-  match p.Protocol.network_path with
-  | Some path -> Nn.load path
-  | None ->
-    if p.Protocol.width = 2 then Case_study.reference_controller
-    else Case_study.controller_of_width p.Protocol.width
+(* A request-level rejection: the request named something that does not
+   exist or does not fit the plant.  Distinct from handler crashes (which
+   the daemon maps to "error"): these are answered as "invalid" with the
+   offending request field named, so clients can fix the request rather
+   than retry it. *)
+exception Reject of { field : string; reason : string }
 
-let config_of_params (p : Protocol.verify_params) =
-  let base = Engine.default_config in
+let reject field reason = raise (Reject { field; reason })
+
+let known_plants () =
+  String.concat ", " (List.map (fun p -> p.Plant.name) (Registry.plants ()))
+
+(* Resolve the request to a closed-loop plant + base config.  Precedence:
+   request scenario file > request plant name > the daemon's default
+   scenario > the legacy Dubins case study. *)
+let resolve_problem ~default_scenario (p : Protocol.verify_params) =
+  match (p.Protocol.scenario_path, p.Protocol.plant) with
+  | Some path, _ -> (
+    match Scenario.load path with
+    | Error reason -> reject "scenario" reason
+    | Ok s -> (
+      match Registry.elaborate ~dir:(Filename.dirname path) s with
+      | Error reason -> reject "scenario" reason
+      | Ok e -> (e.Scenario.closed, e.Scenario.config, `Scenario_controller)))
+  | None, Some name -> (
+    match Registry.find_plant name with
+    | None -> reject "plant" (Printf.sprintf "unknown plant %S (known: %s)" name (known_plants ()))
+    | Some plant -> (
+      match Plant.close plant plant.Plant.default_controller with
+      | Error reason -> reject "plant" reason
+      | Ok closed -> (closed, Plant.default_engine_config plant, `Request_controller)))
+  | None, None -> (
+    match default_scenario with
+    | Some (e : Scenario.elaborated) -> (e.Scenario.closed, e.Scenario.config, `Scenario_controller)
+    | None -> (
+      let plant =
+        match Registry.find_plant "dubins_error" with
+        | Some p -> p
+        | None -> assert false (* registry invariant *)
+      in
+      match Plant.close plant plant.Plant.default_controller with
+      | Error reason -> reject "plant" reason
+      | Ok closed -> (closed, Plant.default_engine_config plant, `Request_controller)))
+
+(* Swap the request's controller into the resolved plant.  [network] always
+   wins; [width] applies only when the problem did not come from a scenario
+   file (a scenario's controller choice is part of the problem statement).
+   Arity mismatches are rejections, not crashes: the request is answerable,
+   just wrong about the plant. *)
+let apply_controller ~source (closed : Plant.closed) (p : Protocol.verify_params) =
+  let reclose controller ~field =
+    match Plant.close ~params:closed.Plant.params closed.Plant.plant controller with
+    | Ok c -> c
+    | Error reason -> reject field reason
+  in
+  match p.Protocol.network_path with
+  | Some path ->
+    (* A missing/corrupt network file raises out of [Nn.load] and becomes
+       this request's "error" response (crash isolation); only the loaded
+       network's shape is validated here. *)
+    reclose (Plant.Network (Nn.load path)) ~field:"network"
+  | None -> (
+    match source with
+    | `Scenario_controller -> closed
+    | `Request_controller -> (
+      let plant = closed.Plant.plant in
+      let default_width =
+        match plant.Plant.default_controller with
+        | Plant.Network net -> (
+          match Nn.hidden_widths net with [ w ] -> Some w | _ -> None)
+        | Plant.Analytic _ | Plant.Zero -> None
+      in
+      if default_width = Some p.Protocol.width then closed
+      else
+        match Plant.widened_default plant p.Protocol.width with
+        | Ok net -> reclose (Plant.Network net) ~field:"width"
+        | Error reason -> reject "width" reason))
+
+let config_of_params base (p : Protocol.verify_params) =
   {
     base with
     Engine.gamma = Option.value ~default:base.Engine.gamma p.Protocol.gamma;
@@ -19,45 +89,64 @@ let config_of_params (p : Protocol.verify_params) =
       {
         base.Engine.synthesis with
         Synthesis.mode =
-          (if p.Protocol.lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
+          (if p.Protocol.lie then Synthesis.Lie_derivative
+           else base.Engine.synthesis.Synthesis.mode);
       };
     template_kind =
-      (if p.Protocol.linear_terms then Template.Quadratic_linear else Template.Quadratic);
+      (if p.Protocol.linear_terms then Template.Quadratic_linear else base.Engine.template_kind);
     (* Request-level parallelism comes from the daemon's worker domains;
        each verification runs sequentially inside its worker. *)
   }
 
-let make ?store () : Daemon.handler =
- fun ~budget (p : Protocol.verify_params) ->
-  let net = load_controller p in
-  let system = Case_study.system_of_network net in
-  let config = config_of_params p in
-  let rng = Rng.create p.Protocol.seed in
-  let report, store_fields =
-    match store with
-    | Some root ->
-      let result =
-        Cache.verify ~config ~budget ~use_cache:(not p.Protocol.no_cache) ~network:net
-          ~store:root ~rng system
+let make ?store ?scenario () : Daemon.handler =
+  let default_scenario =
+    match scenario with
+    | None -> None
+    | Some path -> (
+      match Result.bind (Scenario.load path) (Registry.elaborate ~dir:(Filename.dirname path)) with
+      | Ok e -> Some e
+      | Error reason -> invalid_arg (Printf.sprintf "Serve_handler.make: %s" reason))
+  in
+  fun ~budget (p : Protocol.verify_params) ->
+    match
+      let closed, base_config, controller_source = resolve_problem ~default_scenario p in
+      let closed = apply_controller ~source:controller_source closed p in
+      (closed, config_of_params base_config p)
+    with
+    | exception Reject { field; reason } ->
+      ( "invalid",
+        [ ("field", Obs.Json.String field); ("reason", Obs.Json.String reason) ] )
+    | closed, config ->
+      let system = closed.Plant.system in
+      let rng = Rng.create p.Protocol.seed in
+      let report, store_fields =
+        match store with
+        | Some root ->
+          let result =
+            Cache.verify ~config ~budget ~use_cache:(not p.Protocol.no_cache)
+              ?network:closed.Plant.network ~plant:closed.Plant.id ~store:root ~rng system
+          in
+          let exported =
+            match result.Cache.exported with
+            | Some dir -> [ ("exported", Obs.Json.String dir) ]
+            | None -> []
+          in
+          ( result.Cache.report,
+            ("source", Obs.Json.String (source_token result.Cache.source)) :: exported )
+        | None -> (Engine.verify ~config ~budget ~rng system, [])
       in
-      let exported =
-        match result.Cache.exported with
-        | Some dir -> [ ("exported", Obs.Json.String dir) ]
-        | None -> []
+      let fields =
+        Engine.outcome_meta report.Engine.outcome
+        @ store_fields
+        @ [
+            ("plant", Obs.Json.String closed.Plant.plant.Plant.name);
+            ("seconds", Obs.Json.Float report.Engine.stats.Engine.total_time);
+          ]
       in
-      ( result.Cache.report,
-        ("source", Obs.Json.String (source_token result.Cache.source)) :: exported )
-    | None -> (Engine.verify ~config ~budget ~rng system, [])
-  in
-  let fields =
-    Engine.outcome_meta report.Engine.outcome
-    @ store_fields
-    @ [ ("seconds", Obs.Json.Float report.Engine.stats.Engine.total_time) ]
-  in
-  let status =
-    match report.Engine.outcome with
-    | Engine.Proved _ -> "ok"
-    | Engine.Failed (Engine.Timeout _) -> "timeout"
-    | Engine.Failed _ -> "failed"
-  in
-  (status, fields)
+      let status =
+        match report.Engine.outcome with
+        | Engine.Proved _ -> "ok"
+        | Engine.Failed (Engine.Timeout _) -> "timeout"
+        | Engine.Failed _ -> "failed"
+      in
+      (status, fields)

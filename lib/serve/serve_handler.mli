@@ -1,18 +1,32 @@
 (** The real verification handler behind {!Daemon.run}: one request = one
-    barrier-certificate verification of the Dubins case study, fronted by
-    the certificate cache when a store is configured.
+    barrier-certificate verification of a registry plant (default: the
+    Dubins case study), fronted by the certificate cache when a store is
+    configured.
 
-    The handler deliberately raises on unusable inputs (missing network
-    file, bad width) instead of pre-validating — the daemon's crash
-    isolation turns any of it into that request's [{"status":"error"}]
-    response, which keeps the error taxonomy in exactly one place. *)
+    Problem resolution, in precedence order: the request's [scenario] file,
+    the request's [plant] name, the daemon's default scenario ([make
+    ~scenario]), the Dubins case study.  The request's [network] always
+    replaces the resolved controller; [width] selects from the plant's
+    width family unless the problem came from a scenario file.
 
-val make : ?store:string -> unit -> Daemon.handler
-(** [make ~store ()] verifies each request under its budget via
+    Two failure planes, deliberately distinct:
+    - {e rejections} — unknown plant/scenario, arity-mismatched controller,
+      bad width: answered as [{"status":"invalid"}] with [field] naming the
+      offending request field and a human-readable [reason];
+    - {e crashes} — missing network file, solver blow-ups: the handler
+      raises and the daemon's crash isolation turns it into that request's
+      [{"status":"error"}] response, keeping the error taxonomy in exactly
+      one place. *)
+
+val make : ?store:string -> ?scenario:string -> unit -> Daemon.handler
+(** [make ~store ~scenario ()] verifies each request under its budget via
     [Cache.verify] (exact hits audited, nearby donors warm-started, fresh
-    proofs exported); without [store] it runs the plain engine.  Response
-    fields: [outcome]/[level] or [failure], [seconds], and — with a
-    store — [source] ("cache_hit" | "warm_start" | "cold") plus
-    [exported] for fresh proofs. *)
+    proofs exported, fingerprints carrying the plant identity); without
+    [store] it runs the plain engine.  [scenario] is a scenario-file path
+    elaborated once at construction — raises [Invalid_argument] if it does
+    not elaborate.  Response fields: [outcome]/[level] or [failure],
+    [plant], [seconds], and — with a store — [source]
+    ("cache_hit" | "warm_start" | "cold") plus [exported] for fresh
+    proofs. *)
 
 val source_token : Cache.source -> string

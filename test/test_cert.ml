@@ -330,6 +330,57 @@ let test_cache_rejects_tampered_problem_fields () =
       ("zeroed delta", { a with Artifact.delta = 0.0 });
     ]
 
+(* --- cross-plant isolation -------------------------------------------- *)
+
+(* A certificate proved under one plant must never be served — as an exact
+   hit or a warm-start donor — for a different plant sharing the same
+   store.  Two registry plants with bundled controllers exercise the
+   plant_hash component of the fingerprint end to end. *)
+let cache_run ?plant_params name ~store ~seed =
+  let plant = Option.get (Registry.find_plant name) in
+  let closed =
+    Plant.close_exn ?params:plant_params plant plant.Plant.default_controller
+  in
+  let config = Plant.default_engine_config plant in
+  Cache.verify ~config ?network:closed.Plant.network ~plant:closed.Plant.id ~store
+    ~rng:(Rng.create seed) closed.Plant.system
+
+let assert_cold name (r : Cache.result) =
+  (match r.Cache.source with
+  | Cache.Cold -> ()
+  | s -> Alcotest.failf "%s: expected a cold run, got %s" name (Cache.string_of_source s));
+  match r.Cache.report.Engine.outcome with
+  | Engine.Proved _ -> Alcotest.(check bool) (name ^ " exported") true (r.Cache.exported <> None)
+  | Engine.Failed _ -> Alcotest.failf "%s: cold run failed to prove" name
+
+let test_cache_cross_plant_isolation () =
+  let root = fresh_store () in
+  assert_cold "duffing" (cache_run "duffing" ~store:root ~seed:7);
+  (* Same store, different plant: must neither hit nor warm-start. *)
+  assert_cold "poly_2d" (cache_run "poly_2d" ~store:root ~seed:7);
+  (* Sanity: each plant still hits its own entry. *)
+  List.iter
+    (fun name ->
+      match (cache_run name ~store:root ~seed:8).Cache.source with
+      | Cache.Cache_hit _ -> ()
+      | s -> Alcotest.failf "%s: expected own-entry hit, got %s" name (Cache.string_of_source s))
+    [ "duffing"; "poly_2d" ]
+
+(* Two parameterizations of the same plant share every config component
+   (rectangles, gamma, template) yet must stay isolated: plant_hash alone
+   keeps them apart. *)
+let test_cache_parameterization_isolation () =
+  let root = fresh_store () in
+  assert_cold "duffing default damping" (cache_run "duffing" ~store:root ~seed:7);
+  assert_cold "duffing damping=0.6"
+    (cache_run "duffing" ~plant_params:[ ("damping", 0.6) ] ~store:root ~seed:7);
+  match
+    (cache_run "duffing" ~plant_params:[ ("damping", 0.6) ] ~store:root ~seed:8).Cache.source
+  with
+  | Cache.Cache_hit _ -> ()
+  | s -> Alcotest.failf "reparameterized rerun should hit its own entry, got %s"
+           (Cache.string_of_source s)
+
 (* --- golden SMT-LIB dumps --------------------------------------------- *)
 
 (* The queries [dump_smt2] writes are the external-audit interface (dReal
@@ -374,6 +425,7 @@ let issue_name = function
   | Store.Address_mismatch _ -> "address"
   | Store.Missing_network -> "missing-network"
   | Store.Network_mismatch _ -> "network-mismatch"
+  | Store.Fingerprint_mismatch { field; _ } -> "fingerprint-" ^ field
 
 (* A second artifact with a distinct fingerprint (different gamma), so a
    store can hold a healthy entry next to the corrupted ones. *)
@@ -503,6 +555,30 @@ let test_fsck_ignores_concurrent_save () =
   Alcotest.(check int) "nothing flagged" 0 (List.length report.Store.findings);
   Alcotest.(check int) "entry healthy" 1 report.Store.healthy
 
+(* An artifact whose plant identity line was rewritten (checksum refreshed,
+   fingerprint untouched) is internally inconsistent: plant-hash no longer
+   digests the plant line.  fsck must classify it as a plant fingerprint
+   mismatch and quarantine it. *)
+let test_fsck_flags_plant_tamper () =
+  let root = fresh_store () in
+  let a = artifact () in
+  let tampered =
+    {
+      a with
+      Artifact.plant =
+        Artifact.plant_id ~name:"dubins_error" ~version:"1.0.0"
+          ~params:[ ("v", 2.0); ("theta_r", 0.0) ];
+    }
+  in
+  ignore (Store.save ~root ~network tampered);
+  let report = Store.fsck ~quarantine:true ~root () in
+  (match report.Store.findings with
+  | [ { Store.issue = Store.Fingerprint_mismatch { field = "plant"; _ }; _ } ] -> ()
+  | fs ->
+    Alcotest.failf "expected one plant fingerprint-mismatch finding, got [%s]"
+      (String.concat "," (List.map (fun f -> issue_name f.Store.issue) fs)));
+  Alcotest.(check (list string)) "tampered entry quarantined" [] (Store.list ~root)
+
 let () =
   Alcotest.run "cert"
     [
@@ -547,6 +623,9 @@ let () =
             test_cache_rejects_tampered_hit;
           Alcotest.test_case "tampered problem fields never hit" `Quick
             test_cache_rejects_tampered_problem_fields;
+          Alcotest.test_case "cross-plant isolation" `Quick test_cache_cross_plant_isolation;
+          Alcotest.test_case "parameterization isolation" `Quick
+            test_cache_parameterization_isolation;
         ] );
       ( "fsck",
         [
@@ -557,6 +636,7 @@ let () =
             test_fsck_report_only_leaves_store_untouched;
           Alcotest.test_case "concurrent save not flagged" `Quick
             test_fsck_ignores_concurrent_save;
+          Alcotest.test_case "plant tamper flagged" `Quick test_fsck_flags_plant_tamper;
         ] );
       ("golden", [ Alcotest.test_case "dump_smt2 snapshot" `Quick test_dump_smt2_golden ]);
     ]

@@ -1,0 +1,398 @@
+(* Tests for the scenario subsystem (lib/scenario): JSON round-trips, exact
+   loader error messages, elaboration override precedence, registry
+   invariants, the Benchmark_systems shim, and — crucially — bit-level
+   parity of the registry's dubins_error plant with the legacy
+   Case_study.system_of_network pipeline (the migration's compatibility
+   contract). *)
+
+let temp_root =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "sb_scenario_test_%d" (Unix.getpid ()))
+
+let fresh_path =
+  let counter = ref 0 in
+  fun name ->
+    incr counter;
+    if not (Sys.file_exists temp_root) then Unix.mkdir temp_root 0o755;
+    Filename.concat temp_root (Printf.sprintf "%d-%s" !counter name)
+
+let ok_or_fail = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+let error_of = function
+  | Error msg -> msg
+  | Ok _ -> Alcotest.fail "expected an error, got Ok"
+
+(* --- JSON round-trips -------------------------------------------------- *)
+
+(* Every optional field populated; floats are powers of two so the 9-digit
+   file printer reproduces them exactly. *)
+let full_scenario =
+  {
+    (Scenario.make ~plant:"linear_2d" ()) with
+    Scenario.name = Some "full";
+    description = Some "all fields populated";
+    params = [ ("a11", -0.5); ("a22", -2.0) ];
+    controller = Scenario.Width 4;
+    x0 = Some [| (-0.25, 0.25); (-0.5, 0.5) |];
+    safe = Some [| (-2.0, 2.0); (-3.0, 3.0) |];
+    gamma = Some 0.125;
+    delta = Some 0.0625;
+    n_seed = Some 12;
+    sim_dt = Some 0.25;
+    sim_steps = Some 100;
+    lie = Some true;
+    linear_terms = Some false;
+    jobs = Some 3;
+    scheduler = Some Solver.Static_split;
+    lp_engine = Some Lp.Tableau;
+    max_branches = Some 5000;
+    expectation = Some Scenario.Should_fail;
+  }
+
+let test_json_roundtrip () =
+  let back = ok_or_fail (Scenario.of_json (Scenario.to_json full_scenario)) in
+  Alcotest.(check bool) "full scenario survives to_json/of_json" true (back = full_scenario);
+  let minimal = Scenario.make ~plant:"duffing" () in
+  let back = ok_or_fail (Scenario.of_json (Scenario.to_json minimal)) in
+  Alcotest.(check bool) "minimal scenario survives to_json/of_json" true (back = minimal)
+
+let test_file_roundtrip () =
+  let path = fresh_path "full.scn" in
+  Scenario.save path full_scenario;
+  let back = ok_or_fail (Scenario.load path) in
+  Alcotest.(check bool) "file round-trip" true (back = full_scenario)
+
+(* --- loader error messages (exact) ------------------------------------- *)
+
+let obj fields = Obs.Json.Obj fields
+
+let test_parse_errors () =
+  let check msg json want =
+    Alcotest.(check string) msg want (error_of (Scenario.of_json json))
+  in
+  check "not an object" (Obs.Json.String "x") "scenario: document must be a JSON object";
+  check "missing plant" (obj []) "scenario: missing required field \"plant\"";
+  check "plant wrong type"
+    (obj [ ("plant", Obs.Json.Int 3) ])
+    "scenario: field \"plant\" has the wrong type (expected string)";
+  check "unknown field"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("bogus", Obs.Json.Int 1) ])
+    "scenario: unknown field \"bogus\"";
+  check "gamma wrong type"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("gamma", Obs.Json.String "tiny") ])
+    "scenario: field \"gamma\" has the wrong type (expected number)";
+  check "params not an object"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("params", Obs.Json.List []) ])
+    "scenario: field \"params\" must be an object of numbers";
+  check "param not a number"
+    (obj
+       [
+         ("plant", Obs.Json.String "duffing");
+         ("params", obj [ ("alpha", Obs.Json.String "one") ]);
+       ])
+    "scenario: parameter \"alpha\" must be a number";
+  check "controller gibberish"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("controller", Obs.Json.String "magic") ])
+    "scenario: field \"controller\" must be \"builtin\", \"zero\", {\"width\": N}, or {\"path\": \
+     FILE}";
+  check "rect malformed"
+    (obj
+       [
+         ("plant", Obs.Json.String "duffing");
+         ("x0", Obs.Json.List [ Obs.Json.List [ Obs.Json.Float 0.0 ] ]);
+       ])
+    "scenario: field \"x0\" must be a list of [lo, hi] number pairs";
+  check "scheduler misspelled"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("scheduler", Obs.Json.String "work") ])
+    "scenario: field \"scheduler\" must be \"static\" or \"stealing\"";
+  check "lp_engine misspelled"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("lp_engine", Obs.Json.String "simplex") ])
+    "scenario: field \"lp_engine\" must be \"tableau\" or \"revised\"";
+  check "expectation misspelled"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("expectation", Obs.Json.String "proves") ])
+    "scenario: field \"expectation\" must be \"should_prove\" or \"should_fail\""
+
+let test_elaborate_errors () =
+  let check msg scenario want =
+    Alcotest.(check string) msg want (error_of (Registry.elaborate scenario))
+  in
+  check "unknown plant"
+    (Scenario.make ~plant:"segway" ())
+    "scenario: unknown plant \"segway\"";
+  check "unknown parameter"
+    { (Scenario.make ~plant:"linear_2d" ()) with Scenario.params = [ ("zz", 1.0) ] }
+    "plant linear_2d: unknown parameter \"zz\" (known: a11, a12, a21, a22)";
+  check "x0 arity mismatch"
+    {
+      (Scenario.make ~plant:"duffing" ()) with
+      Scenario.x0 = Some [| (0.0, 1.0); (0.0, 1.0); (0.0, 1.0) |];
+    }
+    "scenario: field \"x0\" has 3 intervals but plant duffing has 2 state variables";
+  check "width on a plant without a family"
+    { (Scenario.make ~plant:"pendulum" ()) with Scenario.controller = Scenario.Width 4 }
+    "plant pendulum has no width-parameterized controller family";
+  (* A controller network with the wrong shape is an elaboration error that
+     names the mismatch, not a crash. *)
+  let bad_net = Case_study.controller_of_width 4 in
+  let poly_3d = Option.get (Registry.find_plant "poly_3d") in
+  Alcotest.(check string) "arity-mismatched network"
+    "plant poly_3d: controller network takes 2 inputs but the plant has 3 state variables"
+    (error_of (Plant.close poly_3d (Plant.Network bad_net)));
+  let missing =
+    error_of
+      (Registry.elaborate
+         {
+           (Scenario.make ~plant:"duffing" ()) with
+           Scenario.controller = Scenario.File (fresh_path "does-not-exist.nn");
+         })
+  in
+  Alcotest.(check bool) "missing controller file names the loader" true
+    (String.length missing >= 25 && String.sub missing 0 25 = "scenario: controller file")
+
+(* --- elaboration precedence -------------------------------------------- *)
+
+let test_override_precedence () =
+  let plant = Option.get (Registry.find_plant "duffing") in
+  let base =
+    {
+      Engine.default_config with
+      Engine.n_seed = 11;
+      smt = { Engine.default_config.Engine.smt with Solver.delta = 0.5 };
+    }
+  in
+  (* Nothing overridden: rectangles and gamma come from the plant, the rest
+     from base. *)
+  let e =
+    ok_or_fail
+      (Scenario.elaborate ~plants:Registry.find_plant ~base (Scenario.make ~plant:"duffing" ()))
+  in
+  Alcotest.(check bool) "x0 from plant" true
+    (e.Scenario.config.Engine.x0_rect = plant.Plant.default_x0);
+  Alcotest.(check (float 0.0)) "gamma from plant" plant.Plant.default_gamma
+    e.Scenario.config.Engine.gamma;
+  Alcotest.(check int) "n_seed from base" 11 e.Scenario.config.Engine.n_seed;
+  Alcotest.(check (float 0.0)) "delta from base" 0.5 e.Scenario.config.Engine.smt.Solver.delta;
+  (* Scenario fields beat both. *)
+  let overridden =
+    {
+      (Scenario.make ~plant:"duffing" ()) with
+      Scenario.x0 = Some [| (-0.1, 0.1); (-0.1, 0.1) |];
+      gamma = Some 0.25;
+      delta = Some 0.125;
+      n_seed = Some 33;
+      jobs = Some 4;
+      scheduler = Some Solver.Static_split;
+      lie = Some true;
+      linear_terms = Some true;
+      lp_engine = Some Lp.Tableau;
+      max_branches = Some 777;
+    }
+  in
+  let e = ok_or_fail (Scenario.elaborate ~plants:Registry.find_plant ~base overridden) in
+  let c = e.Scenario.config in
+  Alcotest.(check bool) "x0 overridden" true (c.Engine.x0_rect = [| (-0.1, 0.1); (-0.1, 0.1) |]);
+  Alcotest.(check bool) "safe still from plant" true
+    (c.Engine.safe_rect = plant.Plant.default_safe);
+  Alcotest.(check (float 0.0)) "gamma overridden" 0.25 c.Engine.gamma;
+  Alcotest.(check (float 0.0)) "delta overridden" 0.125 c.Engine.smt.Solver.delta;
+  Alcotest.(check int) "n_seed overridden" 33 c.Engine.n_seed;
+  Alcotest.(check int) "jobs: engine" 4 c.Engine.jobs;
+  Alcotest.(check int) "jobs: solver" 4 c.Engine.smt.Solver.jobs;
+  Alcotest.(check bool) "scheduler overridden" true
+    (c.Engine.smt.Solver.scheduler = Solver.Static_split);
+  Alcotest.(check bool) "lie mode" true
+    (c.Engine.synthesis.Synthesis.mode = Synthesis.Lie_derivative);
+  Alcotest.(check bool) "template escalated" true
+    (c.Engine.template_kind = Template.Quadratic_linear);
+  Alcotest.(check bool) "lp engine overridden" true
+    (c.Engine.synthesis.Synthesis.lp_engine = Lp.Tableau);
+  Alcotest.(check int) "max_branches overridden" 777 c.Engine.smt.Solver.max_branches
+
+let test_re_emit_idempotent () =
+  let e = ok_or_fail (Registry.elaborate (Scenario.make ~plant:"van_der_pol_reversed" ())) in
+  let emitted = Scenario.re_emit e in
+  Alcotest.(check bool) "params made explicit" true (emitted.Scenario.params = [ ("mu", 1.0) ]);
+  let e2 = ok_or_fail (Registry.elaborate emitted) in
+  Alcotest.(check bool) "re_emit is idempotent" true (Scenario.re_emit e2 = emitted)
+
+(* --- registry invariants ----------------------------------------------- *)
+
+let test_registry_invariants () =
+  let plants = Registry.plants () in
+  let names = List.map (fun p -> p.Plant.name) plants in
+  Alcotest.(check bool) "plant names unique" true
+    (List.sort_uniq compare names = List.sort compare names);
+  List.iter
+    (fun (p : Plant.t) ->
+      let closed = ok_or_fail (Plant.close p p.Plant.default_controller) in
+      let dim = Array.length p.Plant.vars in
+      Alcotest.(check int)
+        (p.Plant.name ^ ": symbolic field dimension")
+        dim
+        (Array.length closed.Plant.system.Engine.symbolic_field);
+      Alcotest.(check int)
+        (p.Plant.name ^ ": default x0 dimension")
+        dim
+        (Array.length p.Plant.default_x0);
+      Alcotest.(check int)
+        (p.Plant.name ^ ": default safe dimension")
+        dim
+        (Array.length p.Plant.default_safe);
+      (* The numeric and symbolic fields agree at the rectangle centre —
+         the deployed-equals-verified assumption, spot-checked. *)
+      let x = Array.map (fun (lo, hi) -> 0.5 *. (lo +. hi)) p.Plant.default_x0 in
+      let num = closed.Plant.system.Engine.numeric_field 0.0 x in
+      let env = Array.to_list (Array.mapi (fun i v -> (v, x.(i))) p.Plant.vars) in
+      Array.iteri
+        (fun i e ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s: numeric=symbolic dim %d" p.Plant.name i)
+            (Expr.eval_env env e) num.(i))
+        closed.Plant.system.Engine.symbolic_field)
+    plants;
+  List.iter
+    (fun (entry : Registry.entry) ->
+      match Registry.elaborate entry.Registry.scenario with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (entry.Registry.name ^ ": " ^ msg))
+    (Registry.scenarios ())
+
+(* Distinct plants and distinct parameterizations must never collide in the
+   fingerprint space — the cache-isolation precondition. *)
+let test_plant_identities_distinct () =
+  let ids =
+    List.map
+      (fun (p : Plant.t) -> Artifact.hash_plant (Plant.identity p ~params:p.Plant.params))
+      (Registry.plants ())
+  in
+  Alcotest.(check bool) "plant hashes pairwise distinct" true
+    (List.sort_uniq compare ids = List.sort compare ids);
+  let linear = Option.get (Registry.find_plant "linear_2d") in
+  let default_id = Plant.identity linear ~params:linear.Plant.params in
+  let saddle_params = [ ("a11", 1.0); ("a12", 0.0); ("a21", 0.0); ("a22", -1.0) ] in
+  let saddle_id = Plant.identity linear ~params:saddle_params in
+  Alcotest.(check bool) "same plant, different parameters, different hash" false
+    (Artifact.hash_plant default_id = Artifact.hash_plant saddle_id);
+  (* Parameter order must not matter: the hash sorts keys. *)
+  let shuffled = Plant.identity linear ~params:(List.rev saddle_params) in
+  Alcotest.(check string) "param order irrelevant" (Artifact.hash_plant saddle_id)
+    (Artifact.hash_plant shuffled)
+
+(* --- benchmark shim ----------------------------------------------------- *)
+
+let test_benchmark_shim () =
+  Alcotest.(check (list string)) "same five benchmarks, same order"
+    [
+      "damped-pendulum";
+      "undamped-pendulum";
+      "linear-stable";
+      "linear-saddle";
+      "van-der-pol-reversed";
+    ]
+    (List.map (fun b -> b.Benchmark_systems.name) Benchmark_systems.all);
+  (* The undamped pendulum must fold back to the historical closed form:
+     zero damping and zero torque leave [θ̇ = ω, ω̇ = −sin θ] exactly. *)
+  let theta = Expr.var "theta" and omega = Expr.var "omega" in
+  let old_field = [| omega; Expr.neg (Expr.sin theta) |] in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check string)
+        (Printf.sprintf "undamped field dim %d" i)
+        (Expr.to_string old_field.(i))
+        (Expr.to_string e))
+    Benchmark_systems.undamped_pendulum.Benchmark_systems.system.Engine.symbolic_field;
+  Alcotest.(check int) "benchmark configs keep n_seed = 30" 30
+    Benchmark_systems.damped_pendulum.Benchmark_systems.config.Engine.n_seed
+
+(* --- dubins parity with the legacy pipeline ---------------------------- *)
+
+let dubins_closed net =
+  let plant = Option.get (Registry.find_plant "dubins_error") in
+  ok_or_fail (Plant.close plant (Plant.Network net))
+
+(* Same Expr DAG fingerprint: the registry plant builds its symbolic field
+   through the same constructors as Case_study, so the dynamics hash — the
+   string the cert cache keys on — must be identical. *)
+let test_dubins_symbolic_parity () =
+  List.iter
+    (fun width ->
+      let net =
+        if width = 2 then Case_study.reference_controller
+        else Case_study.controller_of_width width
+      in
+      let legacy = Case_study.system_of_network net in
+      let registry = (dubins_closed net).Plant.system in
+      Alcotest.(check string)
+        (Printf.sprintf "dynamics hash, width %d" width)
+        (Artifact.hash_dynamics legacy)
+        (Artifact.hash_dynamics registry);
+      Alcotest.(check bool) "variable names" true (legacy.Engine.vars = registry.Engine.vars))
+    [ 2; 4; 10 ]
+
+(* Bit-identical numeric fields at arbitrary states: qcheck over the safe
+   rectangle (and beyond), exact float equality. *)
+let prop_dubins_numeric_parity =
+  QCheck.Test.make ~name:"dubins numeric field is bit-identical to Case_study" ~count:300
+    QCheck.(triple (int_range 1 5) (float_range (-6.0) 6.0) (float_range (-1.5) 1.5))
+    (fun (half_width, derr, theta_err) ->
+      let net = Case_study.controller_of_width (2 * half_width) in
+      let legacy = Case_study.system_of_network net in
+      let registry = (dubins_closed net).Plant.system in
+      let x = [| derr; theta_err |] in
+      let a = legacy.Engine.numeric_field 0.0 x in
+      let b = registry.Engine.numeric_field 0.0 x in
+      Int64.equal (Int64.bits_of_float a.(0)) (Int64.bits_of_float b.(0))
+      && Int64.equal (Int64.bits_of_float a.(1)) (Int64.bits_of_float b.(1)))
+
+(* Full-pipeline parity: identical verdict, certificate, and traces for the
+   reference controller under the same rng. *)
+let test_dubins_verify_parity () =
+  let net = Case_study.reference_controller in
+  let legacy = Case_study.system_of_network net in
+  let registry = (dubins_closed net).Plant.system in
+  let run system = Engine.verify ~rng:(Rng.create 7) system in
+  let a = run legacy and b = run registry in
+  (match (a.Engine.outcome, b.Engine.outcome) with
+  | Engine.Proved ca, Engine.Proved cb ->
+    Alcotest.(check bool) "identical coefficients" true (ca.Engine.coeffs = cb.Engine.coeffs);
+    Alcotest.(check (float 0.0)) "identical level" ca.Engine.level cb.Engine.level
+  | _ -> Alcotest.fail "dubins reference controller must prove on both paths");
+  Alcotest.(check int) "same trace count"
+    (List.length a.Engine.traces)
+    (List.length b.Engine.traces);
+  List.iter2
+    (fun (ta : Ode.trace) (tb : Ode.trace) ->
+      Alcotest.(check bool) "bit-identical trace" true (ta = tb))
+    a.Engine.traces b.Engine.traces
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "to_json/of_json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "save/load round-trip" `Quick test_file_roundtrip;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "parse errors name the field" `Quick test_parse_errors;
+          Alcotest.test_case "elaboration errors name the field" `Quick test_elaborate_errors;
+        ] );
+      ( "elaborate",
+        [
+          Alcotest.test_case "override precedence" `Quick test_override_precedence;
+          Alcotest.test_case "re_emit idempotent" `Quick test_re_emit_idempotent;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "invariants over all plants" `Quick test_registry_invariants;
+          Alcotest.test_case "plant identities distinct" `Quick test_plant_identities_distinct;
+          Alcotest.test_case "benchmark shim preserved" `Quick test_benchmark_shim;
+        ] );
+      ( "dubins-parity",
+        [
+          Alcotest.test_case "symbolic DAG fingerprint" `Quick test_dubins_symbolic_parity;
+          QCheck_alcotest.to_alcotest prop_dubins_numeric_parity;
+          Alcotest.test_case "verify pipeline parity" `Quick test_dubins_verify_parity;
+        ] );
+    ]

@@ -521,17 +521,24 @@ let test_daemon_drain_timeboxes_stragglers () =
 
 let test_daemon_fault_mix_zero_exits () =
   let crash = Faults.raising_oracle (Failure "boom") (fun _ -> ("ok", [])) in
+  (* Requests that name a plant go through the real handler, whose
+     request-level rejections ("invalid", never a crash) join the mix; the
+     bad-plant requests below are all rejected before any verification
+     runs, so the mix stays fast and deterministic. *)
+  let real = Serve_handler.make () in
   let handler ~budget (p : Protocol.verify_params) =
-    match p.Protocol.network_path with
-    | Some "crash" -> crash p
-    | _ ->
-      if p.Protocol.timeout <> None then begin
-        while not (Budget.expired budget) do
-          Unix.sleepf 0.005
-        done;
-        ("timeout", [ ("reason", Obs.Json.String "deadline exceeded") ])
-      end
-      else ("ok", [ ("source", Obs.Json.String "cold") ])
+    if p.Protocol.plant <> None then real ~budget p
+    else
+      match p.Protocol.network_path with
+      | Some "crash" -> crash p
+      | _ ->
+        if p.Protocol.timeout <> None then begin
+          while not (Budget.expired budget) do
+            Unix.sleepf 0.005
+          done;
+          ("timeout", [ ("reason", Obs.Json.String "deadline exceeded") ])
+        end
+        else ("ok", [ ("source", Obs.Json.String "cold") ])
   in
   let responses, stats, cfg =
     with_daemon ~max_line_bytes:1024 handler (fun sock _ ->
@@ -543,28 +550,46 @@ let test_daemon_fault_mix_zero_exits () =
         send_line c (Protocol.verify_line ~id:"h1" ());
         send_line c (Faults.malformed_json_line ());
         send_line c (Protocol.verify_line ~id:"x1" ~network_path:"crash" ());
+        send_line c (Protocol.verify_line ~id:"b1" ~plant:"warp_drive" ());
         send_line c (Protocol.verify_line ~id:"h2" ());
         send_line c (Faults.oversized_line ~target_bytes:4096);
         send_line c (Protocol.verify_line ~id:"x2" ~network_path:"crash" ());
+        send_line c
+          (Protocol.verify_line ~id:"b2" ~plant:"poly_3d"
+             ~network_path:"../data/trained_nh10.nn" ());
         send_line c (Protocol.verify_line ~id:"slow" ~timeout:0.05 ());
         send_line c (Protocol.verify_line ~id:"h3" ());
-        let rs = recv_n c 8 in
+        let rs = recv_n c 10 in
         disconnect c;
         rs)
   in
   (* Every complete line got exactly one structured response. *)
   Alcotest.(check (list string))
     "statuses of the whole mix"
-    [ "error"; "error"; "invalid"; "invalid"; "ok"; "ok"; "ok"; "timeout" ]
+    [
+      "error"; "error"; "invalid"; "invalid"; "invalid"; "invalid"; "ok"; "ok"; "ok"; "timeout";
+    ]
     (sorted_statuses responses);
   check_ids "every identifiable request answered under its id"
-    [ "h1"; "h2"; "h3"; "slow"; "x1"; "x2" ]
+    [ "b1"; "b2"; "h1"; "h2"; "h3"; "slow"; "x1"; "x2" ]
     responses;
+  (* The bad-plant rejections are structured: each names the offending
+     request field. *)
+  let field_of id =
+    match List.find_opt (fun r -> rid r = Some id) responses with
+    | None -> Alcotest.failf "no response for %s" id
+    | Some r -> (
+      match Obs.Json.member "field" r with
+      | Some (Obs.Json.String f) -> f
+      | _ -> Alcotest.failf "%s: invalid response without a field name" id)
+  in
+  Alcotest.(check string) "unknown plant names the plant field" "plant" (field_of "b1");
+  Alcotest.(check string) "arity mismatch names the network field" "network" (field_of "b2");
   let c = stats.Daemon.counts in
-  Alcotest.(check int) "received counts every complete line" 8 c.Daemon.received;
+  Alcotest.(check int) "received counts every complete line" 10 c.Daemon.received;
   Alcotest.(check int) "ok" 3 c.Daemon.ok;
   Alcotest.(check int) "errors isolated" 2 c.Daemon.errors;
-  Alcotest.(check int) "invalid" 2 c.Daemon.invalid;
+  Alcotest.(check int) "invalid" 4 c.Daemon.invalid;
   Alcotest.(check int) "timeout" 1 c.Daemon.timed_out;
   Alcotest.(check int) "nothing shed" 0 c.Daemon.shed;
   (* The daemon reached drain and returned stats: zero daemon exits.  Its
@@ -578,7 +603,7 @@ let test_daemon_fault_mix_zero_exits () =
     | Some m -> Obs.Json.member key m
     | None -> None
   in
-  Alcotest.(check (option (float 0.0))) "report received" (Some 8.0)
+  Alcotest.(check (option (float 0.0))) "report received" (Some 10.0)
     (Option.bind (meta "received") Obs.Json.number);
   (match meta "drain" with
   | Some (Obs.Json.String "clean") -> ()
@@ -616,6 +641,47 @@ let test_daemon_real_handler_cache_hit () =
   Alcotest.(check int) "hit tallied" 1 stats.Daemon.counts.Daemon.cache_hits;
   Alcotest.(check int) "miss tallied" 1 stats.Daemon.counts.Daemon.cache_misses
 
+(* Plant- and scenario-addressed requests against the real handler: a named
+   registry plant verifies under its bundled controller and reports its
+   name back; a scenario file is a complete problem statement; a request
+   naming a missing scenario file is a structured rejection. *)
+let test_daemon_real_handler_plants () =
+  let store = fresh_dir () in
+  let scn_path = Filename.concat (fresh_dir ()) "linear.scn" in
+  Scenario.save scn_path (Scenario.make ~plant:"linear_2d" ());
+  let responses, stats, _ =
+    with_daemon ~workers:1 (Serve_handler.make ~store ()) (fun sock _ ->
+        let c = connect sock in
+        send_line c (Protocol.verify_line ~id:"duff" ~plant:"duffing" ());
+        send_line c (Protocol.verify_line ~id:"scn" ~scenario_path:scn_path ());
+        send_line c (Protocol.verify_line ~id:"gone" ~scenario_path:"/nonexistent.scn" ());
+        let rs = recv_n c 3 in
+        disconnect c;
+        rs)
+  in
+  let by_id id =
+    match List.find_opt (fun r -> rid r = Some id) responses with
+    | Some r -> r
+    | None -> Alcotest.failf "no response for %s" id
+  in
+  let plant_of r =
+    match Obs.Json.member "plant" r with
+    | Some (Obs.Json.String p) -> p
+    | _ -> Alcotest.failf "response without a plant field: %s" (Obs.Json.to_string r)
+  in
+  let duff = by_id "duff" in
+  Alcotest.(check string) "plant request proves" "ok" (status duff);
+  Alcotest.(check string) "response names the plant" "duffing" (plant_of duff);
+  let scn = by_id "scn" in
+  Alcotest.(check string) "scenario request proves" "ok" (status scn);
+  Alcotest.(check string) "scenario response names its plant" "linear_2d" (plant_of scn);
+  let gone = by_id "gone" in
+  Alcotest.(check string) "missing scenario rejected" "invalid" (status gone);
+  (match Obs.Json.member "field" gone with
+  | Some (Obs.Json.String "scenario") -> ()
+  | _ -> Alcotest.fail "missing scenario must name the scenario field");
+  Alcotest.(check int) "no crashes" 0 stats.Daemon.counts.Daemon.errors
+
 (* --- run --------------------------------------------------------------- *)
 
 let () =
@@ -652,5 +718,7 @@ let () =
           Alcotest.test_case "fault mix, zero daemon exits" `Quick
             test_daemon_fault_mix_zero_exits;
           Alcotest.test_case "real handler cache hit" `Quick test_daemon_real_handler_cache_hit;
+          Alcotest.test_case "real handler plants and scenarios" `Quick
+            test_daemon_real_handler_plants;
         ] );
     ]
