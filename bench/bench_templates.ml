@@ -1,0 +1,156 @@
+(* Template-ladder benchmark: the registry's "boxy" separation problem
+   (X0 = [-0.8, 0.8]² nearly filling the safe square [-1, 1]² on the
+   poly_2d plant) verified under each template kind, emitting
+   machine-readable BENCH_templates.json.
+
+   Reported per kind: wall clock, verdict (and whether a failure was
+   structural — a verdict about the problem, not a timeout), template
+   dimension, seed-trace LP rows, LP pivots and calls, and condition-(5)
+   branch-and-prune boxes.
+
+   The run doubles as the expressiveness gate for CI: the quadratic
+   template must fail STRUCTURALLY on the boxy problem (no ellipsoid fits
+   between the X0 corners and the square's faces) while poly:4 must prove
+   it.  Exit 1 when either side of the gate regresses.
+
+   Usage: bench_templates [--jobs N] [--out FILE] *)
+
+let gate_scenario = "poly-2d-boxy"
+
+let kinds =
+  [ Template.Quadratic; Template.Quadratic_linear; Template.Poly 3; Template.Poly 4 ]
+
+let parse_args () =
+  let jobs = ref 1 and out = ref "BENCH_templates.json" in
+  let rec go = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      go rest
+    | "--out" :: path :: rest ->
+      out := path;
+      go rest
+    | arg :: _ ->
+      Format.eprintf "bench_templates: unknown argument %s@." arg;
+      exit 1
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!jobs, !out)
+
+type row = {
+  kind : string;
+  dim : int;  (** template dimension: number of LP coefficient columns *)
+  wall_s : float;
+  verdict : string;
+  structural : bool;  (** a failure verdict about the problem, not a timeout *)
+  lp_rows : int;  (** rows the seed traces generate (pre-CEGIS-cut) *)
+  lp_pivots : int;
+  lp_calls : int;
+  smt5_branches : int;
+}
+
+let lp_pivots_counter = Obs.Metrics.counter "lp.pivots"
+
+let run_one ~jobs kind =
+  let entry =
+    match Registry.find_scenario gate_scenario with
+    | Some e -> e
+    | None ->
+      Format.eprintf "bench_templates: registry scenario %s missing@." gate_scenario;
+      exit 1
+  in
+  let scenario =
+    {
+      entry.Registry.scenario with
+      Scenario.template = Some kind;
+      expectation = None;
+      jobs = Some jobs;
+    }
+  in
+  match Registry.elaborate scenario with
+  | Error reason ->
+    Format.eprintf "bench_templates: %s@." reason;
+    exit 1
+  | Ok elaborated ->
+    let config = elaborated.Scenario.config in
+    let system = elaborated.Scenario.closed.Plant.system in
+    let pivots_before = Obs.Metrics.value lp_pivots_counter in
+    let t0 = Unix.gettimeofday () in
+    let report = Engine.verify ~config ~rng:(Rng.create 7) system in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let verdict, structural =
+      match report.Engine.outcome with
+      | Engine.Proved _ -> ("proved", true)
+      | Engine.Failed (Engine.Timeout _ | Engine.Seed_shortfall _) -> ("failed", false)
+      | Engine.Failed _ -> ("failed", true)
+    in
+    let template = Template.make kind system.Engine.vars in
+    let lp_rows =
+      Synthesis.count_rows ~options:config.Engine.synthesis ~template report.Engine.traces
+    in
+    {
+      kind = Template.kind_to_string kind;
+      dim = Template.dimension template;
+      wall_s;
+      verdict;
+      structural;
+      lp_rows;
+      lp_pivots = Obs.Metrics.value lp_pivots_counter - pivots_before;
+      lp_calls = report.Engine.stats.Engine.lp_calls;
+      smt5_branches = report.Engine.stats.Engine.smt5_branches;
+    }
+
+let emit out jobs rows ~gate_ok ~quadratic_fails ~poly4_proves =
+  let oc = open_out out in
+  let row_json r =
+    Printf.sprintf
+      "    {\"template\": %S, \"dim\": %d, \"wall_s\": %.6f, \"verdict\": %S, \
+       \"structural\": %b, \"lp_rows\": %d, \"lp_pivots\": %d, \"lp_calls\": %d, \
+       \"smt5_branches\": %d}"
+      r.kind r.dim r.wall_s r.verdict r.structural r.lp_rows r.lp_pivots r.lp_calls
+      r.smt5_branches
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"templates\",\n\
+    \  \"scenario\": %S,\n\
+    \  \"jobs\": %d,\n\
+    \  \"gate\": {\"quadratic_fails_structurally\": %b, \"poly4_proves\": %b, \"ok\": %b},\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    gate_scenario jobs quadratic_fails poly4_proves gate_ok
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc
+
+let () =
+  let jobs, out = parse_args () in
+  Obs.Metrics.enable ();
+  let rows =
+    List.map
+      (fun kind ->
+        let r = run_one ~jobs kind in
+        Format.printf "%-18s dim %3d  %8.3fs  %s%s  (%d rows, %d pivots, %d branches)@." r.kind
+          r.dim r.wall_s r.verdict
+          (if r.verdict = "failed" && not r.structural then " (non-structural)" else "")
+          r.lp_rows r.lp_pivots r.smt5_branches;
+        r)
+      kinds
+  in
+  let find k = List.find (fun r -> r.kind = Template.kind_to_string k) rows in
+  let quadratic_fails =
+    let r = find Template.Quadratic in
+    r.verdict = "failed" && r.structural
+  in
+  let poly4_proves = (find (Template.Poly 4)).verdict = "proved" in
+  let gate_ok = quadratic_fails && poly4_proves in
+  emit out jobs rows ~gate_ok ~quadratic_fails ~poly4_proves;
+  Format.printf "wrote %s@." out;
+  if not gate_ok then begin
+    Format.eprintf
+      "bench_templates: expressiveness gate REGRESSED (quadratic fails structurally: %b, \
+       poly:4 proves: %b)@."
+      quadratic_fails poly4_proves;
+    exit 1
+  end

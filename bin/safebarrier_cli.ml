@@ -87,6 +87,20 @@ let linear_template_arg =
   let doc = "Add linear terms to the quadratic generator template." in
   Arg.(value & flag & info [ "linear-terms" ] ~doc)
 
+let template_conv =
+  let parse s =
+    match Template.kind_of_string s with Ok k -> Ok k | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Template.kind_to_string k))
+
+let template_arg =
+  let doc =
+    "Generator template kind: $(b,quadratic), $(b,quadratic_linear), or $(b,poly:<d>) (all \
+     monomials of total degree at most $(i,d), $(i,d) >= 2).  Takes precedence over \
+     --linear-terms; a scenario file's $(b,template) field still overrides both."
+  in
+  Arg.(value & opt (some template_conv) None & info [ "template" ] ~docv:"KIND" ~doc)
+
 let lp_engine_arg =
   let doc =
     "Simplex engine for the synthesis LP: $(b,revised) (warm-started revised simplex, the \
@@ -173,7 +187,7 @@ let report_arg =
   in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
-let make_config ?(lp_engine = Lp.Revised) ?(scheduler = Solver.Work_stealing) ~lie
+let make_config ?(lp_engine = Lp.Revised) ?(scheduler = Solver.Work_stealing) ?template ~lie
     ~linear_terms ~gamma ~jobs () =
   let base = Engine.default_config in
   {
@@ -185,7 +199,10 @@ let make_config ?(lp_engine = Lp.Revised) ?(scheduler = Solver.Work_stealing) ~l
         Synthesis.mode = (if lie then Synthesis.Lie_derivative else Synthesis.Finite_difference);
         lp_engine;
       };
-    template_kind = (if linear_terms then Template.Quadratic_linear else Template.Quadratic);
+    template_kind =
+      (match template with
+      | Some k -> k
+      | None -> if linear_terms then Template.Quadratic_linear else Template.Quadratic);
     smt = { base.Engine.smt with Solver.jobs; scheduler };
     jobs;
   }
@@ -266,13 +283,13 @@ let resolve_problem ~scenario ~network ~width ~config =
     }
 
 let verify_cmd =
-  let run scenario width network seed lie linear_terms lp_engine gamma deadline restarts
-      seed_retry jobs scheduler store no_cache trace_file report_file =
+  let run scenario width network seed lie linear_terms template lp_engine gamma deadline
+      restarts seed_retry jobs scheduler store no_cache trace_file report_file =
     if trace_file <> None || report_file <> None then begin
       Obs.Trace.enable ();
       Obs.Metrics.enable ()
     end;
-    let cli_config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
+    let cli_config = make_config ~lp_engine ~scheduler ?template ~lie ~linear_terms ~gamma ~jobs () in
     let problem = resolve_problem ~scenario ~network ~width ~config:cli_config in
     let system = problem.system in
     let config = problem.config in
@@ -376,9 +393,9 @@ let verify_cmd =
     (Cmd.info "verify" ~doc)
     Term.(
       const run $ scenario_arg $ width_arg $ network_arg $ seed_arg $ lie_arg
-      $ linear_template_arg $ lp_engine_arg $ gamma_arg $ deadline_arg $ restarts_arg
-      $ seed_retry_arg $ jobs_arg $ scheduler_arg $ store_arg $ no_cache_arg $ trace_arg
-      $ report_arg)
+      $ linear_template_arg $ template_arg $ lp_engine_arg $ gamma_arg $ deadline_arg
+      $ restarts_arg $ seed_retry_arg $ jobs_arg $ scheduler_arg $ store_arg $ no_cache_arg
+      $ trace_arg $ report_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -387,8 +404,9 @@ let export_cmd =
     let doc = "Certificate store directory to export into." in
     Arg.(value & opt string "data/certs" & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run scenario width network seed lie linear_terms lp_engine gamma jobs scheduler store =
-    let cli_config = make_config ~lp_engine ~scheduler ~lie ~linear_terms ~gamma ~jobs () in
+  let run scenario width network seed lie linear_terms template lp_engine gamma jobs scheduler
+      store =
+    let cli_config = make_config ~lp_engine ~scheduler ?template ~lie ~linear_terms ~gamma ~jobs () in
     let problem = resolve_problem ~scenario ~network ~width ~config:cli_config in
     let rng = Rng.create seed in
     let result =
@@ -412,7 +430,8 @@ let export_cmd =
     (Cmd.info "export" ~doc)
     Term.(
       const run $ scenario_arg $ width_arg $ network_arg $ seed_arg $ lie_arg
-      $ linear_template_arg $ lp_engine_arg $ gamma_arg $ jobs_arg $ scheduler_arg $ store)
+      $ linear_template_arg $ template_arg $ lp_engine_arg $ gamma_arg $ jobs_arg
+      $ scheduler_arg $ store)
 
 (* --- check ------------------------------------------------------------ *)
 

@@ -301,6 +301,12 @@ let verify ?config ?(budget = Budget.unlimited) ~rng system =
      LP at the exact blocking geometry — the worst X0 vertex paired with
      the tangency point on the tightest unsafe face — and resynthesize. *)
   let blocking_cut coeffs =
+    if Template.degree (Template.kind template) > 2 then
+      (* The tangency geometry below is ellipsoid-specific (p_matrix only
+         sees the degree-2 part of a polynomial template): no shape cut —
+         the CEGIS counterexample cuts still refine the LP. *)
+      None
+    else begin
     let p = Template.p_matrix template coeffs in
     let w x = Template.w_eval template coeffs x in
     let worst_vertex =
@@ -331,6 +337,7 @@ let verify ?config ?(budget = Budget.unlimited) ~rng system =
         let tangency = Levelset.face_tangency ~p ~dim ~value in
         Some (tangency, vertex))
     | exception Lu.Singular -> None
+    end
   in
   let rec outer round =
     match Budget.check budget with

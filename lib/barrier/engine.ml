@@ -545,6 +545,14 @@ type attempt = { label : string; report : report }
 
 type resilient_report = { best : report; attempts : attempt list }
 
+(* One step up the template ladder: quadratic → quadratic+linear → the
+   degree-4 monomial basis (the first genuinely non-ellipsoidal rung); a
+   polynomial template is already the top and stays put. *)
+let escalate_template = function
+  | Template.Quadratic -> Template.Quadratic_linear
+  | Template.Quadratic_linear -> Template.Poly 4
+  | Template.Poly d -> Template.Poly d
+
 let escalation_rungs =
   [
     ("fresh seed traces", fun c -> c);
@@ -560,7 +568,10 @@ let escalation_rungs =
               Synthesis.subsample = max 1 (c.synthesis.Synthesis.subsample / 2);
             };
         } );
-    ("template escalated", fun c -> { c with template_kind = Template.Quadratic_linear });
+    (* Two template rungs so a run that starts quadratic can climb all the
+       way to poly-4 (rungs accumulate across attempts). *)
+    ("template escalated", fun c -> { c with template_kind = escalate_template c.template_kind });
+    ("template escalated", fun c -> { c with template_kind = escalate_template c.template_kind });
   ]
 
 (* How far through the pipeline an attempt got — used to pick the best
@@ -633,16 +644,9 @@ let dump_smt2 ?(config = default_config) system cert ~dir =
       (condition5_formula system config cert)
   in
   let p6 = write "condition6.smt2" (rect_bounds vars config.x0_rect) (condition6_formula cert) in
-  let p = Template.p_matrix cert.template cert.coeffs in
-  let center = Level_search.ellipsoid_center cert.template cert.coeffs p in
-  let w_center = Template.w_eval cert.template cert.coeffs center in
-  let bbox =
-    Levelset.ellipsoid_bounding_box ~p ~level:(Float.max (cert.level -. w_center) 0.0 +. 1e-9)
-  in
   let query_rect =
-    Array.mapi
-      (fun i (lo_i, hi_i) -> (center.(i) +. (1.01 *. lo_i) -. 1e-6, center.(i) +. (1.01 *. hi_i) +. 1e-6))
-      bbox
+    Level_search.condition7_query_rect cert.template cert.coeffs ~level:cert.level
+      ~unsafe_rect:config.safe_rect
   in
   let formula7 =
     Formula.and_

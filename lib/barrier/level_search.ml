@@ -49,21 +49,69 @@ let condition7 spec template coeffs level =
     ]
 
 (* Ellipsoid center: -P⁻¹b/2 for W = x'Px + b'x (zero for pure
-   quadratics). *)
+   quadratics).  Only degree-2 templates have one — [Poly 2] enumerates
+   exactly the Quadratic_linear basis, so it shares the analytic path,
+   while higher degrees have non-ellipsoidal sublevel sets (callers
+   dispatch on {!Template.degree}). *)
 let ellipsoid_center template coeffs p =
-  match Template.kind template with
-  | Template.Quadratic -> Vec.zeros (Array.length (Template.vars template))
-  | Template.Quadratic_linear ->
-    let n = Array.length (Template.vars template) in
-    let n_quad = Template.dimension template - n in
-    let b = Array.sub coeffs n_quad n in
-    Vec.scale (-0.5) (Lu.solve p b)
+  if Template.degree (Template.kind template) > 2 then
+    invalid_arg "Level_search.ellipsoid_center: degree > 2 templates have no ellipsoid center"
+  else
+    match Template.kind template with
+    | Template.Quadratic -> Vec.zeros (Array.length (Template.vars template))
+    | Template.Quadratic_linear | Template.Poly _ ->
+      (* Degree-2 layout: the quadratic block then the n linear terms. *)
+      let n = Array.length (Template.vars template) in
+      let n_quad = Template.dimension template - n in
+      let b = Array.sub coeffs n_quad n in
+      Vec.scale (-0.5) (Lu.solve p b)
+
+(* The bounded query box for a condition-(7) solve: where can
+   [W ≤ level ∧ strictly outside the unsafe-complement rectangle] hold?
+
+   - Degree-2 templates (the quadratic kinds and [Poly 2]): the sublevel
+     set is the ellipsoid [(x−c)ᵀP(x−c) ≤ level − W(c)]; its analytic
+     bounding box around the center, slightly inflated for soundness of
+     the query domain.  May raise [Levelset.Not_definite] (indefinite
+     quadratic part) or [Lu.Singular], exactly as the analytic range
+     computation.
+
+   - Degree > 2: the sublevel set has no analytic enclosure and may even
+     be unbounded, but a thin shell just outside the rectangle suffices:
+     by conditions (5)/(6) a trajectory keeps [W ≤ ℓ] while it stays
+     inside the closed safe rectangle, so any first violation of safety
+     happens AT a boundary crossing — a point on the rectangle's face with
+     [W ≤ ℓ].  Unsat on the shell refutes every such crossing point (the
+     shell contains all strictly-outside points within [eps] of the
+     faces), and points deeper outside are unreachable without first
+     crossing the shell.  Infinite bounds are clamped to the same ±1e12
+     box the membership atoms use (see [outside_unsafe]). *)
+let condition7_query_rect template coeffs ~level ~unsafe_rect =
+  if Template.degree (Template.kind template) <= 2 then begin
+    let p = Template.p_matrix template coeffs in
+    let center = ellipsoid_center template coeffs p in
+    let w_center = Template.w_eval template coeffs center in
+    let bbox =
+      Levelset.ellipsoid_bounding_box ~p ~level:(Float.max (level -. w_center) 0.0 +. 1e-9)
+    in
+    Array.mapi
+      (fun i (lo_i, hi_i) ->
+        (center.(i) +. (1.01 *. lo_i) -. 1e-6, center.(i) +. (1.01 *. hi_i) +. 1e-6))
+      bbox
+  end
+  else
+    Array.map
+      (fun (lo, hi) ->
+        let lo = if Float.is_finite lo then lo else -1e12
+        and hi = if Float.is_finite hi then hi else 1e12 in
+        let eps = Float.max 1e-6 (1e-3 *. (hi -. lo)) in
+        (lo -. eps, hi +. eps))
+      unsafe_rect
 
 let search ?(budget = Budget.unlimited) spec template coeffs =
   Obs.Trace.with_span "level_search.search" @@ fun () ->
   let iterations = ref 0 in
   let smt6_time = ref 0.0 and smt7_time = ref 0.0 in
-  let p = Template.p_matrix template coeffs in
   let w_of_point x = Template.w_eval template coeffs x in
   let finish level =
     {
@@ -74,18 +122,31 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
       smt7_time = !smt7_time;
     }
   in
-  match
-    let center = ellipsoid_center template coeffs p in
-    (center, Levelset.analytic_range_centered ~p ~center ~w_of_point ~x0_rect:spec.x0_rect
-               ~unsafe_complement_rect:spec.unsafe_rect)
-  with
-  | exception Levelset.Not_definite -> finish (Error Range_empty)
-  | exception Invalid_argument _ -> finish (Error Range_empty)
-  | exception Lu.Singular -> finish (Error Range_empty)
-  | center, { Levelset.l_min; l_max } ->
+  let range =
+    if Template.degree (Template.kind template) <= 2 then (
+      (* Ellipsoidal sublevel sets: the analytic range seeds the search. *)
+      match
+        let p = Template.p_matrix template coeffs in
+        let center = ellipsoid_center template coeffs p in
+        Levelset.analytic_range_centered ~p ~center ~w_of_point ~x0_rect:spec.x0_rect
+          ~unsafe_complement_rect:spec.unsafe_rect
+      with
+      | range -> Ok range
+      | exception Levelset.Not_definite -> Error Range_empty
+      | exception Invalid_argument _ -> Error Range_empty
+      | exception Lu.Singular -> Error Range_empty)
+    else
+      (* No ellipsoid to analyze: seed from the sampled heuristic range
+         (the SMT bisection below still gates both conditions). *)
+      Ok
+        (Levelset.sampled_range ~w_of_point ~x0_rect:spec.x0_rect
+           ~unsafe_complement_rect:spec.unsafe_rect)
+  in
+  match range with
+  | Error e -> finish (Error e)
+  | Ok { Levelset.l_min; l_max } ->
     if l_min >= l_max then finish (Error Range_empty)
     else begin
-      let w_center = w_of_point center in
       (* The bisection varies only the level constant, never the template
          shape, so both conditions are prepared ONCE with the level as a
          degenerate extra variable (bounds [level, level] per query) —
@@ -159,18 +220,10 @@ let search ?(budget = Budget.unlimited) spec template coeffs =
           | Solver.Delta_sat _ ->
             if hi -. level < 1e-12 then Error Budget_exhausted else refine level hi (iter + 1)
           | Solver.Unsat -> (
-            (* Solutions of W <= level live in the ellipsoid's bounding box
-               around its center; inflate slightly for soundness of the
-               query domain. *)
-            let bbox =
-              Levelset.ellipsoid_bounding_box ~p
-                ~level:(Float.max (level -. w_center) 0.0 +. 1e-9)
-            in
+            (* Bounded query domain for this level: the ellipsoid bounding
+               box for quadratic kinds, the boundary shell for Poly. *)
             let query_rect =
-              Array.mapi
-                (fun i (lo_i, hi_i) ->
-                  (center.(i) +. (1.01 *. lo_i) -. 1e-6, center.(i) +. (1.01 *. hi_i) +. 1e-6))
-                bbox
+              condition7_query_rect template coeffs ~level ~unsafe_rect:spec.unsafe_rect
             in
             match
               solve "condition7" smt7_time cond7_prep level

@@ -48,7 +48,30 @@ val condition7 : spec -> Template.t -> float array -> float -> Formula.t
 
 val ellipsoid_center : Template.t -> float array -> Mat.t -> Vec.t
 (** Center of the sublevel ellipsoids: [-P⁻¹b/2] for
-    [W = xᵀPx + bᵀx] (the origin for pure quadratics). *)
+    [W = xᵀPx + bᵀx] (the origin for pure quadratics).  Degree-2
+    templates only ([Poly 2] shares the Quadratic_linear layout) — raises
+    [Invalid_argument] when {!Template.degree} exceeds 2, where the
+    sublevel sets are not ellipsoids. *)
+
+val condition7_query_rect :
+  Template.t ->
+  float array ->
+  level:float ->
+  unsafe_rect:(float * float) array ->
+  (float * float) array
+(** The bounded query box a condition-(7) solve runs over, shared by the
+    bisection here, {!Checker.audit} and [Engine.dump_smt2].  For
+    degree-2 templates this is the slightly inflated analytic bounding box
+    of the sublevel ellipsoid (bit-identical to the historical
+    computation; may raise [Levelset.Not_definite] / [Lu.Singular] like
+    the analytic range).  For degrees above 2 — whose sublevel sets admit
+    no analytic enclosure and may be unbounded — it is a thin shell just
+    outside
+    [unsafe_rect]: conditions (5)/(6) keep [W ≤ ℓ] along any trajectory
+    while it remains in the closed rectangle, so a safety violation must
+    cross a face, and Unsat on the shell refutes every crossing point.
+    Infinite bounds are clamped to ±1e12, matching the membership
+    atoms. *)
 
 val search : ?budget:Budget.t -> spec -> Template.t -> float array -> result
 (** Run the analytic range computation and the SMT-checked refinement.

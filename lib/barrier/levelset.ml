@@ -69,6 +69,74 @@ let analytic_range_centered ~p ~center ~w_of_point ~x0_rect ~unsafe_complement_r
   in
   { l_min; l_max }
 
+(* Per-dimension sample coordinates over an interval; infinite bounds are
+   clamped to an X0-anchored range (same midpoint-inflation convention as
+   the synthesis separation grid). *)
+let sample_axis ?(points = 7) (lo, hi) (x0_lo, x0_hi) =
+  let clamp v fallback = if Float.is_finite v then v else fallback in
+  let mid = 0.5 *. (x0_lo +. x0_hi) in
+  let half = Float.max (0.5 *. (x0_hi -. x0_lo)) 0.5 in
+  let lo = clamp lo (mid -. (5.0 *. half)) and hi = clamp hi (mid +. (5.0 *. half)) in
+  if points <= 1 then [ 0.5 *. (lo +. hi) ]
+  else
+    List.init points (fun k ->
+        lo +. ((hi -. lo) *. float_of_int k /. float_of_int (points - 1)))
+
+let grid_of_rect ?points rect x0_rect =
+  let n = Array.length rect in
+  let rec go i acc =
+    if i = n then List.map (fun xs -> Array.of_list (List.rev xs)) acc
+    else
+      go (i + 1)
+        (List.concat_map
+           (fun xs -> List.map (fun v -> v :: xs) (sample_axis ?points rect.(i) x0_rect.(i)))
+           acc)
+  in
+  go 0 [ [] ]
+
+let sampled_range ~w_of_point ~x0_rect ~unsafe_complement_rect =
+  (* Heuristic seed interval for templates without ellipsoidal sublevel
+     sets, where no analytic range exists: l_min from a sample grid over
+     X0 (condition (6) needs the level to cover all of X0), l_max from
+     samples of the finite faces of the unsafe-complement rectangle
+     (condition (7) needs the sublevel set to stay clear of them).  Both
+     ends are sampled, not proved — the SMT-checked bisection in
+     {!Level_search} still gates both conditions, so an optimistic seed
+     range costs bisection iterations, never soundness. *)
+  let n = Array.length x0_rect in
+  let points = if n <= 2 then 9 else if n = 3 then 5 else 3 in
+  let l_min =
+    List.fold_left
+      (fun acc v -> Float.max acc (w_of_point v))
+      0.0
+      (rect_vertices x0_rect @ grid_of_rect ~points x0_rect x0_rect)
+  in
+  let face_min = ref infinity in
+  Array.iteri
+    (fun i (lo, hi) ->
+      List.iter
+        (fun face_val ->
+          if Float.is_finite face_val then begin
+            (* Sample the face x_i = face_val over the remaining dims. *)
+            let reduced =
+              Array.init n (fun j ->
+                  if j = i then (face_val, face_val) else unsafe_complement_rect.(j))
+            in
+            List.iter
+              (fun pt -> face_min := Float.min !face_min (w_of_point pt))
+              (grid_of_rect ~points reduced x0_rect)
+          end)
+        [ lo; hi ])
+    unsafe_complement_rect;
+  let l_max =
+    if Float.is_finite !face_min then !face_min
+    else
+      (* No finite unsafe face: condition (7) is vacuous, any level above
+         l_min works — give the bisection a finite interval to cut. *)
+      (4.0 *. Float.max 1.0 l_min) +. 1.0
+  in
+  { l_min; l_max }
+
 let ellipsoid_bounding_box ~p ~level =
   let p_inv = inverse_spd p in
   Array.init (Mat.rows p) (fun i ->

@@ -60,6 +60,23 @@ val analytic_range_centered :
     rectangle convention as {!analytic_range} applies:
     [unsafe_complement_rect] bounds the region whose complement is [U]. *)
 
+val sampled_range :
+  w_of_point:(float array -> float) ->
+  x0_rect:(float * float) array ->
+  unsafe_complement_rect:(float * float) array ->
+  range
+(** Heuristic level-range seed for templates whose sublevel sets are not
+    ellipsoids ([Template.Poly]), where neither {!analytic_range} nor
+    {!analytic_range_centered} applies: [l_min] is the maximum of [W] over
+    the X0 vertices and a sample grid, [l_max] the minimum of [W] over
+    sampled points of the finite faces of [unsafe_complement_rect]
+    (infinite dimensions are gridded over an inflated X0 range).  Both
+    ends are {e sampled}, not proved — the SMT-checked bisection in
+    {!Level_search} still gates conditions (6)/(7), so an optimistic seed
+    costs iterations, never soundness.  When the rectangle has no finite
+    face at all, a finite interval above [l_min] is returned so the
+    bisection has something to cut. *)
+
 val ellipsoid_bounding_box : p:Mat.t -> level:float -> (float * float) array
 (** Axis-aligned enclosure of [{xᵀPx ≤ ℓ}]: [|x_i| ≤ √(ℓ·(P⁻¹)_ii)]. *)
 

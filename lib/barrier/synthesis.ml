@@ -27,6 +27,14 @@ let excluded options x =
   match options.exclude_rect with
   | None -> false
   | Some rect ->
+    (* Arity must be validated before indexing: a rect longer than the
+       state would raise a bare [Index out of bounds] mid-synthesis, and a
+       shorter one would silently leave dimensions unconstrained —
+       excluding states the caller never asked to exclude. *)
+    if Array.length rect <> Array.length x then
+      invalid_arg
+        (Printf.sprintf "Synthesis.excluded: exclude_rect has %d dimensions but the state has %d"
+           (Array.length rect) (Array.length x));
     let inside = ref true in
     Array.iteri (fun i (lo, hi) -> if x.(i) < lo || x.(i) > hi then inside := false) rect;
     !inside
@@ -41,12 +49,17 @@ type outcome =
 
 let rho x = Vec.dot x x
 
-(* Iterate the retained (subsampled) indices of a trace. *)
+(* Iterate the retained (subsampled) indices of a trace.  The final state
+   is always retained even when the stride does not land on it: the trace
+   endpoint is often the deepest excursion, and dropping it would leave
+   the LP unconstrained exactly where W matters most. *)
 let retained_indices options tr =
   let n = Ode.trace_length tr in
   let step = max 1 options.subsample in
-  let rec collect acc i = if i >= n then List.rev acc else collect (i :: acc) (i + step) in
-  collect [] 0
+  let rec collect acc i = if i >= n then acc else collect (i :: acc) (i + step) in
+  let acc = collect [] 0 in
+  let acc = match acc with last :: _ when last <> n - 1 -> (n - 1) :: acc | _ -> acc in
+  List.rev acc
 
 let rows_of_trace options ~template ~field tr =
   let p = Template.dimension template in
@@ -101,6 +114,25 @@ let cex_row ~template ~field p x =
   row.(p) <- rho x;
   { Lp.coeffs = row; relation = Lp.Le; rhs = 0.0 }
 
+(* Sample each finitely-bounded boundary face on a grid per free dimension;
+   dimensions with infinite bounds (unconstrained by the unsafe set)
+   contribute no face and are gridded over the X0 range instead. *)
+let grid_range ~x0_rect ~safe_rect j =
+  let lo, hi = safe_rect.(j) in
+  if Float.is_finite lo && Float.is_finite hi then (lo, hi)
+  else begin
+    (* Unconstrained dimension: grid over an inflated X0 range (the
+       sublevel set's tangency points can sit well outside X0).
+       Inflation must be about the rect's midpoint, not the origin:
+       scaling the raw bounds maps an off-origin X0 like [2, 3] to
+       [10, 15] — a grid that excludes X0 entirely — and inverts
+       negative rects (lo > hi). *)
+    let x0_lo, x0_hi = x0_rect.(j) in
+    let mid = 0.5 *. (x0_lo +. x0_hi) in
+    let half = 0.5 *. (x0_hi -. x0_lo) in
+    (mid -. (5.0 *. half), mid +. (5.0 *. half))
+  end
+
 (* Shape rows: W(face sample) >= (1 + alpha) * W(x0 vertex) for every pair
    — hard multiplicative separation (tying it to the decrease margin m
    would make it vacuous, since m is orders of magnitude below the W
@@ -123,22 +155,8 @@ let separation_rows options ~template =
       end
     in
     let vertices = corners 0 [ [] ] in
-    (* Sample each finitely-bounded boundary face on a 3-point grid per
-       free dimension; dimensions with infinite bounds (unconstrained by
-       the unsafe set) contribute no face and are gridded over the X0
-       range instead. *)
-    let grid_range j =
-      let lo, hi = safe_rect.(j) in
-      if Float.is_finite lo && Float.is_finite hi then (lo, hi)
-      else begin
-        (* Unconstrained dimension: grid over an inflated X0 range (the
-           sublevel set's tangency points can sit well outside X0). *)
-        let x0_lo, x0_hi = x0_rect.(j) in
-        (5.0 *. x0_lo, 5.0 *. x0_hi)
-      end
-    in
     let grid_points j =
-      let lo, hi = grid_range j in
+      let lo, hi = grid_range ~x0_rect ~safe_rect j in
       [ lo; 0.5 *. (lo +. hi) -. (0.25 *. (hi -. lo)); 0.5 *. (lo +. hi);
         0.5 *. (lo +. hi) +. (0.25 *. (hi -. lo)); hi ]
     in

@@ -90,6 +90,20 @@ val synthesize :
 val count_rows : ?options:options -> template:Template.t -> Ode.trace list -> int
 (** Number of LP rows the traces would generate (diagnostics). *)
 
+val retained_indices : options -> Ode.trace -> int list
+(** The subsampled trace indices the row generator keeps, in order.  The
+    final index is always retained even when the stride does not land on
+    it: the trace endpoint is often the deepest excursion, and dropping it
+    would leave the LP unconstrained exactly where W matters most.
+    Exposed for diagnostics and regression tests. *)
+
+val grid_range : x0_rect:(float * float) array -> safe_rect:(float * float) array -> int -> float * float
+(** The sampling interval the separation rows grid dimension [j] over: the
+    safe-rect bounds when finite, otherwise the X0 range inflated 5× about
+    its {e midpoint} (never about the origin — that would map an off-origin
+    X0 outside its own grid).  Exposed for diagnostics and regression
+    tests. *)
+
 (** Incremental synthesis for the CEGIS loop: assemble the LP once from
     the seed traces, then append each refinement (counterexample cut, its
     simulated trace, shape cuts) and re-[solve].  With

@@ -1,33 +1,83 @@
-type kind = Quadratic | Quadratic_linear
+type kind = Quadratic | Quadratic_linear | Poly of int
 
 type t = {
   kind : kind;
   vars : string array;
   basis : Expr.t array;
-  (* For each quadratic basis entry, the (i, j) variable pair it multiplies;
-     linear entries are tagged with their variable index. *)
-  quad_pairs : (int * int) array;
+  (* One row per basis entry: the variable indices of the monomial's
+     factors, in non-decreasing order — [|i; j|] is x_i·x_j, [|i|] is x_i.
+     Every evaluator below (numeric basis, Lie derivative, symbolic
+     one-step difference, quadratic part) is generated from this one
+     table, so all template kinds share a single code path. *)
+  slots : int array array;
 }
+
+let degree = function Quadratic | Quadratic_linear -> 2 | Poly d -> d
+
+let kind_to_string = function
+  | Quadratic -> "quadratic"
+  | Quadratic_linear -> "quadratic_linear"
+  | Poly d -> Printf.sprintf "poly:%d" d
+
+let kind_of_string s =
+  match s with
+  | "quadratic" -> Ok Quadratic
+  | "quadratic_linear" -> Ok Quadratic_linear
+  | _ ->
+    let prefix = "poly:" in
+    let plen = String.length prefix in
+    if String.length s > plen && String.equal (String.sub s 0 plen) prefix then begin
+      match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some d when d >= 2 -> Ok (Poly d)
+      | Some d -> Error (Printf.sprintf "polynomial template degree %d must be >= 2" d)
+      | None -> Error (Printf.sprintf "malformed polynomial template %S (want poly:<degree>)" s)
+    end
+    else
+      Error
+        (Printf.sprintf "unknown template kind %S (expected quadratic, quadratic_linear, or poly:<d>)"
+           s)
+
+(* All factor-index rows of length [g] over [n] variables, in ascending
+   lexicographic order — equivalently, exponent vectors in descending
+   lexicographic order.  For g = 2 this is exactly the historical
+   row-major upper triangle (i, j) with i ≤ j; for g = 1 it is the
+   variables in declaration order. *)
+let combos n g =
+  let rec go start g =
+    if g = 0 then [ [] ]
+    else
+      List.concat
+        (List.init (n - start) (fun k ->
+             List.map (fun rest -> (start + k) :: rest) (go (start + k) (g - 1))))
+  in
+  List.map Array.of_list (go 0 g)
+
+(* The degree blocks each kind emits, highest degree first.  [Poly 2]
+   produces the same table as [Quadratic_linear], so the legacy kinds are
+   genuine special cases of the monomial-basis template (no constant term:
+   W(0) = 0 anchors the sublevel-set geometry at the equilibrium). *)
+let slot_table kind n =
+  let degrees =
+    match kind with
+    | Quadratic -> [ 2 ]
+    | Quadratic_linear -> [ 2; 1 ]
+    | Poly d ->
+      if d < 2 then invalid_arg "Template.make: polynomial degree must be >= 2";
+      List.init d (fun k -> d - k)
+  in
+  Array.of_list (List.concat_map (combos n) degrees)
+
+let monomial_expr vars s =
+  let acc = ref (Expr.var vars.(s.(0))) in
+  for m = 1 to Array.length s - 1 do
+    acc := Expr.( * ) !acc (Expr.var vars.(s.(m)))
+  done;
+  !acc
 
 let make kind vars =
   if Array.length vars = 0 then invalid_arg "Template.make: no variables";
-  let n = Array.length vars in
-  let quad_pairs = ref [] and quad_exprs = ref [] in
-  for i = 0 to n - 1 do
-    for j = i to n - 1 do
-      quad_pairs := (i, j) :: !quad_pairs;
-      quad_exprs := Expr.( * ) (Expr.var vars.(i)) (Expr.var vars.(j)) :: !quad_exprs
-    done
-  done;
-  let quad_pairs = Array.of_list (List.rev !quad_pairs) in
-  let quad_exprs = List.rev !quad_exprs in
-  let basis =
-    match kind with
-    | Quadratic -> Array.of_list quad_exprs
-    | Quadratic_linear ->
-      Array.of_list (quad_exprs @ List.map Expr.var (Array.to_list vars))
-  in
-  { kind; vars; basis; quad_pairs }
+  let slots = slot_table kind (Array.length vars) in
+  { kind; vars; basis = Array.map (monomial_expr vars) slots; slots }
 
 let kind t = t.kind
 
@@ -40,13 +90,17 @@ let dimension t = Array.length t.basis
 let eval_basis t point =
   if Array.length point <> Array.length t.vars then
     invalid_arg "Template.eval_basis: point arity mismatch";
-  let n_quad = Array.length t.quad_pairs in
-  Array.init (dimension t) (fun k ->
-      if k < n_quad then begin
-        let i, j = t.quad_pairs.(k) in
-        point.(i) *. point.(j)
-      end
-      else point.(k - n_quad))
+  Array.map
+    (fun s ->
+      (* Product in slot order, seeded with the first factor: for a pair
+         (i, j) this is literally point.(i) *. point.(j), bit-identical to
+         the historical quadratic evaluator. *)
+      let acc = ref point.(s.(0)) in
+      for m = 1 to Array.length s - 1 do
+        acc := !acc *. point.(s.(m))
+      done;
+      !acc)
+    t.slots
 
 let check_coeffs t coeffs =
   if Array.length coeffs <> dimension t then
@@ -66,28 +120,53 @@ let w_eval t coeffs point =
 let basis_delta_exprs t ~delta =
   let n = Array.length t.vars in
   if Array.length delta <> n then invalid_arg "Template.basis_delta_exprs: arity mismatch";
-  let n_quad = Array.length t.quad_pairs in
   let x i = Expr.var t.vars.(i) in
-  Array.init (dimension t) (fun k ->
-      if k < n_quad then begin
-        let i, j = t.quad_pairs.(k) in
-        Expr.( + )
-          (Expr.( + ) (Expr.( * ) (x i) delta.(j)) (Expr.( * ) delta.(i) (x j)))
-          (Expr.( * ) delta.(i) delta.(j))
-      end
-      else delta.(k - n_quad))
+  Array.map
+    (fun s ->
+      let g = Array.length s in
+      (* φ(x+δ) − φ(x) expanded over the 2^g − 1 non-empty δ-subsets of the
+         factor slots; the mask is read big-endian over the slot order so
+         the two-factor case reproduces the historical
+         x_i·δ_j + δ_i·x_j + δ_i·δ_j term layout.  The factored form shares
+         the x sub-terms (see the interface note on interval tightness). *)
+      let term mask =
+        let factor m = if (mask lsr (g - 1 - m)) land 1 = 1 then delta.(s.(m)) else x s.(m) in
+        let acc = ref (factor 0) in
+        for m = 1 to g - 1 do
+          acc := Expr.( * ) !acc (factor m)
+        done;
+        !acc
+      in
+      let acc = ref (term 1) in
+      for mask = 2 to (1 lsl g) - 1 do
+        acc := Expr.( + ) !acc (term mask)
+      done;
+      !acc)
+    t.slots
 
 let basis_lie t point direction =
   if Array.length point <> Array.length t.vars || Array.length direction <> Array.length t.vars
   then invalid_arg "Template.basis_lie: arity mismatch";
-  let n_quad = Array.length t.quad_pairs in
-  Array.init (dimension t) (fun k ->
-      if k < n_quad then begin
-        (* d/dt (x_i x_j) = f_i x_j + x_i f_j *)
-        let i, j = t.quad_pairs.(k) in
-        (direction.(i) *. point.(j)) +. (point.(i) *. direction.(j))
-      end
-      else direction.(k - n_quad))
+  Array.map
+    (fun s ->
+      let g = Array.length s in
+      (* ∇φ·f for φ = Π_m x_{s_m}: Σ_k f_{s_k} · Π_{m≠k} x_{s_m}, products
+         and sum taken left-to-right in slot order — for a pair (i, j) this
+         is f_i·x_j + x_i·f_j, bit-identical to the historical closed
+         form. *)
+      let term k =
+        let acc = ref (if k = 0 then direction.(s.(0)) else point.(s.(0))) in
+        for m = 1 to g - 1 do
+          acc := !acc *. (if m = k then direction.(s.(m)) else point.(s.(m)))
+        done;
+        !acc
+      in
+      let acc = ref (term 0) in
+      for k = 1 to g - 1 do
+        acc := !acc +. term k
+      done;
+      !acc)
+    t.slots
 
 let grad_exprs t coeffs =
   let w = w_expr t coeffs in
@@ -98,11 +177,14 @@ let p_matrix t coeffs =
   let n = Array.length t.vars in
   let p = Mat.zeros n n in
   Array.iteri
-    (fun k (i, j) ->
-      if i = j then p.(i).(i) <- coeffs.(k)
-      else begin
-        p.(i).(j) <- p.(i).(j) +. (0.5 *. coeffs.(k));
-        p.(j).(i) <- p.(j).(i) +. (0.5 *. coeffs.(k))
+    (fun k s ->
+      if Array.length s = 2 then begin
+        let i = s.(0) and j = s.(1) in
+        if i = j then p.(i).(i) <- coeffs.(k)
+        else begin
+          p.(i).(j) <- p.(i).(j) +. (0.5 *. coeffs.(k));
+          p.(j).(i) <- p.(j).(i) +. (0.5 *. coeffs.(k))
+        end
       end)
-    t.quad_pairs;
+    t.slots;
   p

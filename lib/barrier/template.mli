@@ -4,23 +4,54 @@
     variables; the LP determines coefficients [c] so that
     [W(x) = Σ c_i φ_i(x)] is a generator function.  The paper's case study
     uses the pure quadratic template in two variables, whose sublevel sets
-    are ellipsoids (which the level-set geometry exploits). *)
+    are ellipsoids (which the level-set geometry exploits); [Poly d]
+    generalizes to every monomial of total degree between 1 and [d], whose
+    sublevel sets have no special shape — the δ-SAT conditions (5)–(7)
+    still decide them through the same [Expr]/[Tape] pipeline, only the
+    analytic level-range seeding changes (see {!Levelset.sampled_range}).
 
-type kind = Quadratic  (** all [x_i x_j], i ≤ j *) | Quadratic_linear  (** quadratic plus linear terms *)
+    All kinds are generated from one factor-index table, so [Quadratic]
+    and [Quadratic_linear] are bit-compatible special cases of the
+    monomial basis: [Poly 2] has exactly the [Quadratic_linear] basis in
+    the same order, and every evaluator performs the same float
+    operations in the same order as the historical closed forms. *)
+
+type kind =
+  | Quadratic  (** all [x_i x_j], i ≤ j *)
+  | Quadratic_linear  (** quadratic plus linear terms *)
+  | Poly of int
+      (** all monomials of total degree ≤ d (and ≥ 1 — no constant term,
+          so [W(0) = 0]); requires d ≥ 2.  [Poly 2] = [Quadratic_linear]. *)
 
 type t
 
 val make : kind -> string array -> t
-(** Template over the given state variables (at least one). *)
+(** Template over the given state variables (at least one).  Raises
+    [Invalid_argument] for [Poly d] with [d < 2]. *)
 
 val kind : t -> kind
+
+val degree : kind -> int
+(** Maximal total degree of the basis: 2 for the quadratic kinds, [d] for
+    [Poly d]. *)
+
+val kind_to_string : kind -> string
+(** ["quadratic"], ["quadratic_linear"], or ["poly:<d>"] — the CLI /
+    scenario-file syntax (the artifact format uses its own space-separated
+    rendering, see {!Artifact}). *)
+
+val kind_of_string : string -> (kind, string) result
+(** Inverse of {!kind_to_string}; rejects degrees below 2. *)
 
 val vars : t -> string array
 
 val basis : t -> Expr.t array
-(** The monomial expressions, in a fixed documented order: for variables
-    [x, y]: quadratic part [x²; x·y; y²] (row-major upper triangle), then —
-    for [Quadratic_linear] — the linear part [x; y]. *)
+(** The monomial expressions, in a fixed documented order: degree blocks
+    from the highest degree down to the linear terms, each block in
+    descending lexicographic exponent order.  For variables [x, y]:
+    quadratic part [x²; x·y; y²] (row-major upper triangle), then — for
+    [Quadratic_linear] / [Poly] — the linear part [x; y]; [Poly d]
+    prepends the higher-degree blocks ([x⁴; x³y; …] before [x³; …]). *)
 
 val dimension : t -> int
 (** Number of basis functions / coefficients. *)
@@ -38,21 +69,24 @@ val w_eval : t -> float array -> float array -> float
 val basis_delta_exprs : t -> delta:Expr.t array -> Expr.t array
 (** Symbolic one-step differences [φ_k(x + δ) − φ_k(x)] for each basis
     monomial, with [δ] given per variable: a quadratic pair (i, j) yields
-    [x_i·δ_j + δ_i·x_j + δ_i·δ_j] and a linear term yields [δ_i].  This
-    factored form shares the [x] sub-terms, so its interval evaluation is
-    far tighter than evaluating [W(F(x)) − W(x)] as two independent sums —
-    which is what makes the discrete-time decrease condition decidable in
-    practice (see {!Discrete}). *)
+    [x_i·δ_j + δ_i·x_j + δ_i·δ_j], a linear term yields [δ_i], and a
+    general degree-g monomial expands into its 2^g − 1 non-empty δ-subset
+    products.  This factored form shares the [x] sub-terms, so its
+    interval evaluation is far tighter than evaluating [W(F(x)) − W(x)] as
+    two independent sums — which is what makes the discrete-time decrease
+    condition decidable in practice (see {!Discrete}). *)
 
 val basis_lie : t -> float array -> float array -> float array
 (** [basis_lie t x f] is [∇φ_k(x) · f] for each basis function — the exact
-    Lie derivative of the basis along direction [f] (quadratic and linear
-    monomials have closed-form gradients). *)
+    Lie derivative of the basis along direction [f] (every monomial has a
+    closed-form gradient). *)
 
 val grad_exprs : t -> float array -> Expr.t array
 (** Symbolic gradient [∂W/∂x_i], one entry per variable. *)
 
 val p_matrix : t -> float array -> Mat.t
 (** For the pure quadratic part: the symmetric [P] with
-    [x'Px = quadratic part of W].  (For [Quadratic_linear] templates this
-    ignores the linear terms — callers must check {!kind}.) *)
+    [x'Px = quadratic part of W].  (Templates with non-quadratic terms —
+    [Quadratic_linear]'s linear part, [Poly]'s other degrees — contribute
+    only their degree-2 coefficients here; callers that need the full
+    sublevel-set geometry must check {!kind}.) *)

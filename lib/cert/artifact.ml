@@ -74,9 +74,12 @@ let hash_config (c : Engine.config) =
       (match syn.Synthesis.separation_rects with
       | None -> "separation -"
       | Some (a, b) -> "separation " ^ rect_str a ^ " | " ^ rect_str b);
+      (* Existing kinds must render byte-identically (cache compatibility);
+         the polynomial kind extends the line with its degree. *)
       (match c.Engine.template_kind with
       | Template.Quadratic -> "template quadratic"
-      | Template.Quadratic_linear -> "template quadratic_linear");
+      | Template.Quadratic_linear -> "template quadratic_linear"
+      | Template.Poly d -> Printf.sprintf "template poly %d" d);
       Printf.sprintf "max_candidate_iters %d" c.Engine.max_candidate_iters;
       Printf.sprintf "max_level_iters %d" c.Engine.max_level_iters;
       "delta " ^ hex smt.Solver.delta;
@@ -147,14 +150,27 @@ let certificate a =
     level = a.level;
   }
 
+(* The artifact's template line: space-separated so it stays a plain
+   key/value line ("template poly 4"); the legacy kinds keep their exact
+   historical rendering so existing v2 artifacts parse (and re-serialize)
+   unchanged. *)
 let kind_name = function
   | Template.Quadratic -> "quadratic"
   | Template.Quadratic_linear -> "quadratic_linear"
+  | Template.Poly d -> Printf.sprintf "poly %d" d
 
-let kind_of_name = function
+let kind_of_name s =
+  match s with
   | "quadratic" -> Ok Template.Quadratic
   | "quadratic_linear" -> Ok Template.Quadratic_linear
-  | s -> Error (Printf.sprintf "unknown template kind %S" s)
+  | _ -> (
+    match String.split_on_char ' ' s |> List.filter (fun t -> t <> "") with
+    | [ "poly"; d_s ] -> (
+      match int_of_string_opt d_s with
+      | Some d when d >= 2 -> Ok (Template.Poly d)
+      | Some d -> Error (Printf.sprintf "polynomial template degree %d must be >= 2" d)
+      | None -> Error (Printf.sprintf "malformed polynomial template degree %S" d_s))
+    | _ -> Error (Printf.sprintf "unknown template kind %S" s))
 
 let to_string a =
   let buf = Buffer.create 1024 in

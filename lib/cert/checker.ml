@@ -151,8 +151,17 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
                   (Array.length a.Artifact.coeffs) (Template.dimension template)))
         else begin
           let cert = Artifact.certificate a in
-          let p = Template.p_matrix cert.Engine.template cert.Engine.coeffs in
-          if not (Cholesky.is_positive_definite p) then
+          let structurally_sound =
+            if Template.degree (Template.kind cert.Engine.template) <= 2 then
+              Cholesky.is_positive_definite
+                (Template.p_matrix cert.Engine.template cert.Engine.coeffs)
+            else
+              (* No quadratic-form requirement above degree 2: the sublevel
+                 sets need not be ellipsoids, and condition (7) is decided
+                 over the boundary shell instead. *)
+              true
+          in
+          if not structurally_sound then
             (* Structural, not a solve: an indefinite quadratic part has
                unbounded sublevel sets, so no level can separate anything —
                rejected before any solver time is spent. *)
@@ -179,24 +188,14 @@ let audit ?(engine = Solver.Tape_eval) ?(budget = Budget.unlimited) ?network
                   (Engine.condition6_formula cert)
                   (fun () ->
                     (* Condition (7): the sublevel set avoids the unsafe
-                       complement.  Bounded query box from the analytic
-                       ellipsoid enclosure, exactly as [Engine.dump_smt2]. *)
+                       complement.  Bounded query box shared with the
+                       engine's bisection and [Engine.dump_smt2]: the
+                       analytic ellipsoid enclosure for quadratic kinds,
+                       the boundary shell for polynomial templates. *)
                     match
-                      let center =
-                        Level_search.ellipsoid_center cert.Engine.template cert.Engine.coeffs p
-                      in
-                      let w_center =
-                        Template.w_eval cert.Engine.template cert.Engine.coeffs center
-                      in
-                      let bbox =
-                        Levelset.ellipsoid_bounding_box ~p
-                          ~level:(Float.max (cert.Engine.level -. w_center) 0.0 +. 1e-9)
-                      in
-                      Array.mapi
-                        (fun i (lo_i, hi_i) ->
-                          ( center.(i) +. (1.01 *. lo_i) -. 1e-6,
-                            center.(i) +. (1.01 *. hi_i) +. 1e-6 ))
-                        bbox
+                      Level_search.condition7_query_rect cert.Engine.template
+                        cert.Engine.coeffs ~level:cert.Engine.level
+                        ~unsafe_rect:a.Artifact.safe_rect
                     with
                     | query_rect ->
                       decide ~condition:7 ~acc:acc7

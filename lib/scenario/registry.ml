@@ -274,8 +274,8 @@ let find_plant name = List.find_opt (fun p -> String.equal p.Plant.name name) al
 
 type entry = { name : string; description : string; scenario : Scenario.t }
 
-let scn ?(params = []) ?(controller = Scenario.Builtin) ?n_seed ~plant ~expectation name
-    description =
+let scn ?(params = []) ?(controller = Scenario.Builtin) ?n_seed ?x0 ?template ~plant
+    ~expectation name description =
   {
     name;
     description;
@@ -286,6 +286,8 @@ let scn ?(params = []) ?(controller = Scenario.Builtin) ?n_seed ~plant ~expectat
         params;
         controller;
         n_seed;
+        x0;
+        template;
         expectation = Some expectation;
       };
   }
@@ -306,6 +308,24 @@ let all_scenarios =
       "open-loop Duffing: the origin is a saddle between the two wells";
     scn "poly-2d" ~plant:"poly_2d" ~expectation:Scenario.Should_prove
       "2-D polynomial model with a −tanh(y) feedback";
+    (* The template-ladder gate pair: X0 = [−0.8, 0.8]² nearly fills the
+       safe square [−1, 1]², so every ellipsoid through the X0 corners
+       (|corner| ≈ 1.13) pokes out of the square — for a centered
+       a·x² + b·xy + c·y² the faces force a > ℓ and c > ℓ while the
+       corners need 0.64(a + c) ≤ ℓ, a contradiction (and the off-center
+       case fails the same way by symmetry of X0).  A quartic sublevel set
+       like x⁴ + y⁴ ≤ ℓ separates: corners sit at W = 0.82, the faces at
+       W ≥ 1. *)
+    scn "poly-2d-boxy" ~plant:"poly_2d"
+      ~x0:[| (-0.8, 0.8); (-0.8, 0.8) |]
+      ~template:(Template.Poly 4) ~expectation:Scenario.Should_prove
+      "poly_2d with X0 nearly filling the safe square: no ellipsoidal level set fits between \
+       the X0 corners and the faces, a quartic one does";
+    scn "poly-2d-boxy-quadratic" ~plant:"poly_2d"
+      ~x0:[| (-0.8, 0.8); (-0.8, 0.8) |]
+      ~template:Template.Quadratic ~expectation:Scenario.Should_fail
+      "the boxy problem under the quadratic template: structurally unprovable — any ellipsoid \
+       covering the X0 corners escapes the safe square";
     scn "poly-3d" ~plant:"poly_3d" ~expectation:Scenario.Should_prove
       "3-D polynomial cascade with a −tanh(x) feedback";
     scn "damped-pendulum" ~plant:"pendulum" ~n_seed:30 ~expectation:Scenario.Should_prove

@@ -17,6 +17,7 @@ type t = {
   sim_steps : int option;
   lie : bool option;
   linear_terms : bool option;
+  template : Template.kind option;
   jobs : int option;
   scheduler : Solver.scheduler option;
   lp_engine : Lp.engine option;
@@ -40,6 +41,7 @@ let make ~plant () =
     sim_steps = None;
     lie = None;
     linear_terms = None;
+    template = None;
     jobs = None;
     scheduler = None;
     lp_engine = None;
@@ -52,7 +54,8 @@ let ( let* ) r f = Result.bind r f
 let known_fields =
   [
     "name"; "description"; "plant"; "params"; "controller"; "x0"; "safe"; "gamma"; "delta";
-    "n_seed"; "sim_dt"; "sim_steps"; "lie"; "linear_terms"; "jobs"; "scheduler"; "lp_engine";
+    "n_seed"; "sim_dt"; "sim_steps"; "lie"; "linear_terms"; "template"; "jobs"; "scheduler";
+    "lp_engine";
     "max_branches"; "expectation";
   ]
 
@@ -147,6 +150,18 @@ let of_json json =
     let* sim_steps = opt "sim_steps" "int" as_int in
     let* lie = opt "lie" "bool" as_bool in
     let* linear_terms = opt "linear_terms" "bool" as_bool in
+    let* template =
+      match get "template" with
+      | None | Some Obs.Json.Null -> Ok None
+      | Some (Obs.Json.String s) -> (
+        match Template.kind_of_string s with
+        | Ok k -> Ok (Some k)
+        | Error reason -> errf "scenario: field \"template\": %s" reason)
+      | Some _ ->
+        Error
+          "scenario: field \"template\" must be a string (\"quadratic\", \"quadratic_linear\", \
+           or \"poly:<d>\")"
+    in
     let* jobs = opt "jobs" "int" as_int in
     let* max_branches = opt "max_branches" "int" as_int in
     let* scheduler =
@@ -187,6 +202,7 @@ let of_json json =
         sim_steps;
         lie;
         linear_terms;
+        template;
         jobs;
         scheduler;
         lp_engine;
@@ -227,6 +243,7 @@ let to_json t =
         opt "sim_steps" (fun n -> Obs.Json.Int n) t.sim_steps;
         opt "lie" (fun b -> Obs.Json.Bool b) t.lie;
         opt "linear_terms" (fun b -> Obs.Json.Bool b) t.linear_terms;
+        opt "template" (fun k -> str (Template.kind_to_string k)) t.template;
         opt "jobs" (fun n -> Obs.Json.Int n) t.jobs;
         opt "scheduler"
           (fun s ->
@@ -316,10 +333,13 @@ let elaborate ~plants ?(base = Engine.default_config) ?dir t =
       sim_dt = dflt base.Engine.sim_dt t.sim_dt;
       sim_steps = dflt base.Engine.sim_steps t.sim_steps;
       template_kind =
-        (match t.linear_terms with
-        | None -> base.Engine.template_kind
-        | Some true -> Template.Quadratic_linear
-        | Some false -> Template.Quadratic);
+        (* [template] names the kind outright and wins over the legacy
+           [linear_terms] boolean (kept for compatibility). *)
+        (match (t.template, t.linear_terms) with
+        | Some k, _ -> k
+        | None, Some true -> Template.Quadratic_linear
+        | None, Some false -> Template.Quadratic
+        | None, None -> base.Engine.template_kind);
       jobs = dflt base.Engine.jobs t.jobs;
       smt;
       synthesis;

@@ -18,6 +18,7 @@
      "gamma": <number>, "delta": <number>,
      "n_seed": <int>, "sim_dt": <number>, "sim_steps": <int>,
      "lie": <bool>, "linear_terms": <bool>,
+     "template": "quadratic" | "quadratic_linear" | "poly:<d>",
      "jobs": <int>, "scheduler": "static" | "stealing",
      "lp_engine": "tableau" | "revised", "max_branches": <int>,
      "expectation": "should_prove" | "should_fail"}
@@ -50,6 +51,9 @@ type t = {
   sim_steps : int option;
   lie : bool option;
   linear_terms : bool option;
+  template : Template.kind option;
+      (** names the template kind outright; wins over the legacy
+          [linear_terms] boolean when both are present *)
   jobs : int option;
   scheduler : Solver.scheduler option;
   lp_engine : Lp.engine option;

@@ -66,6 +66,76 @@ let test_grad_exprs () =
   check_float "dW/dd" ((2.0 *. 1.5) +. (2.0 *. -0.5)) (Expr.eval_env env grads.(0));
   check_float "dW/dth" ((2.0 *. 1.5) +. (6.0 *. -0.5)) (Expr.eval_env env grads.(1))
 
+(* --- Polynomial templates ---------------------------------------------- *)
+
+let poly2 = Template.make (Template.Poly 2) vars2
+
+let test_poly_dimensions () =
+  (* Monomials of total degree 1..d in n variables: C(n+d, d) − 1. *)
+  Alcotest.(check int) "poly 2 = quadratic_linear" (Template.dimension quad_lin)
+    (Template.dimension poly2);
+  Alcotest.(check int) "poly 3, 2 vars" 9
+    (Template.dimension (Template.make (Template.Poly 3) vars2));
+  Alcotest.(check int) "poly 4, 2 vars" 14
+    (Template.dimension (Template.make (Template.Poly 4) vars2));
+  Alcotest.(check int) "poly 2, 3 vars" 9
+    (Template.dimension (Template.make (Template.Poly 2) [| "a"; "b"; "c" |]))
+
+let test_kind_strings () =
+  List.iter
+    (fun k ->
+      match Template.kind_of_string (Template.kind_to_string k) with
+      | Ok k' when k' = k -> ()
+      | Ok _ -> Alcotest.failf "round-trip changed %s" (Template.kind_to_string k)
+      | Error e -> Alcotest.failf "round-trip of %s: %s" (Template.kind_to_string k) e)
+    [ Template.Quadratic; Template.Quadratic_linear; Template.Poly 2; Template.Poly 7 ];
+  (match Template.kind_of_string "poly:1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "poly:1 must be rejected (degree < 2)");
+  match Template.kind_of_string "cubic" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown kind must be rejected"
+
+let random_state rng = [| Rng.uniform rng (-3.0) 3.0; Rng.uniform rng (-3.0) 3.0 |]
+
+(* Poly 2 and Quadratic_linear enumerate the same monomials in the same
+   order, and the generic slot-table evaluators seed their products and
+   sums exactly as the legacy closed forms did — so the parity below is
+   bit-exact float equality, not approximate. *)
+let prop_poly2_basis_parity =
+  QCheck.Test.make ~name:"Poly 2 basis/lie bit-exact vs Quadratic_linear" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = random_state rng in
+      let f = random_state rng in
+      Template.eval_basis poly2 x = Template.eval_basis quad_lin x
+      && Template.basis_lie poly2 x f = Template.basis_lie quad_lin x f)
+
+let prop_poly2_quadratic_prefix =
+  QCheck.Test.make ~name:"Poly 2 degree-2 block bit-exact vs Quadratic" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = random_state rng in
+      let f = random_state rng in
+      let sub a = Array.sub a 0 (Template.dimension quad) in
+      sub (Template.eval_basis poly2 x) = Template.eval_basis quad x
+      && sub (Template.basis_lie poly2 x f) = Template.basis_lie quad x f)
+
+let prop_poly2_w_expr_parity =
+  QCheck.Test.make ~name:"Poly 2 w_expr agrees with Quadratic_linear" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let coeffs =
+        Array.init (Template.dimension poly2) (fun _ -> Rng.uniform rng (-2.0) 2.0)
+      in
+      let x = random_state rng in
+      let env = [ ("d", x.(0)); ("th", x.(1)) ] in
+      Expr.eval_env env (Template.w_expr poly2 coeffs)
+      = Expr.eval_env env (Template.w_expr quad_lin coeffs))
+
 (* --- Synthesis ----------------------------------------------------------- *)
 
 (* A linear stable system ẋ = -x, ẏ = -2y: W = x² + y² works. *)
@@ -153,6 +223,71 @@ let test_count_rows_subsample () =
       ~template:quad (stable_traces ())
   in
   Alcotest.(check bool) (Printf.sprintf "%d > %d" base sub) true (base > sub)
+
+let mk_trace states =
+  { Ode.times = Array.init (Array.length states) (fun i -> 0.1 *. float_of_int i); states }
+
+let test_retained_indices_endpoint () =
+  (* Regression: with a stride that does not divide the trace length the
+     final state used to be dropped, leaving the LP unconstrained at the
+     trace's deepest excursion. *)
+  List.iter
+    (fun subsample ->
+      let options = { Synthesis.default_options with Synthesis.subsample } in
+      List.iter
+        (fun n ->
+          let tr = mk_trace (Array.init n (fun i -> [| float_of_int i; 1.0 |])) in
+          let idxs = Synthesis.retained_indices options tr in
+          Alcotest.(check int) "starts at 0" 0 (List.hd idxs);
+          Alcotest.(check int)
+            (Printf.sprintf "last index retained (n=%d, subsample=%d)" n subsample)
+            (n - 1)
+            (List.nth idxs (List.length idxs - 1));
+          let rec increasing = function
+            | a :: (b :: _ as tl) -> a < b && increasing tl
+            | _ -> true
+          in
+          Alcotest.(check bool) "strictly increasing" true (increasing idxs))
+        [ 1; 2; 5; 10; 11; 15 ])
+    [ 2; 3; 7 ]
+
+let test_endpoint_generates_rows () =
+  (* Same bug observed through the public row counter: every state but the
+     last sits below min_rho, so only the always-retained endpoint can
+     contribute a row. *)
+  let states = Array.init 10 (fun i -> if i = 9 then [| 2.0; 1.0 |] else [| 1e-6; 0.0 |]) in
+  let options = { Synthesis.default_options with Synthesis.subsample = 7 } in
+  Alcotest.(check bool) "endpoint row present" true
+    (Synthesis.count_rows ~options ~template:quad [ mk_trace states ] > 0)
+
+let test_grid_range_off_origin () =
+  let unbounded = [| (Float.neg_infinity, Float.infinity) |] in
+  (* Off-origin X0 [2, 3]: the grid used to be [10, 15], excluding X0. *)
+  let lo, hi = Synthesis.grid_range ~x0_rect:[| (2.0, 3.0) |] ~safe_rect:unbounded 0 in
+  check_float "off-origin lo" 0.0 lo;
+  check_float "off-origin hi" 5.0 hi;
+  Alcotest.(check bool) "grid covers X0" true (lo <= 2.0 && hi >= 3.0);
+  (* Negative X0 [-3, -2]: the bounds used to come back inverted. *)
+  let lo, hi = Synthesis.grid_range ~x0_rect:[| (-3.0, -2.0) |] ~safe_rect:unbounded 0 in
+  Alcotest.(check bool) "negative rect ordered" true (lo < hi);
+  Alcotest.(check bool) "negative grid covers X0" true (lo <= -3.0 && hi >= -2.0);
+  check_float "negative lo" (-5.0) lo;
+  check_float "negative hi" 0.0 hi;
+  (* Finite safe bounds pass through untouched. *)
+  let lo, hi = Synthesis.grid_range ~x0_rect:[| (2.0, 3.0) |] ~safe_rect:[| (-1.5, 1.5) |] 0 in
+  check_float "finite lo" (-1.5) lo;
+  check_float "finite hi" 1.5 hi
+
+let test_exclude_rect_arity () =
+  let tr = mk_trace [| [| 1.0; 1.0 |]; [| 1.1; 1.0 |] |] in
+  let expect_raises label rect =
+    let options = { Synthesis.default_options with Synthesis.exclude_rect = Some rect } in
+    match Synthesis.count_rows ~options ~template:quad [ tr ] with
+    | _ -> Alcotest.failf "%s exclude_rect must raise" label
+    | exception Invalid_argument _ -> ()
+  in
+  expect_raises "shorter" [| (0.0, 1.0) |];
+  expect_raises "longer" [| (0.0, 1.0); (0.0, 1.0); (0.0, 1.0) |]
 
 (* --- Level set ------------------------------------------------------------ *)
 
@@ -489,6 +624,29 @@ let test_cex_repeated_alternating () =
   Alcotest.(check bool) "near-duplicate outside tight tol" false
     (Engine.cex_repeated ~tol:1e-12 [ b; a ] a')
 
+(* Full-pipeline parity: Poly 2 enumerates exactly the Quadratic_linear
+   basis, so on the same seed the LP sees the same rows and the whole
+   CEGIS run must land on the same verdict — and on a proof, the same
+   certificate to the bit. *)
+let test_poly2_verify_parity () =
+  let system = Case_study.system_of_network Case_study.reference_controller in
+  let verify_with kind =
+    let config = { Engine.default_config with Engine.template_kind = kind } in
+    Engine.verify ~config ~rng:(Rng.create 7) system
+  in
+  let a = verify_with Template.Quadratic_linear in
+  let b = verify_with (Template.Poly 2) in
+  match (a.Engine.outcome, b.Engine.outcome) with
+  | Engine.Proved ca, Engine.Proved cb ->
+    Alcotest.(check bool) "identical coefficients" true (ca.Engine.coeffs = cb.Engine.coeffs);
+    Alcotest.(check bool) "identical level" true (ca.Engine.level = cb.Engine.level)
+  | Engine.Failed _, Engine.Failed _ -> ()
+  | Engine.Proved _, Engine.Failed r ->
+    Alcotest.failf "Poly 2 failed where Quadratic_linear proved: %s"
+      (match r with Engine.Lp_failed s -> s | _ -> "(non-LP reason)")
+  | Engine.Failed _, Engine.Proved _ ->
+    Alcotest.fail "Poly 2 proved where Quadratic_linear failed"
+
 let () =
   Alcotest.run "barrier"
     [
@@ -501,6 +659,15 @@ let () =
           Alcotest.test_case "basis lie derivative" `Quick test_basis_lie;
           Alcotest.test_case "gradient expressions" `Quick test_grad_exprs;
         ] );
+      ( "poly template",
+        [
+          Alcotest.test_case "dimensions" `Quick test_poly_dimensions;
+          Alcotest.test_case "kind strings" `Quick test_kind_strings;
+          QCheck_alcotest.to_alcotest prop_poly2_basis_parity;
+          QCheck_alcotest.to_alcotest prop_poly2_quadratic_prefix;
+          QCheck_alcotest.to_alcotest prop_poly2_w_expr_parity;
+          Alcotest.test_case "verify parity on dubins" `Quick test_poly2_verify_parity;
+        ] );
       ( "synthesis",
         [
           Alcotest.test_case "stable linear system" `Quick test_synthesize_stable_system;
@@ -508,7 +675,12 @@ let () =
           Alcotest.test_case "unstable system rejected" `Quick test_synthesize_unstable_rejected;
           Alcotest.test_case "cex cut forces decrease" `Quick test_cex_cut_forces_change;
           Alcotest.test_case "exclude rect" `Quick test_exclude_rect;
+          Alcotest.test_case "exclude rect arity" `Quick test_exclude_rect_arity;
           Alcotest.test_case "subsampling reduces rows" `Quick test_count_rows_subsample;
+          Alcotest.test_case "retained indices keep endpoint" `Quick
+            test_retained_indices_endpoint;
+          Alcotest.test_case "endpoint generates rows" `Quick test_endpoint_generates_rows;
+          Alcotest.test_case "grid range off-origin" `Quick test_grid_range_off_origin;
         ] );
       ( "levelset",
         [

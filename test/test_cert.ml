@@ -77,6 +77,60 @@ let test_truncation_rejected () =
   | Ok _ -> Alcotest.fail "truncated artifact parsed"
   | Error _ -> ()
 
+let test_poly_roundtrip () =
+  (* A polynomial-template artifact carries a parameterized
+     [template poly <d>] line and must round-trip bit-exactly like the
+     legacy kinds (whose lines are unchanged — cache compatibility). *)
+  let base = artifact () in
+  let template = Template.make (Template.Poly 4) base.Artifact.vars in
+  let coeffs =
+    Array.init (Template.dimension template) (fun i -> 0.125 *. float_of_int (i + 1))
+  in
+  let cert = { Engine.template; coeffs; level = 1.25 } in
+  let fp = Artifact.fingerprint ~network system config in
+  let a = Artifact.make ~fingerprint:fp ~config ~stats:[ ("source", "test") ] cert in
+  let s = Artifact.to_string a in
+  Alcotest.(check bool) "template poly 4 line present" true (contains ~sub:"template poly 4" s);
+  match Artifact.of_string s with
+  | Error e -> Alcotest.failf "poly round-trip parse failed: %s" e
+  | Ok b ->
+    (match b.Artifact.template_kind with
+    | Template.Poly 4 -> ()
+    | k -> Alcotest.failf "kind came back as %s" (Template.kind_to_string k));
+    Alcotest.(check int) "coeff count" (Array.length coeffs) (Array.length b.Artifact.coeffs);
+    Array.iteri
+      (fun i c ->
+        Alcotest.(check int64) "coeff bits" (Int64.bits_of_float c)
+          (Int64.bits_of_float b.Artifact.coeffs.(i)))
+      b.Artifact.coeffs
+
+let test_poly_audit_certifies () =
+  (* End-to-end over a genuinely non-ellipsoidal certificate: prove the
+     registry's boxy scenario under Poly 4, export, re-load, audit. *)
+  match Registry.find_scenario "poly-2d-boxy" with
+  | None -> Alcotest.fail "registry scenario poly-2d-boxy missing"
+  | Some entry -> (
+    match Registry.elaborate entry.Registry.scenario with
+    | Error msg -> Alcotest.failf "elaborate: %s" msg
+    | Ok e -> (
+      let sys = e.Scenario.closed.Plant.system in
+      let cfg = e.Scenario.config in
+      match (Engine.verify ~config:cfg ~rng:(Rng.create 7) sys).Engine.outcome with
+      | Engine.Failed _ -> Alcotest.fail "poly-2d-boxy must prove under Poly 4"
+      | Engine.Proved cert ->
+        Alcotest.(check bool) "certificate is quartic" true
+          (Template.kind cert.Engine.template = Template.Poly 4);
+        let net = e.Scenario.closed.Plant.network in
+        let fp = Artifact.fingerprint ?network:net ~plant:e.Scenario.closed.Plant.id sys cfg in
+        let a =
+          Artifact.make ~fingerprint:fp ~plant:e.Scenario.closed.Plant.id ~config:cfg cert
+        in
+        match Artifact.of_string (Artifact.to_string a) with
+        | Error err -> Alcotest.failf "poly artifact reparse: %s" err
+        | Ok reloaded ->
+          let verdict, _ = Checker.audit ?network:net ~system:sys reloaded in
+          Alcotest.check check_verdict "poly artifact certified" Checker.Certified verdict))
+
 (* --- fingerprints ----------------------------------------------------- *)
 
 let test_fingerprint_sensitivity () =
@@ -587,6 +641,8 @@ let () =
           Alcotest.test_case "round-trip is bit-exact" `Quick test_roundtrip;
           Alcotest.test_case "checksum rejects corruption" `Quick test_checksum_rejects_corruption;
           Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
+          Alcotest.test_case "poly round-trip" `Quick test_poly_roundtrip;
+          Alcotest.test_case "poly artifact certified" `Quick test_poly_audit_certifies;
           Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
           Alcotest.test_case "fingerprint ignores execution strategy" `Quick
             test_fingerprint_ignores_execution_strategy;

@@ -42,6 +42,7 @@ let full_scenario =
     sim_steps = Some 100;
     lie = Some true;
     linear_terms = Some false;
+    template = Some (Template.Poly 3);
     jobs = Some 3;
     scheduler = Some Solver.Static_split;
     lp_engine = Some Lp.Tableau;
@@ -110,7 +111,18 @@ let test_parse_errors () =
     "scenario: field \"lp_engine\" must be \"tableau\" or \"revised\"";
   check "expectation misspelled"
     (obj [ ("plant", Obs.Json.String "duffing"); ("expectation", Obs.Json.String "proves") ])
-    "scenario: field \"expectation\" must be \"should_prove\" or \"should_fail\""
+    "scenario: field \"expectation\" must be \"should_prove\" or \"should_fail\"";
+  check "template unknown kind"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("template", Obs.Json.String "cubic") ])
+    "scenario: field \"template\": unknown template kind \"cubic\" (expected quadratic, \
+     quadratic_linear, or poly:<d>)";
+  check "template degree too small"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("template", Obs.Json.String "poly:1") ])
+    "scenario: field \"template\": polynomial template degree 1 must be >= 2";
+  check "template wrong type"
+    (obj [ ("plant", Obs.Json.String "duffing"); ("template", Obs.Json.Int 4) ])
+    "scenario: field \"template\" must be a string (\"quadratic\", \"quadratic_linear\", or \
+     \"poly:<d>\")"
 
 let test_elaborate_errors () =
   let check msg scenario want =
@@ -207,6 +219,30 @@ let test_override_precedence () =
   Alcotest.(check bool) "lp engine overridden" true
     (c.Engine.synthesis.Synthesis.lp_engine = Lp.Tableau);
   Alcotest.(check int) "max_branches overridden" 777 c.Engine.smt.Solver.max_branches
+
+let test_template_precedence () =
+  let base = Engine.default_config in
+  let with_fields template linear_terms =
+    { (Scenario.make ~plant:"duffing" ()) with Scenario.template; linear_terms }
+  in
+  let kind_of scenario =
+    let e = ok_or_fail (Scenario.elaborate ~plants:Registry.find_plant ~base scenario) in
+    e.Scenario.config.Engine.template_kind
+  in
+  (* An explicit template field names the kind outright... *)
+  Alcotest.(check bool) "template field selects Poly 4" true
+    (kind_of (with_fields (Some (Template.Poly 4)) None) = Template.Poly 4);
+  (* ...and beats the legacy linear_terms boolean when both are present. *)
+  Alcotest.(check bool) "template beats linear_terms" true
+    (kind_of (with_fields (Some Template.Quadratic) (Some true)) = Template.Quadratic);
+  (* Without it the legacy boolean still works both ways. *)
+  Alcotest.(check bool) "linear_terms true alone" true
+    (kind_of (with_fields None (Some true)) = Template.Quadratic_linear);
+  Alcotest.(check bool) "linear_terms false alone" true
+    (kind_of (with_fields None (Some false)) = Template.Quadratic);
+  (* Neither: the base config's kind flows through. *)
+  Alcotest.(check bool) "default from base" true
+    (kind_of (with_fields None None) = base.Engine.template_kind)
 
 let test_re_emit_idempotent () =
   let e = ok_or_fail (Registry.elaborate (Scenario.make ~plant:"van_der_pol_reversed" ())) in
@@ -371,6 +407,7 @@ let () =
       ( "json",
         [
           Alcotest.test_case "to_json/of_json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "template field precedence" `Quick test_template_precedence;
           Alcotest.test_case "save/load round-trip" `Quick test_file_roundtrip;
         ] );
       ( "errors",
